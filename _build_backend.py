@@ -1,0 +1,110 @@
+"""Minimal in-tree PEP 517 build backend for offline environments.
+
+The evaluation environment has setuptools but not the ``wheel`` package,
+so both the PEP 517 setuptools backend and the legacy ``setup.py
+develop`` path fail.  A wheel is just a zip file with a dist-info
+directory, so this backend writes one directly with the standard
+library:
+
+* ``build_editable`` produces a wheel containing a ``.pth`` file that
+  points at ``src/`` (editable install);
+* ``build_wheel`` produces a regular wheel with the package tree copied
+  in.
+
+Only what pip needs is implemented; there are no external dependencies.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(ROOT, "src")
+
+_METADATA = f"""\
+Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: NVDIMM-C (HPCA 2020) reproduction: timing/protocol simulator
+Requires-Python: >=3.10
+Requires-Dist: numpy>=1.24
+"""
+
+_WHEEL = """\
+Wheel-Version: 1.0
+Generator: repro-inline-backend
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    encoded = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"sha256={encoded}"
+
+
+def _write_wheel(wheel_directory: str, contents: dict[str, bytes]) -> str:
+    """Write a wheel with ``contents`` (+ generated dist-info)."""
+    dist_info = f"{NAME}-{VERSION}.dist-info"
+    contents = dict(contents)
+    contents[f"{dist_info}/METADATA"] = _METADATA.encode()
+    contents[f"{dist_info}/WHEEL"] = _WHEEL.encode()
+    record_path = f"{dist_info}/RECORD"
+    record_lines = [
+        f"{path},{_record_hash(data)},{len(data)}"
+        for path, data in contents.items()
+    ]
+    record_lines.append(f"{record_path},,")
+    contents[record_path] = ("\n".join(record_lines) + "\n").encode()
+
+    filename = f"{NAME}-{VERSION}-py3-none-any.whl"
+    wheel_path = os.path.join(wheel_directory, filename)
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for path, data in contents.items():
+            zf.writestr(path, data)
+    return filename
+
+
+# -- PEP 517 hooks -----------------------------------------------------------
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def build_editable(wheel_directory, config_settings=None,
+                   metadata_directory=None):
+    pth = f"{NAME}.pth"
+    return _write_wheel(wheel_directory, {pth: (SRC + "\n").encode()})
+
+
+def build_wheel(wheel_directory, config_settings=None,
+                metadata_directory=None):
+    contents: dict[str, bytes] = {}
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(SRC, NAME)):
+        for filename in sorted(filenames):
+            if filename.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, SRC).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                contents[rel] = handle.read()
+    return _write_wheel(wheel_directory, contents)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    raise NotImplementedError("sdist builds are not supported offline")

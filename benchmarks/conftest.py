@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures, prints
+the rows/series the figure plots (run ``pytest benchmarks/
+--benchmark-only -s`` to see them), and asserts the paper's *shape*:
+who wins, by roughly what factor, where crossovers fall.
+
+The ``benchmark`` fixture times one full regeneration (rounds=1: these
+are second-scale simulations, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a zero-arg callable exactly once under the benchmark timer
+    and return its result."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

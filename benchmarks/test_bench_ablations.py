@@ -1,0 +1,26 @@
+"""§VII-C — the improvement-roadmap ablations."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_roadmap(once):
+    record = once(ablations.run)
+    print("\n" + str(record))
+    measured = {c.label: c.measured for c in record.comparisons}
+
+    poc = measured["PoC uncached baseline"]
+    asic = measured["(1) ASIC FSM (no firmware lag)"]
+    phy = measured["(1+5) ASIC + 500 MHz PHY"]
+    merged = measured["(1+4+5) + merged WB/fill command"]
+
+    # Each roadmap step helps, cumulatively ~2x.
+    assert poc < asic < phy < merged
+    assert merged / poc >= 1.7
+
+    # 8 KB per window is time-feasible in the 900 ns window.
+    assert measured["(3) 8 KB fits the window"] == 1.0
+    assert measured["(3) 8 KB transfer time in 900 ns window"] < 900
+
+    # Eviction policies: LRC is never better than LRU on TPC-H.
+    assert (measured["TPC-H geomean slowdown [lru]"]
+            <= measured["TPC-H geomean slowdown [lrc]"])

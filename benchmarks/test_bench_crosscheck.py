@@ -1,0 +1,14 @@
+"""Model cross-validation: protocol layer vs transaction layer."""
+
+from repro.experiments import protocol_crosscheck
+
+
+def test_model_levels_agree(once):
+    record = once(protocol_crosscheck.run)
+    print("\n" + str(record))
+    measured = {c.label: c.measured for c in record.comparisons}
+    assert abs(measured["protocol / arithmetic agreement"] - 1.0) < 0.05
+    assert abs(measured["occupancy agreement"] - 1.0) < 0.05
+    assert abs(measured["stall agreement"] - 1.0) < 0.05
+    # And the shared anchor is the paper's §V-A ceiling.
+    assert abs(measured["timeline-arithmetic prediction"] - 500.8) < 1.0

@@ -1,0 +1,69 @@
+"""Extension experiments: §III-A design space, §VIII comparisons,
+§II-B thermal study, §VII-C queue-depth pipeline."""
+
+from repro.experiments import (arbitration_compare, design_space,
+                               thermal_study, variants_compare)
+
+
+def test_design_space(once):
+    record = once(design_space.run)
+    print("\n" + design_space.render())
+    measured = {c.label: c.measured for c in record.comparisons}
+    # The §III-A numbers: 26.64 ns stock, 51.615 ns maxed.
+    assert abs(measured["stock READ budget (DDR4-2400)"] - 26.64) < 0.3
+    assert abs(measured["maxed 5-bit registers budget"] - 51.615) < 0.5
+    # Only STT-MRAM fits the frontend; nothing fits AND is dense.
+    assert measured["STT-MRAM fits frontend"] == 1.0
+    assert measured["Z-NAND fits frontend"] == 0.0
+    assert measured["frontend-capable AND SCM-dense"] == 0
+
+
+def test_arbitration_schemes(once):
+    record = once(arbitration_compare.run)
+    print("\n" + arbitration_compare.render())
+    measured = {c.label: c.measured for c in record.comparisons}
+    # §V-A ceilings, exactly.
+    assert abs(measured["tRFC device ceiling @ tREFI"] - 500.8) < 1.5
+    assert abs(measured["tRFC device ceiling @ tREFI2"] - 1001.6) < 3.0
+    # The §VIII trade-offs.
+    assert measured["dummy-access capacity efficiency"] == 0.5
+    assert measured["tRFC capacity efficiency"] == 1.0
+    assert measured["schemes with guaranteed device progress"] == 1
+
+
+def test_thermal_study(once):
+    record = once(thermal_study.run)
+    print("\n" + thermal_study.render())
+    measured = {c.label: c.measured for c in record.comparisons}
+    # §V-A ceilings driven by the §II-B thermal rule.
+    assert abs(measured["device ceiling @ 40C"] - 500.8) < 1.5
+    assert abs(measured["device ceiling @ 90C"] - 1001.6) < 3.0
+    # Running hot costs the host single-digit percent (Fig. 13 tREFI2).
+    assert 3 <= measured["host cost of running hot (paper: 8%)"] <= 12
+
+
+def test_queue_depth_pipeline(once):
+    from repro.analysis.tables import render_series
+    from repro.nvmc.pipeline import queue_depth_sweep
+    sweep = once(lambda: queue_depth_sweep(depths=(1, 2, 4, 8)))
+    print("\n" + render_series("uncached bandwidth vs CP queue depth",
+                               [d for d, _ in sweep],
+                               [bw for _, bw in sweep],
+                               x_label="depth", y_label="MB/s"))
+    by_depth = dict(sweep)
+    # Depth 2 reaches the two-windows-per-miss ceiling (262.6 MB/s).
+    assert abs(by_depth[2] - 262.6) / 262.6 < 0.05
+    assert by_depth[2] > 1.8 * by_depth[1] * 0.9
+    assert by_depth[8] <= by_depth[2] * 1.02
+
+
+def test_nvdimm_variants(once):
+    record = once(variants_compare.run)
+    print("\n" + variants_compare.render())
+    measured = {c.label: c.measured for c in record.comparisons}
+    assert measured["variants meeting all SCM criteria"] == 1
+    assert measured["the winner is NVDIMM-C"] == 1.0
+    # Equal hold-up class, 7.5x the capacity.
+    assert abs(measured["capacity ratio C/N at equal DRAM"] - 7.5) < 0.1
+    assert (measured["NVDIMM-C hold-up window (16 GB cache)"]
+            <= measured["NVDIMM-N hold-up window (16 GB DRAM)"] * 1.01)

@@ -1,0 +1,30 @@
+"""Fig. 10 — granularity sweep: the small-access inversion."""
+
+from repro.experiments import fig10_granularity
+from repro.units import kb
+
+
+def test_fig10_granularity(once):
+    record, series = once(fig10_granularity.run)
+    print("\n" + fig10_granularity.render(series))
+    baseline, cached = series
+
+    # Inversion: NVDC-Cached wins at 128 B (paper: 1.15x) ...
+    ratio_small = cached.at(128)[0] / baseline.at(128)[0]
+    assert 1.05 <= ratio_small <= 1.30
+    # ... and loses at 4 KB (paper: ~70 %).
+    ratio_4k = cached.at(kb(4))[1] / baseline.at(kb(4))[1]
+    assert 0.6 <= ratio_4k <= 0.85
+
+    # Crossover falls between 512 B and 4 KB.
+    wins = [cached.at(bs)[1] >= baseline.at(bs)[1] for bs in cached.bs]
+    assert wins[0] and not wins[-1]
+    flip = wins.index(False)
+    assert 512 <= cached.bs[flip] <= kb(4)
+
+    # Bandwidth grows monotonically with block size for both devices.
+    assert cached.mb_s == sorted(cached.mb_s)
+    assert baseline.mb_s == sorted(baseline.mb_s)
+
+    # 4 KB-or-larger preference: visible jump from 1 KB to 4 KB.
+    assert cached.at(kb(4))[1] > 1.3 * cached.at(1024)[1]

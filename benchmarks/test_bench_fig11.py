@@ -1,0 +1,28 @@
+"""Fig. 11 — TPC-H on HANA: per-query slowdowns + LRU hit study."""
+
+from repro.experiments import fig11_tpch
+
+
+def test_fig11_tpch(once):
+    record, results, hit_curve = once(fig11_tpch.run)
+    print("\n" + fig11_tpch.render(results, hit_curve))
+    by_name = {r.name: r for r in results}
+
+    # Text anchors: Q1 ~3.3x (compute-bound scan), Q20 ~78x (thrash).
+    assert 2.8 <= by_name["Q1"].slowdown <= 3.9
+    assert 62 <= by_name["Q20"].slowdown <= 94
+
+    # Q20 is the worst query; Q1 is among the mildest.
+    worst = max(results, key=lambda r: r.slowdown)
+    assert worst.name == "Q20"
+    mildest_five = sorted(results, key=lambda r: r.slowdown)[:5]
+    assert "Q1" in {r.name for r in mildest_five}
+
+    # Every query pays something on NVDIMM-C.
+    assert all(r.slowdown > 1.0 for r in results)
+
+    # Hit study: 78.7 % -> 99.3 % as the cache grows 1 -> 16 GB.
+    rates = [hr for _, hr in hit_curve]
+    assert rates == sorted(rates)
+    assert 0.70 <= rates[0] <= 0.85
+    assert rates[-1] >= 0.95

@@ -1,0 +1,27 @@
+"""Fig. 12 — hypothetical device: Uncached bandwidth vs media tD."""
+
+from repro.experiments import fig12_td
+
+
+def test_fig12_hypothetical_td(once):
+    record, series = once(fig12_td.run)
+    print("\n" + fig12_td.render(series))
+    by_td = dict(series)
+
+    # The four paper points, each within 10 %.
+    for td, paper in fig12_td.PAPER_POINTS.items():
+        assert abs(by_td[td] - paper) / paper < 0.10, (td, by_td[td])
+
+    # Monotone: slower media, lower bandwidth.
+    tds = sorted(by_td)
+    assert [by_td[td] for td in tds] == sorted(by_td.values(),
+                                               reverse=True)
+
+    # The paper's conclusion: tD <= 1.85 us keeps the device above
+    # ~900 MB/s — roughly half the Cached bandwidth, i.e. balanced SCM.
+    assert by_td[1.85] >= 850
+    # NAND-class media (tens of us) would be far below that.
+    from repro.device.hypothetical import HypotheticalSystem
+    from repro.units import us
+    nand_class = HypotheticalSystem(us(70)).uncached_bandwidth_mb_s()
+    assert nand_class < 100

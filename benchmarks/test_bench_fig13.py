@@ -1,0 +1,24 @@
+"""Fig. 13 — host-side cached bandwidth vs refresh rate."""
+
+from repro.experiments import fig13_trefi
+
+
+def test_fig13_trefi_sweep(once):
+    record, series = once(fig13_trefi.run)
+    print("\n" + fig13_trefi.render(series))
+    by_trefi = dict(series)
+
+    # The three paper points within 8 %.
+    for trefi, paper in fig13_trefi.POINTS:
+        assert abs(by_trefi[trefi] - paper) / paper < 0.08
+
+    # Faster refresh -> lower host bandwidth, but the damage is modest:
+    # tREFI2 costs < 12 %, tREFI4 < 25 % (paper: 8 % / 17 %).
+    base = by_trefi[7.8]
+    assert 0.0 < 1 - by_trefi[3.9] / base < 0.12
+    assert 0.08 < 1 - by_trefi[1.95] / base < 0.25
+
+    # The balanced-SCM trade: at tREFI4 the host still clears 3 GB/s
+    # with 16 threads while Fig. 12 gives the device 914 MB/s.
+    measured = {c.label: c.measured for c in record.comparisons}
+    assert measured["16 threads @ tREFI4"] > 2800

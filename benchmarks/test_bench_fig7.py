@@ -1,0 +1,16 @@
+"""Fig. 7 — file-copy throughput: SSD-limited peak, then the cliff."""
+
+from repro.experiments import fig7_filecopy
+
+
+def test_fig7_file_copy(once):
+    record, series = once(fig7_filecopy.run)
+    print("\n" + fig7_filecopy.render(series))
+    print(str(record))
+    measured = {c.label: c.measured for c in record.comparisons}
+    # Shape: SSD-limited peak (~518 MB/s), an order-of-magnitude cliff,
+    # positioned where the free slots run out.
+    assert 450 <= measured["peak (Cached) bandwidth"] <= 546
+    assert measured["sustained (Uncached) floor"] < (
+        measured["peak (Cached) bandwidth"] / 4)
+    assert 0.7 <= measured["cliff position / slot area"] <= 1.4

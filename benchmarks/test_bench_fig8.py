@@ -1,0 +1,24 @@
+"""Fig. 8 — 4 KB random R/W, one thread: the three device tiers."""
+
+from repro.experiments import fig8_randrw
+
+
+def test_fig8_random_rw(once):
+    record, rows = once(fig8_randrw.run)
+    print("\n" + fig8_randrw.render(rows))
+    by = {(r.config, r.is_write): r for r in rows}
+
+    # Tier ordering: baseline > cached >> uncached, reads and writes.
+    for is_write in (False, True):
+        baseline = by[("baseline", is_write)].mb_s
+        cached = by[("cached", is_write)].mb_s
+        uncached = by[("uncached", is_write)].mb_s
+        assert baseline > cached > uncached
+        # §VII-B2: cached is 70-76 % of baseline.
+        assert 0.6 <= cached / baseline <= 0.85
+        # Uncached is ~30-45x below cached (paper: ~31x).
+        assert 20 <= cached / uncached <= 45
+
+    # Absolute anchors within 20 %.
+    assert abs(by[("cached", False)].mb_s - 1835) / 1835 < 0.2
+    assert abs(by[("uncached", False)].mb_s - 57.3) / 57.3 < 0.2

@@ -1,0 +1,16 @@
+"""§V-A channel isolation: the extended tRFC taxes only its channel."""
+
+from repro.experiments import channel_isolation
+
+
+def test_channel_isolation(once):
+    record = once(channel_isolation.run)
+    print("\n" + channel_isolation.render())
+    measured = {c.label: c.measured for c in record.comparisons}
+    # Other channels are untouched.
+    assert measured["main-memory degradation"] == 0.0
+    # The co-located DIMM pays single-digit percent at stock refresh...
+    assert 3 <= measured["co-located degradation"] <= 12
+    # ...and substantially more at the quadrupled rate.
+    assert (measured["co-located degradation @ tREFI4"]
+            > 2 * measured["co-located degradation"])

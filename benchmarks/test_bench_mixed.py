@@ -1,0 +1,14 @@
+"""§VII-B5 — mixed-load integrity with 500 concurrent users."""
+
+from repro.experiments import mixed_integrity
+
+
+def test_mixed_load_integrity(once):
+    record = once(mixed_integrity.run)
+    print("\n" + str(record))
+    measured = {c.label: c.measured for c in record.comparisons}
+    assert measured["concurrent users"] == 500
+    assert measured["validation failures"] == 0
+    assert measured["cache evictions during run"] > 0
+    # The negative control (no §V-B coherence) must corrupt.
+    assert measured["failures without the §V-B bracket (want > 0)"] > 0

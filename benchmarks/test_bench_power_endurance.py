@@ -1,0 +1,17 @@
+"""Operating costs: refresh watts and NAND wear of the mechanism."""
+
+from repro.experiments import power_endurance
+
+
+def test_power_and_endurance(once):
+    record = once(power_endurance.run)
+    print("\n" + power_endurance.render())
+    measured = {c.label: c.measured for c in record.comparisons}
+    # Refresh power is linear in the rate: 4x refresh = 4x watts.
+    assert abs(measured["power ratio tREFI4/tREFI"] - 4.0) < 0.05
+    # Sub-watt refresh cost even at the quadrupled rate.
+    assert measured["refresh power @ tREFI4"] < 1.0
+    # The self-throttling wear story.
+    life = measured["continuous-write lifetime @ 58.3 MB/s"]
+    assert 2.5 <= life <= 5.0
+    assert measured["lifetime at 10% write duty"] > 5 * life

@@ -1,0 +1,15 @@
+"""T1/T2 — regenerate Tables I and II from the live configuration."""
+
+from repro.experiments import table1_config, table2_benchmarks
+
+
+def test_table1_configuration(once):
+    record = once(table1_config.run)
+    print("\n" + table1_config.render())
+    assert record.worst_ratio_error() < 0.01   # pure configuration
+
+def test_table2_benchmarks(once):
+    record = once(table2_benchmarks.run)
+    print("\n" + table2_benchmarks.render())
+    measured = {c.label: c.measured for c in record.comparisons}
+    assert measured["implemented benchmarks"] >= 3

@@ -1,0 +1,29 @@
+"""§VII-A — refresh-detection/serialisation aging test."""
+
+from repro.analysis.tables import render_series
+from repro.experiments import validation_refresh
+
+
+def test_validation_aging(once):
+    record = once(lambda: validation_refresh.run(iterations=3))
+    print("\n" + str(record))
+    measured = {c.label: c.measured for c in record.comparisons}
+    assert measured["data mismatches"] == 0
+    assert measured["bus collisions"] == 0
+    assert measured["detector false positives"] == 0
+    assert measured["detector false negatives"] == 0
+    assert measured["rogue-mode failures (want > 0)"] > 0
+
+
+def test_detector_noise_margin(once):
+    """Extension: accuracy vs sampling noise (the analysis the paper
+    could not perform on silicon)."""
+    sweep = once(validation_refresh.noise_sweep)
+    print("\n" + render_series("detector accuracy vs noise BER",
+                               [f"{ber:g}" for ber, _ in sweep],
+                               [acc * 100 for _, acc in sweep],
+                               x_label="BER", y_label="accuracy_%"))
+    accuracies = dict(sweep)
+    assert accuracies[0.0] == 1.0
+    assert accuracies[5e-2] < 1.0            # heavy noise must hurt
+    assert accuracies[1e-6] > accuracies[5e-2]

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""In-memory-database cache study: TPC-H on NVDIMM-C (Fig. 11).
+
+Reproduces the enterprise half of the evaluation: 22 TPC-H queries on a
+HANA-like engine whose main data lives on the device, normalised to the
+/dev/pmem0 baseline — then asks the question the paper raises in
+§VII-B5: how much of the damage is the LRC eviction policy's fault?
+
+Run:  python examples/imdb_cache_study.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.workloads.tpch import (run_all_queries, simulate_hit_rate)
+
+DB_PAGES = 25_600       # 100 GB at 1/1024 scale
+PAGES_PER_GB = 256
+
+
+def main() -> None:
+    print("=== TPC-H SF-100 on NVDIMM-C (16 GB cache) ===\n")
+
+    lrc = run_all_queries(DB_PAGES, 16 * PAGES_PER_GB, policy="lrc")
+    lru = run_all_queries(DB_PAGES, 16 * PAGES_PER_GB, policy="lru")
+    rows = []
+    for a, b in zip(lrc, lru):
+        rows.append([a.name, f"{a.slowdown:.1f}", f"{b.slowdown:.1f}",
+                     f"{a.hit_rate:.2f}", f"{b.hit_rate:.2f}"])
+    print(render_table(
+        ["query", "LRC slowdown", "LRU slowdown", "LRC hit", "LRU hit"],
+        rows))
+
+    worst = max(lrc, key=lambda r: r.slowdown)
+    mildest = min(lrc, key=lambda r: r.slowdown)
+    print(f"\nmildest: {mildest.name} ({mildest.slowdown:.1f}x — "
+          "sequential scan, compute-bound)")
+    print(f"worst:   {worst.name} ({worst.slowdown:.1f}x — small random "
+          "accesses thrashing the FIFO cache)")
+    print("paper anchors: Q1 = 3.3x, Q20 = 78x\n")
+
+    print("LRU hit rate vs cache size (the paper's in-house study):")
+    for gb in (1, 2, 4, 8, 16):
+        rate = simulate_hit_rate(gb * PAGES_PER_GB, DB_PAGES, policy="lru")
+        bar = "#" * int(rate * 40)
+        print(f"  {gb:>2} GB  {rate*100:5.1f} %  {bar}")
+    print("paper: 78.7 % at 1 GB rising to 99.3 % at 16 GB")
+
+
+if __name__ == "__main__":
+    main()

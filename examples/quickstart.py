@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: build NVDIMM-C, run FIO against it, compare tiers.
+
+This is the 5-minute tour: construct the simulated device (DRAM cache +
+NVMC + Z-NAND + nvdc driver), the emulated-NVDIMM baseline, and measure
+the three performance tiers of the paper's Fig. 8 — Baseline,
+NVDC-Cached and NVDC-Uncached — with the FIO-like workload engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.device.nvdimmc import NVDIMMCSystem, PmemSystem
+from repro.experiments.common import build_uncached_nvdc
+from repro.units import PAGE_4K, kb, mb
+from repro.workloads.fio import FIOJob, FIORunner
+
+
+def main() -> None:
+    print("=== NVDIMM-C quickstart ===\n")
+
+    # --- the two systems --------------------------------------------------
+    # NVDIMM-C at 1/256 of the paper's Table-I capacities (every ratio
+    # and every timing parameter is the paper's).
+    nvdc = NVDIMMCSystem(cache_bytes=mb(64), device_bytes=mb(128))
+    pmem = PmemSystem(device_bytes=mb(128))
+    print(f"NVDIMM-C: {nvdc.region.num_slots} cache slots, "
+          f"device window = "
+          f"{nvdc.timeline.window_duration_ps / 1000:.0f} ns "
+          f"every {nvdc.timeline.trefi_ps / 1e6:.1f} us")
+
+    # --- cached tiers via FIO ---------------------------------------------
+    job = FIOJob(name="4k-randread", rw="randread", bs=kb(4), size=mb(32),
+                 numjobs=1, nops=2000)
+    base = FIORunner(pmem).run(job)
+    cached = FIORunner(nvdc).run(job)
+    print(f"\nBaseline (/dev/pmem0):  {base.kiops:7.1f} KIOPS  "
+          f"{base.bandwidth_mb_s:7.1f} MB/s")
+    print(f"NVDC-Cached:            {cached.kiops:7.1f} KIOPS  "
+          f"{cached.bandwidth_mb_s:7.1f} MB/s  "
+          f"({cached.bandwidth_mb_s / base.bandwidth_mb_s:.0%} of "
+          "baseline — the driver's coherence+mapping tax)")
+
+    # --- the uncached tier -------------------------------------------------
+    # Fill the cache so every access needs a writeback+cachefill pair
+    # through the CP mailbox, 4 KB per refresh window.
+    system, first_page, t = build_uncached_nvdc(extra_pages=80)
+    start = t
+    for i in range(80):
+        t = system.op((first_page + i) * PAGE_4K, kb(4), False, t)
+    bw = 80 * kb(4) / 1e6 / ((t - start) / 1e12)
+    windows = (t - start) / 80 / system.timeline.trefi_ps
+    print(f"NVDC-Uncached:          {bw:7.1f} MB/s  "
+          f"({windows:.1f} refresh windows per 4 KB miss)")
+
+    print("\nPaper's Fig. 8: baseline 2606, cached 1835, uncached "
+          "57.3 MB/s — same tiers, same ordering, same ~31x cliff.")
+
+
+if __name__ == "__main__":
+    main()

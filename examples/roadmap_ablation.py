@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""From PoC to product: the §VII-C roadmap, measured step by step.
+
+The paper closes its performance discussion with five fixes for the
+Uncached path.  Each is a switch in this codebase, so the roadmap can
+be *walked*: start from the PoC configuration (57-66 MB/s uncached) and
+turn on, one by one, the ASIC FSM, the full-speed NAND PHY, the merged
+writeback+cachefill command, and finally the multi-command CP area with
+its pipelined firmware — ending at the two-windows-per-miss ceiling.
+
+Run:  python examples/roadmap_ablation.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import asic_firmware, build_uncached_nvdc
+from repro.nvmc.pipeline import queue_depth_sweep
+from repro.units import PAGE_4K, kb, us
+
+
+def uncached_bandwidth(nops: int = 80, **kwargs) -> float:
+    system, first_page, t = build_uncached_nvdc(extra_pages=nops + 8,
+                                                **kwargs)
+    start = t
+    for i in range(nops):
+        t = system.op((first_page + i) * PAGE_4K, kb(4), False, t)
+    return nops * kb(4) / 1e6 / ((t - start) / 1e12)
+
+
+def main() -> None:
+    print("=== §VII-C: the Uncached-performance roadmap ===\n")
+    steps = [
+        ("PoC (measured in the paper: 57.3)", {}),
+        ("(1) ASIC FSM — no firmware lag",
+         dict(firmware=asic_firmware())),
+        ("(1+5) + Z-NAND PHY at 500 MHz",
+         dict(firmware=asic_firmware(), nand_phy_mhz=500)),
+        ("(1+4+5) + merged WB/fill command",
+         dict(firmware=asic_firmware(), nand_phy_mhz=500,
+              use_merged_commands=True)),
+    ]
+    rows = []
+    base = None
+    for label, kwargs in steps:
+        bw = uncached_bandwidth(**kwargs)
+        base = base or bw
+        rows.append([label, f"{bw:.1f}", f"{bw / base:.2f}x"])
+    print(render_table(["configuration", "uncached MB/s", "vs PoC"], rows))
+
+    print("\n(2) multi-command CP area (pipelined firmware, ideal FSM):")
+    rows = []
+    for depth, bw in queue_depth_sweep(depths=(1, 2, 4, 8)):
+        rows.append([f"CP queue depth {depth}", f"{bw:.1f}"])
+    print(render_table(["configuration", "uncached MB/s"], rows))
+    ceiling = PAGE_4K / 1e6 / (2 * 7.8e-6)
+    print(f"\ntwo-data-windows-per-miss ceiling: {ceiling:.1f} MB/s — "
+          "reached at depth 2.")
+    print("(3) doubling the window to 8 KB doubles that ceiling again; "
+          "the 900 ns window has the bus time "
+          f"(8 KB needs ~668 ns).")
+
+
+if __name__ == "__main__":
+    main()

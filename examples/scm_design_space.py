@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The storage-class-memory design space (Figs. 12 + 13 together).
+
+The architecture has one global knob — the refresh rate — that trades
+host bandwidth against device windows, and one technology axis — the
+NVM media's 4 KB latency (tD).  This example sweeps both and prints the
+operating map the paper's conclusion is drawn from: NVM with
+tD <= 1.85 us plus a quadrupled refresh rate gives a *balanced* SCM
+(device ~900 MB/s while the host keeps >80 % of its cached bandwidth).
+
+Run:  python examples/scm_design_space.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.device.hypothetical import HypotheticalSystem
+from repro.experiments.common import build_cached_nvdc
+from repro.units import kb, mb, us
+from repro.workloads.fio import FIOJob, FIORunner
+
+#: Candidate media, by 4 KB access latency (public figures; the NAND
+#: rows are the paper's own §III-A classification).
+MEDIA = [
+    ("DRAM-class", 0.0),
+    ("STT-MRAM", 0.3),
+    ("PRAM (fast)", 1.85),
+    ("PRAM (slow)", 3.9),
+    ("one tREFI", 7.8),
+    ("Z-NAND", 12.0),
+    ("NAND (TLC)", 70.0),
+]
+
+
+def host_bandwidth(trefi_us: float) -> float:
+    system = build_cached_nvdc(trefi_ps=us(trefi_us))
+    result = FIORunner(system).run(
+        FIOJob(rw="randread", bs=kb(4), size=mb(32), nops=1200))
+    return result.bandwidth_mb_s
+
+
+def main() -> None:
+    print("=== SCM design space: media latency x refresh rate ===\n")
+
+    rows = []
+    for name, td_us in MEDIA:
+        device_bw = HypotheticalSystem(us(td_us)).uncached_bandwidth_mb_s()
+        verdict = ("balanced SCM" if device_bw >= 900
+                   else "storage-ish" if device_bw >= 200 else "too slow")
+        rows.append([name, f"{td_us:g}", f"{device_bw:.0f}", verdict])
+    print("device-side (uncached) bandwidth by media, CP depth 1:")
+    print(render_table(["media", "tD (us)", "MB/s", "verdict"], rows))
+    print("\npaper's cut line: tD <= 1.85 us (STT-MRAM / fast PRAM) "
+          "-> >= 914 MB/s\n")
+
+    print("host-side cached bandwidth by refresh rate (the cost side):")
+    rows = []
+    base = None
+    for label, trefi in (("tREFI", 7.8), ("tREFI2", 3.9), ("tREFI4", 1.95)):
+        bw = host_bandwidth(trefi)
+        base = base or bw
+        rows.append([label, f"{trefi}", f"{bw:.0f}",
+                     f"{(1 - bw / base) * 100:.0f} %"])
+    print(render_table(["rate", "tREFI (us)", "host MB/s", "loss"], rows))
+    print("\noperating point the paper recommends: tREFI4 + low-latency "
+          "NVM -> ~914 MB/s uncached, ~83 % of host bandwidth kept.")
+
+
+if __name__ == "__main__":
+    main()

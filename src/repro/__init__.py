@@ -1,0 +1,43 @@
+"""NVDIMM-C reproduction: a timing/protocol simulator for the HPCA 2020
+paper "NVDIMM-C: A Byte-Addressable Non-Volatile Memory Module for
+Compatibility with Standard DDR Memory Interfaces".
+
+The public API re-exports the pieces a downstream user composes:
+
+>>> from repro import NVDIMMCSystem, PmemSystem, FIOJob, FIORunner
+>>> from repro.units import kb, mb
+>>> system = NVDIMMCSystem(cache_bytes=mb(64), device_bytes=mb(128))
+>>> result = FIORunner(system).run(FIOJob(bs=kb(4), size=mb(32)))
+>>> result.bandwidth_mb_s  # doctest: +SKIP
+1834.8
+
+Subpackages (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sim` -- discrete-event kernel
+* :mod:`repro.ddr` -- DDR4 substrate (bus, devices, iMC, refresh)
+* :mod:`repro.nand` -- Z-NAND substrate (dies, ECC, FTL, controller)
+* :mod:`repro.nvmc` -- the device-side controller (the paper's FPGA)
+* :mod:`repro.cpu` -- host CPU cache/MMU/core models
+* :mod:`repro.kernel` -- memmap, DAX, drivers, eviction policies
+* :mod:`repro.device` -- composed systems and device variants
+* :mod:`repro.perf` -- calibrated host cost model
+* :mod:`repro.workloads` -- FIO, STREAM, TPC-H, mixed-load generators
+* :mod:`repro.experiments` -- one module per paper table/figure
+"""
+
+from repro.device.hypothetical import HypotheticalSystem
+from repro.device.nvdimmc import DaxSystem, NVDIMMCSystem, PmemSystem
+from repro.workloads.fio import FIOJob, FIOResult, FIORunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DaxSystem",
+    "NVDIMMCSystem",
+    "PmemSystem",
+    "HypotheticalSystem",
+    "FIOJob",
+    "FIOResult",
+    "FIORunner",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Result aggregation and rendering.
+
+* :mod:`repro.analysis.stats` — latency accumulators and percentile
+  arithmetic used by every runner.
+* :mod:`repro.analysis.results` — typed experiment records with
+  paper-vs-measured comparison.
+* :mod:`repro.analysis.tables` — plain-text tables/series rendering for
+  the benchmark harness output (the rows the paper's figures plot).
+"""
+
+from repro.analysis.results import Comparison, ExperimentRecord
+from repro.analysis.stats import LatencyAccumulator, summarize
+from repro.analysis.tables import render_series, render_table
+
+__all__ = [
+    "Comparison",
+    "ExperimentRecord",
+    "LatencyAccumulator",
+    "summarize",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,77 @@
+"""ASCII charts for terminal output (no plotting dependencies offline).
+
+Two chart kinds cover everything the paper's figures need:
+
+* :func:`bar_chart` — labelled horizontal bars (Figs. 8, 11, 12);
+* :func:`line_chart` — a y-over-x scatter drawn on a character grid
+  (Figs. 7, 9, 13).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, unit: str = "",
+              log: bool = False) -> str:
+    """Horizontal bar chart; optionally log-scaled for wide ranges.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a 1 ##
+    b 2 ####
+    """
+    import math
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(empty chart)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts need non-negative values")
+
+    def scale(value: float) -> float:
+        if not log:
+            return value
+        return math.log10(value + 1.0)
+
+    peak = max(scale(v) for v in values) or 1.0
+    label_width = max(len(l) for l in labels)
+    number_width = max(len(_fmt(v)) for v in values)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0,
+                        round(scale(value) / peak * width))
+        lines.append(f"{label.ljust(label_width)} "
+                     f"{_fmt(value).rjust(number_width)}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[float], ys: Sequence[float],
+               width: int = 60, height: int = 12,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """A y-over-x curve on a character grid (ASCII-art line chart)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must align and be non-empty")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = round((x - x_min) / x_span * (width - 1))
+        row = height - 1 - round((y - y_min) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{y_label} (max {_fmt(y_max)}, min {_fmt(y_min)})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {_fmt(x_min)} .. {_fmt(x_max)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}".rstrip("0").rstrip(".")

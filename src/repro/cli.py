@@ -1,0 +1,126 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments [ids...]`` — run experiment modules (default: all) and
+  print their paper-vs-measured records.
+* ``report`` — regenerate EXPERIMENTS.md.
+* ``tables`` — render the static tables (Table I/II, design space,
+  arbitration and variant comparisons).
+* ``fio`` — an ad-hoc FIO run against a chosen device tier.
+* ``validate`` — the §VII-A aging test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+    only = args.ids or None
+    unknown = set(only or []) - set(ALL_EXPERIMENTS)
+    if unknown:
+        print(f"unknown experiment ids: {sorted(unknown)}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    run_all(only=only)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as report_main
+    report_main()
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import (arbitration_compare, design_space,
+                                   table1_config, table2_benchmarks,
+                                   variants_compare)
+    for title, module in (("Table I", table1_config),
+                          ("Table II", table2_benchmarks),
+                          ("§III-A design space", design_space),
+                          ("§VIII arbitration schemes",
+                           arbitration_compare),
+                          ("§VIII NVDIMM variants", variants_compare)):
+        print(f"== {title} ==")
+        print(module.render())
+        print()
+    return 0
+
+
+def _cmd_fio(args: argparse.Namespace) -> int:
+    from repro.device.nvdimmc import NVDIMMCSystem, PmemSystem
+    from repro.units import mb
+    from repro.workloads.fio import FIOJob, FIORunner
+    if args.device == "pmem":
+        system = PmemSystem(device_bytes=mb(128))
+    else:
+        system = NVDIMMCSystem(cache_bytes=mb(64), device_bytes=mb(128))
+    job = FIOJob(name=f"{args.rw}-{args.bs}", rw=args.rw, bs=args.bs,
+                 size=mb(args.size_mb), numjobs=args.threads,
+                 iodepth=args.threads, nops=args.nops)
+    result = FIORunner(system).run(job)
+    print(result)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workloads.stream_bench import run_stream_validation
+    result = run_stream_validation(iterations=args.iterations)
+    status = "CLEAN" if result.clean else "FAILED"
+    print(f"{status}: {result.iterations} iterations, "
+          f"{result.kernels_checked} kernel checks, "
+          f"{result.mismatches} mismatches, "
+          f"{result.collisions} collisions, "
+          f"{result.refreshes_detected} refreshes detected, "
+          f"{result.device_bytes_moved} device bytes under tRFC")
+    return 0 if result.clean else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NVDIMM-C (HPCA 2020) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments",
+                           help="run experiment modules")
+    p_exp.add_argument("ids", nargs="*",
+                       help="experiment ids (default: all)")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_tab = sub.add_parser("tables", help="render the static tables")
+    p_tab.set_defaults(fn=_cmd_tables)
+
+    p_fio = sub.add_parser("fio", help="ad-hoc FIO run")
+    p_fio.add_argument("--device", choices=("nvdc", "pmem"),
+                       default="nvdc")
+    p_fio.add_argument("--rw", default="randread",
+                       choices=("read", "write", "randread", "randwrite",
+                                "randrw"))
+    p_fio.add_argument("--bs", type=int, default=4096)
+    p_fio.add_argument("--threads", type=int, default=1)
+    p_fio.add_argument("--size-mb", type=int, default=32)
+    p_fio.add_argument("--nops", type=int, default=2000)
+    p_fio.set_defaults(fn=_cmd_fio)
+
+    p_val = sub.add_parser("validate", help="§VII-A aging test")
+    p_val.add_argument("--iterations", type=int, default=3)
+    p_val.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Table-I system configurations as first-class objects.
+
+Bundles the knobs scattered across the subsystems (DDR4 spec, cache and
+device capacity, NAND PHY, firmware lag, eviction policy, CP queue
+depth) into one named configuration that can be scaled, varied for
+ablations, and instantiated into a runnable system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ddr.spec import DDR4Spec, NVDIMMC_1600
+from repro.errors import ConfigError
+from repro.nvmc.fsm import FirmwareModel
+from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.units import PAGE_4K, gb
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One complete NVDIMM-C configuration (paper scale by default)."""
+
+    name: str = "table1"
+    spec: DDR4Spec = NVDIMMC_1600
+    cache_bytes: int = gb(16)
+    device_bytes: int = gb(120)
+    policy: str = "lrc"
+    cp_queue_depth: int = 1
+    window_bytes: int = PAGE_4K
+    firmware_step_ps: int = field(
+        default_factory=lambda: FirmwareModel().step_ps)
+    nand_phy_mhz: int | None = None
+    conservative_dirty: bool = True
+    use_merged_commands: bool = False
+    calibration: CalibrationConstants = DEFAULT_CALIBRATION
+
+    def validate(self) -> None:
+        if self.cache_bytes <= 0 or self.device_bytes <= 0:
+            raise ConfigError("capacities must be positive")
+        if self.cache_bytes >= self.device_bytes:
+            raise ConfigError(
+                "the DRAM cache must be smaller than the device "
+                "(otherwise NVDIMM-C degenerates to NVDIMM-N)")
+        self.spec.validate()
+
+    def scaled(self, factor: int) -> "SystemConfig":
+        """Shrink capacities by ``factor``; every ratio and timing
+        parameter is preserved (see repro.device.nvdimmc)."""
+        if factor < 1:
+            raise ConfigError(f"scale factor must be >= 1: {factor}")
+        return replace(self, name=f"{self.name}/{factor}",
+                       cache_bytes=self.cache_bytes // factor,
+                       device_bytes=self.device_bytes // factor)
+
+    def build(self, with_cpu_cache: bool = False):
+        """Instantiate a runnable :class:`~repro.device.nvdimmc.
+        NVDIMMCSystem` from this configuration."""
+        from repro.device.nvdimmc import NVDIMMCSystem
+        self.validate()
+        return NVDIMMCSystem(
+            cache_bytes=self.cache_bytes,
+            device_bytes=self.device_bytes,
+            spec=self.spec,
+            policy=self.policy,
+            firmware=FirmwareModel(step_ps=self.firmware_step_ps),
+            window_bytes=self.window_bytes,
+            cp_queue_depth=self.cp_queue_depth,
+            use_merged_commands=self.use_merged_commands,
+            conservative_dirty=self.conservative_dirty,
+            with_cpu_cache=with_cpu_cache,
+            nand_phy_mhz=self.nand_phy_mhz,
+            calibration=self.calibration)
+
+
+#: The paper's Table-I device, full scale.
+PAPER_CONFIG = SystemConfig()
+
+#: The standard experiment scale (1/256: 64 MB cache / 480 MB device).
+EXPERIMENT_CONFIG = PAPER_CONFIG.scaled(256)
+
+#: The §VII-C ASIC roadmap configuration.
+ASIC_CONFIG = replace(EXPERIMENT_CONFIG, name="asic",
+                      firmware_step_ps=0, nand_phy_mhz=500,
+                      use_merged_commands=True)

@@ -1,0 +1,169 @@
+"""CPU cache with the explicit-coherence operations the driver needs.
+
+§V-B: device-side DMA during the tRFC window is invisible to the CPU's
+coherence fabric, so
+
+* before a **writeback** the driver must ``clflush`` + ``sfence`` the
+  victim page's lines (else the device snapshots stale DRAM);
+* after a **cachefill** the driver must ``invalidate`` the filled page's
+  lines (else the CPU keeps serving pre-fill data, and a later eviction
+  of those stale dirty lines would overwrite the new page).
+
+This model is a write-back, write-allocate LRU cache over a pluggable
+memory backend.  It is *data-functional*: the coherence experiments
+assert byte-exact outcomes; timing belongs to ``repro.perf``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.cpu.cacheline import CacheLine, line_addr, lines_covering
+from repro.units import CACHELINE
+
+
+class MemoryBackend(Protocol):
+    """What the cache sits in front of (ultimately the DRAM device)."""
+
+    def mem_read(self, addr: int, nbytes: int) -> bytes: ...
+
+    def mem_write(self, addr: int, data: bytes) -> None: ...
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and coherence-operation counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    clflushes: int = 0
+    invalidates: int = 0
+    sfences: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CPUCache:
+    """Write-back, write-allocate, LRU-replacement cache."""
+
+    def __init__(self, backend: MemoryBackend,
+                 capacity_lines: int = 8192) -> None:
+        if capacity_lines < 1:
+            raise ValueError("cache needs at least one line")
+        self.backend = backend
+        self.capacity_lines = capacity_lines
+        self._lines: OrderedDict[int, CacheLine] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- loads/stores ------------------------------------------------------------
+
+    def load(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes``, filling lines from the backend on miss."""
+        out = bytearray()
+        for la in lines_covering(addr, nbytes):
+            line = self._get_line(la)
+            start = max(addr, la) - la
+            end = min(addr + nbytes, la + CACHELINE) - la
+            out.extend(line.read(start, end - start))
+        return bytes(out)
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Write ``data``, allocating lines on miss (write-allocate)."""
+        offset = 0
+        for la in lines_covering(addr, len(data)):
+            line = self._get_line(la)
+            start = max(addr, la) - la
+            end = min(addr + len(data), la + CACHELINE) - la
+            line.write(start, data[offset:offset + (end - start)])
+            offset += end - start
+
+    # -- explicit coherence (the §V-B toolbox) --------------------------------------
+
+    def clflush(self, addr: int) -> None:
+        """Flush-and-invalidate the line containing ``addr``."""
+        self.stats.clflushes += 1
+        la = line_addr(addr)
+        line = self._lines.pop(la, None)
+        if line is not None and line.dirty:
+            self.backend.mem_write(la, bytes(line.data))
+            self.stats.writebacks += 1
+
+    def clwb(self, addr: int) -> None:
+        """Write back the line but keep it cached (clean)."""
+        la = line_addr(addr)
+        line = self._lines.get(la)
+        if line is not None and line.dirty:
+            self.backend.mem_write(la, bytes(line.data))
+            line.dirty = False
+            self.stats.writebacks += 1
+
+    def invalidate(self, addr: int) -> None:
+        """Drop the line *without* writing it back.
+
+        This is what the driver does after a cachefill: any cached copy
+        predates the device's DMA and must not survive — flushing it
+        would overwrite the fresh page with stale bytes.
+        """
+        self.stats.invalidates += 1
+        self._lines.pop(line_addr(addr), None)
+
+    def flush_range(self, addr: int, nbytes: int) -> None:
+        """clflush every line of a byte range (pre-writeback sweep)."""
+        for la in lines_covering(addr, nbytes):
+            self.clflush(la)
+
+    def invalidate_range(self, addr: int, nbytes: int) -> None:
+        """Invalidate every line of a byte range (post-cachefill sweep)."""
+        for la in lines_covering(addr, nbytes):
+            self.invalidate(la)
+
+    def sfence(self) -> None:
+        """Order prior flushes; counted for the overhead model."""
+        self.stats.sfences += 1
+
+    def drain_all(self) -> None:
+        """Flush the whole cache (used by tests and recovery paths)."""
+        for la in list(self._lines):
+            self.clflush(la)
+
+    # -- inspection ---------------------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        return line_addr(addr) in self._lines
+
+    def is_dirty(self, addr: int) -> bool:
+        line = self._lines.get(line_addr(addr))
+        return bool(line and line.dirty)
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _get_line(self, la: int) -> CacheLine:
+        line = self._lines.get(la)
+        if line is not None:
+            self.stats.hits += 1
+            self._lines.move_to_end(la)
+            return line
+        self.stats.misses += 1
+        data = bytearray(self.backend.mem_read(la, CACHELINE))
+        line = CacheLine(addr=la, data=data)
+        self._lines[la] = line
+        if len(self._lines) > self.capacity_lines:
+            self._evict_lru()
+        return line
+
+    def _evict_lru(self) -> None:
+        la, line = self._lines.popitem(last=False)
+        self.stats.evictions += 1
+        if line.dirty:
+            self.backend.mem_write(la, bytes(line.data))
+            self.stats.writebacks += 1

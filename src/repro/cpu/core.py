@@ -1,0 +1,73 @@
+"""A hardware-thread context: loads/stores through MMU and cache.
+
+This is the top of the host-side data path the applications use once a
+DAX mapping exists: virtual address -> MMU (TLB / page walk / fault) ->
+physical address -> CPU cache -> DRAM.  FIO's libpmem engine and the
+STREAM validation loop both run on these cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.cache import CPUCache
+from repro.cpu.mmu import MMU
+from repro.units import PAGE_4K
+
+
+@dataclass
+class CoreStats:
+    loads: int = 0
+    stores: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+
+class CPUCore:
+    """One hardware thread sharing an MMU and cache with its siblings."""
+
+    def __init__(self, core_id: int, mmu: MMU, cache: CPUCache) -> None:
+        self.core_id = core_id
+        self.mmu = mmu
+        self.cache = cache
+        self.stats = CoreStats()
+
+    def load(self, vaddr: int, nbytes: int) -> bytes:
+        """Virtual-address read, split at page boundaries."""
+        out = bytearray()
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(remaining, PAGE_4K - vaddr % PAGE_4K)
+            paddr = self.mmu.translate(vaddr, write=False)
+            out.extend(self.cache.load(paddr, chunk))
+            vaddr += chunk
+            remaining -= chunk
+        self.stats.loads += 1
+        self.stats.bytes_loaded += nbytes
+        return bytes(out)
+
+    def store(self, vaddr: int, data: bytes) -> None:
+        """Virtual-address write, split at page boundaries."""
+        offset = 0
+        while offset < len(data):
+            chunk = min(len(data) - offset, PAGE_4K - vaddr % PAGE_4K)
+            paddr = self.mmu.translate(vaddr, write=True)
+            self.cache.store(paddr, data[offset:offset + chunk])
+            vaddr += chunk
+            offset += chunk
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(data)
+
+    # -- user-space persistence instructions (libpmem style) ---------------------
+
+    def clflush_range(self, vaddr: int, nbytes: int) -> None:
+        """Flush the lines of a virtual range (needs valid mappings)."""
+        offset = 0
+        while offset < nbytes:
+            chunk = min(nbytes - offset, PAGE_4K - (vaddr + offset) % PAGE_4K)
+            paddr = self.mmu.translate(vaddr + offset, write=False)
+            self.cache.flush_range(paddr, chunk)
+            offset += chunk
+
+    def sfence(self) -> None:
+        self.cache.sfence()

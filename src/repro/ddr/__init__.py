@@ -1,0 +1,44 @@
+"""DDR4 substrate: timing spec, command encoding, devices, shared bus.
+
+This package models DDR4 at *command* granularity — precise enough to
+reproduce the paper's shared-bus arbitration problem (two masters, no
+handshake) and its tRFC-based solution, without simulating individual
+data beats.
+
+Modules:
+
+* :mod:`repro.ddr.spec` — JEDEC speed grades and timing parameters.
+* :mod:`repro.ddr.commands` — command set and CA-pin state encoding.
+* :mod:`repro.ddr.bank` — per-bank state machine with timing checks.
+* :mod:`repro.ddr.device` — a DRAM device (banks + data store + refresh).
+* :mod:`repro.ddr.bus` — the shared CA/DQ bus with collision detection.
+* :mod:`repro.ddr.controller` — command-sequence generation for transfers.
+* :mod:`repro.ddr.imc` — the host integrated memory controller and the
+  refresh timeline that the whole NVDIMM-C mechanism hangs off.
+"""
+
+from repro.ddr.spec import DDR4Spec, SpeedGrade, DDR4_1600, DDR4_2400
+from repro.ddr.commands import CAState, Command, CommandKind
+from repro.ddr.bank import Bank, BankState
+from repro.ddr.device import DRAMDevice
+from repro.ddr.bus import BusMaster, SharedBus
+from repro.ddr.controller import DDR4Controller
+from repro.ddr.imc import IntegratedMemoryController, RefreshTimeline
+
+__all__ = [
+    "DDR4Spec",
+    "SpeedGrade",
+    "DDR4_1600",
+    "DDR4_2400",
+    "CAState",
+    "Command",
+    "CommandKind",
+    "Bank",
+    "BankState",
+    "DRAMDevice",
+    "BusMaster",
+    "SharedBus",
+    "DDR4Controller",
+    "IntegratedMemoryController",
+    "RefreshTimeline",
+]

@@ -1,0 +1,152 @@
+"""Per-bank DRAM state machine with JEDEC timing enforcement.
+
+Each bank tracks its open row and the timestamps of the last state
+transitions so that every incoming command can be checked against the
+relevant timing windows (tRCD, tRP, tRAS, tWR, tCCD).  Violations raise
+:class:`~repro.errors.TimingViolationError`; illegal sequences (e.g.
+READ to a closed bank — the paper's Fig. 2a case C2) raise
+:class:`~repro.errors.ProtocolError`.
+
+The model is conservative rather than cycle-exact: it enforces the
+constraints the shared-bus mechanism can break, which is what the
+reproduction needs to demonstrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ddr.spec import DDR4Spec
+from repro.errors import ProtocolError, TimingViolationError
+
+
+class BankState(enum.Enum):
+    """Lifecycle of a DRAM bank."""
+
+    IDLE = "idle"                 # precharged, no open row
+    ACTIVE = "active"             # a row is open in the sense amps
+    REFRESHING = "refreshing"     # inside tRFC (all-bank, device-wide)
+
+
+NEVER = -10**18  # sentinel "long ago" timestamp
+
+
+@dataclass
+class Bank:
+    """One bank: open-row bookkeeping plus last-event timestamps."""
+
+    index: int
+    spec: DDR4Spec
+    state: BankState = BankState.IDLE
+    open_row: int = -1
+    last_act_ps: int = NEVER
+    last_pre_ps: int = NEVER
+    last_rdwr_ps: int = NEVER
+    last_write_end_ps: int = NEVER
+    stats: dict[str, int] = field(default_factory=lambda: {
+        "activates": 0, "reads": 0, "writes": 0, "precharges": 0,
+        "row_hits": 0, "row_misses": 0,
+    })
+
+    # -- command legality ---------------------------------------------------
+
+    def activate(self, row: int, now_ps: int) -> None:
+        """Open ``row``; bank must be idle and past tRP since precharge."""
+        if self.state is BankState.REFRESHING:
+            raise ProtocolError(
+                f"bank {self.index}: ACT during refresh (tRFC window)")
+        if self.state is BankState.ACTIVE:
+            raise ProtocolError(
+                f"bank {self.index}: ACT while row {self.open_row} is open")
+        if now_ps < self.last_pre_ps + self.spec.trp_ps:
+            raise TimingViolationError(
+                f"bank {self.index}: ACT violates tRP "
+                f"({now_ps} < {self.last_pre_ps + self.spec.trp_ps})")
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.last_act_ps = now_ps
+        self.stats["activates"] += 1
+
+    def read(self, row: int, now_ps: int) -> None:
+        """Column read; the addressed row must be the open one.
+
+        A READ to a row that another master just precharged is exactly
+        case C2 of Fig. 2a — it surfaces here as a ProtocolError.
+        """
+        self._check_column_access(row, now_ps, "RD")
+        self.last_rdwr_ps = now_ps
+        self.stats["reads"] += 1
+
+    def write(self, row: int, now_ps: int) -> None:
+        """Column write; records write-recovery end for the tWR check."""
+        self._check_column_access(row, now_ps, "WR")
+        self.last_rdwr_ps = now_ps
+        data_end = now_ps + self.spec.cwl_ps + self.spec.burst_time_ps
+        self.last_write_end_ps = data_end
+        self.stats["writes"] += 1
+
+    def precharge(self, now_ps: int) -> None:
+        """Close the open row (no-op when already idle, as on silicon)."""
+        if self.state is BankState.REFRESHING:
+            raise ProtocolError(
+                f"bank {self.index}: PRE during refresh (tRFC window)")
+        if self.state is BankState.IDLE:
+            return
+        if now_ps < self.last_act_ps + self.spec.tras_ps:
+            raise TimingViolationError(
+                f"bank {self.index}: PRE violates tRAS")
+        if now_ps < self.last_write_end_ps + self.spec.twr_ps:
+            raise TimingViolationError(
+                f"bank {self.index}: PRE violates tWR (write recovery)")
+        self.state = BankState.IDLE
+        self.open_row = -1
+        self.last_pre_ps = now_ps
+        self.stats["precharges"] += 1
+
+    def begin_refresh(self, now_ps: int) -> None:
+        """Enter the refresh cycle; requires the bank to be precharged.
+
+        DDR4 has no per-bank refresh, so the memory controller must have
+        issued PREA first (§III-B) — an ACT-to-REF here is a protocol
+        error the simulator reports.
+        """
+        if self.state is BankState.ACTIVE:
+            raise ProtocolError(
+                f"bank {self.index}: REF while row {self.open_row} open "
+                "(controller must PREA before REFRESH)")
+        self.state = BankState.REFRESHING
+
+    def end_refresh(self, now_ps: int) -> None:
+        """Leave the refresh cycle (called tRFC_device after REF).
+
+        JEDEC allows ACT immediately once tRFC elapses (the precharge is
+        internal to the refresh), so the tRP reference is backdated.
+        """
+        if self.state is not BankState.REFRESHING:
+            raise ProtocolError(f"bank {self.index}: end_refresh while idle")
+        self.state = BankState.IDLE
+        self.last_pre_ps = now_ps - self.spec.trp_ps
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_column_access(self, row: int, now_ps: int, what: str) -> None:
+        if self.state is BankState.REFRESHING:
+            raise ProtocolError(
+                f"bank {self.index}: {what} during refresh (tRFC window)")
+        if self.state is not BankState.ACTIVE:
+            raise ProtocolError(
+                f"bank {self.index}: {what} to precharged bank "
+                "(row was closed under the requester — Fig. 2a C2)")
+        if self.open_row != row:
+            raise ProtocolError(
+                f"bank {self.index}: {what} row {row} but row "
+                f"{self.open_row} is open")
+        if now_ps < self.last_act_ps + self.spec.trcd_ps:
+            raise TimingViolationError(
+                f"bank {self.index}: {what} violates tRCD")
+        if now_ps < self.last_rdwr_ps + self.spec.tccd_ps:
+            raise TimingViolationError(
+                f"bank {self.index}: {what} violates tCCD")
+        if self.open_row == row:
+            self.stats["row_hits"] += 1

@@ -1,0 +1,165 @@
+"""The shared CA/DQ memory bus with multi-master collision detection.
+
+This is where the paper's central hazard lives.  On NVDIMM-C the DRAM
+cache's command/address and data pins are wired to *both* the host iMC
+and the device-side NVMC (§III-B), and standard DDR4 offers no
+request/grant handshake, so nothing in the protocol prevents the two
+masters from driving the bus in the same command slot.
+
+The bus model reserves:
+
+* a CA-bus slot of one clock per command, and
+* a DQ-bus window per data command (RD: ``[t+tCL, t+tCL+burst)``;
+  WR: ``[t+tCWL, t+tCWL+burst)``),
+
+and flags any overlap between *different* masters as a collision —
+either raising :class:`~repro.errors.BusCollisionError` (default) or
+recording it, which the validation experiments use to count how often an
+unserialised design would corrupt the channel.
+
+Snoopers (the NVMC's refresh detector) observe the raw CA pin state of
+every issued command, exactly as the FPGA taps the routed CA wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.ddr.commands import CAState, Command, CommandKind, DATA_COMMANDS
+from repro.ddr.device import DRAMDevice
+from repro.ddr.spec import DDR4Spec
+from repro.errors import BusCollisionError, ProtocolError
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class BusMaster(Protocol):
+    """Anything that issues commands: needs only a stable ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A half-open occupancy interval on one of the buses."""
+
+    master: str
+    start_ps: int
+    end_ps: int
+    command: Command
+
+    def overlaps(self, start_ps: int, end_ps: int) -> bool:
+        return self.start_ps < end_ps and start_ps < self.end_ps
+
+
+@dataclass(frozen=True)
+class Collision:
+    """A detected simultaneous drive of one bus by two masters."""
+
+    bus: str                  # "CA" or "DQ"
+    time_ps: int
+    first: Reservation
+    second_master: str
+    second_command: Command
+
+
+Snooper = Callable[[int, CAState], None]
+
+
+class SharedBus:
+    """One memory channel shared by the host iMC and the NVMC."""
+
+    #: Reservations older than this are pruned (nothing checks that far back).
+    PRUNE_HORIZON_PS = 10_000_000  # 10 us
+
+    def __init__(self, spec: DDR4Spec, device: DRAMDevice,
+                 raise_on_collision: bool = True,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        self.spec = spec
+        self.device = device
+        self.raise_on_collision = raise_on_collision
+        self.tracer = tracer
+        self._ca: list[Reservation] = []
+        self._dq: list[Reservation] = []
+        self.collisions: list[Collision] = []
+        self.commands_issued = 0
+        self._snoopers: list[Snooper] = []
+
+    # -- snooping ---------------------------------------------------------------
+
+    def add_snooper(self, snooper: Snooper) -> None:
+        """Register an observer of every CA-bus state (the FPGA tap)."""
+        self._snoopers.append(snooper)
+
+    # -- issue -------------------------------------------------------------------
+
+    def issue(self, master: str, command: Command, now_ps: int,
+              data: bytes | None = None) -> bytes | None:
+        """Drive ``command`` onto the bus at ``now_ps``.
+
+        Returns read data for RD/RDA.  Collisions are raised or recorded
+        according to ``raise_on_collision``; a *recorded* collision still
+        lets the command through so aging experiments can keep running
+        and count every corruption opportunity.
+        """
+        self.device.maybe_complete_refresh(now_ps)
+
+        ca_end = now_ps + self.spec.clock_ps
+        self._reserve(self._ca, "CA", master, command, now_ps, ca_end)
+
+        if command.kind in DATA_COMMANDS:
+            if command.kind in (CommandKind.RD, CommandKind.RDA):
+                dq_start = now_ps + self.spec.tcl_ps
+            else:
+                dq_start = now_ps + self.spec.cwl_ps
+            dq_end = dq_start + self.spec.burst_time_ps
+            self._reserve(self._dq, "DQ", master, command, dq_start, dq_end)
+
+        self.commands_issued += 1
+        self.tracer.emit(now_ps, "ddr.cmd", str(command), master=master)
+        self._prune(now_ps)
+        result = self.device.execute(command, now_ps, data=data)
+
+        # Snoopers run after the device state change: a detector-armed
+        # transfer (later in simulated time) must observe the refresh
+        # already in progress, exactly as on real silicon.
+        for snooper in self._snoopers:
+            snooper(now_ps, command.ca_state)
+        return result
+
+    # -- internals ------------------------------------------------------------------
+
+    def _reserve(self, lane: list[Reservation], bus_name: str, master: str,
+                 command: Command, start_ps: int, end_ps: int) -> None:
+        for existing in lane:
+            if existing.master != master and existing.overlaps(start_ps, end_ps):
+                collision = Collision(bus_name, start_ps, existing,
+                                      master, command)
+                self.collisions.append(collision)
+                self.tracer.emit(start_ps, "ddr.collision",
+                                 f"{bus_name} collision",
+                                 first=existing.master, second=master)
+                if self.raise_on_collision:
+                    raise BusCollisionError(
+                        f"{bus_name} bus collision at {start_ps} ps: "
+                        f"{existing.master} ({existing.command}) vs "
+                        f"{master} ({command})",
+                        time_ps=start_ps,
+                        masters=(existing.master, master))
+            elif existing.master == master and existing.overlaps(start_ps,
+                                                                 end_ps):
+                raise ProtocolError(
+                    f"{master} overlapped its own {bus_name} slot at "
+                    f"{start_ps} ps ({existing.command} vs {command})")
+        lane.append(Reservation(master, start_ps, end_ps, command))
+
+    def _prune(self, now_ps: int) -> None:
+        horizon = now_ps - self.PRUNE_HORIZON_PS
+        if self._ca and self._ca[0].end_ps < horizon:
+            self._ca = [r for r in self._ca if r.end_ps >= horizon]
+        if self._dq and self._dq[0].end_ps < horizon:
+            self._dq = [r for r in self._dq if r.end_ps >= horizon]
+
+    @property
+    def collision_count(self) -> int:
+        return len(self.collisions)

@@ -1,0 +1,221 @@
+"""A DRAM device: address decode, banks, data store, refresh machinery.
+
+The device is *passive*: bus masters (the host iMC or the NVMC's DDR4
+controller) issue :class:`~repro.ddr.commands.Command` objects to it via
+the shared bus, and the device validates them against its bank state
+machines, moves data, and tracks refresh progress.
+
+Data is stored sparsely — a ``dict`` of row buffers allocated on first
+write — so a 16 GB DRAM cache costs memory proportional to its touched
+footprint only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ddr.bank import Bank, BankState
+from repro.ddr.commands import Command, CommandKind
+from repro.ddr.spec import DDR4Spec
+from repro.errors import ProtocolError
+
+
+@dataclass
+class AddressParts:
+    """Decomposition of a flat byte address into DRAM coordinates."""
+
+    bank: int
+    row: int
+    column_byte: int
+
+
+class DRAMDevice:
+    """One rank of DDR4 DRAM behind the shared bus.
+
+    Address mapping is row-interleaved across banks (consecutive rows of
+    the flat address space rotate through banks), which is close enough
+    to real channel interleave for the protocol experiments.
+    """
+
+    def __init__(self, spec: DDR4Spec, capacity_bytes: int | None = None,
+                 name: str = "dram") -> None:
+        spec.validate()
+        self.spec = spec
+        self.name = name
+        self.banks = [Bank(i, spec) for i in range(spec.total_banks)]
+        self.capacity_bytes = capacity_bytes or (
+            spec.total_banks * spec.rows_per_bank * spec.row_size_bytes)
+        self._rows: dict[tuple[int, int], bytearray] = {}
+        # Rolling window of recent ACT times for the tFAW check
+        # (rank-wide: at most four activates per tFAW, JESD79-4).
+        self._act_history: list[int] = []
+        self.refresh_row_counter = 0
+        self.refreshes_done = 0
+        self.in_self_refresh = False
+        self.refresh_end_ps = -1
+
+    # -- address mapping ------------------------------------------------------
+
+    def decode(self, addr: int) -> AddressParts:
+        """Flat byte address -> (bank, row, column byte offset)."""
+        if not 0 <= addr < self.capacity_bytes:
+            raise ProtocolError(
+                f"{self.name}: address {addr:#x} out of range "
+                f"(capacity {self.capacity_bytes:#x})")
+        row_global, column_byte = divmod(addr, self.spec.row_size_bytes)
+        bank = row_global % self.spec.total_banks
+        row = row_global // self.spec.total_banks
+        return AddressParts(bank=bank, row=row, column_byte=column_byte)
+
+    # -- command execution -----------------------------------------------------
+
+    def execute(self, command: Command, now_ps: int,
+                data: bytes | None = None) -> bytes | None:
+        """Apply a command; returns read data for RD/RDA.
+
+        The caller (bus) has already arbitrated the command slot; this
+        method enforces bank-level legality and timing.
+        """
+        kind = command.kind
+        if self.in_self_refresh and kind is not CommandKind.SRX:
+            raise ProtocolError(
+                f"{self.name}: {kind.name} while in self-refresh")
+
+        if kind in (CommandKind.DES, CommandKind.NOP, CommandKind.ZQCL,
+                    CommandKind.MRS):
+            return None
+        if kind is CommandKind.ACT:
+            self._check_tfaw(now_ps)
+            self.banks[command.bank].activate(command.row, now_ps)
+            self._act_history.append(now_ps)
+            if len(self._act_history) > 4:
+                self._act_history.pop(0)
+            return None
+        if kind in (CommandKind.RD, CommandKind.RDA):
+            bank = self.banks[command.bank]
+            bank.read(command.row, now_ps)
+            out = self._burst_read(command)
+            if kind is CommandKind.RDA:
+                bank.state = BankState.IDLE
+                bank.open_row = -1
+                bank.last_pre_ps = now_ps
+            return out
+        if kind in (CommandKind.WR, CommandKind.WRA):
+            if data is None or len(data) != self.spec.burst_bytes:
+                raise ProtocolError(
+                    f"{self.name}: WR needs exactly one burst of "
+                    f"{self.spec.burst_bytes} bytes")
+            bank = self.banks[command.bank]
+            bank.write(command.row, now_ps)
+            self._burst_write(command, data)
+            if kind is CommandKind.WRA:
+                bank.state = BankState.IDLE
+                bank.open_row = -1
+                bank.last_pre_ps = now_ps
+            return None
+        if kind is CommandKind.PRE:
+            self.banks[command.bank].precharge(now_ps)
+            return None
+        if kind is CommandKind.PREA:
+            for bank in self.banks:
+                bank.precharge(now_ps)
+            return None
+        if kind is CommandKind.REF:
+            self._begin_refresh(now_ps)
+            return None
+        if kind is CommandKind.SRE:
+            self._begin_refresh(now_ps)
+            self.in_self_refresh = True
+            return None
+        if kind is CommandKind.SRX:
+            self.in_self_refresh = False
+            return None
+        raise ProtocolError(f"{self.name}: unhandled command {command}")
+
+    def _check_tfaw(self, now_ps: int) -> None:
+        from repro.errors import TimingViolationError
+        if (len(self._act_history) == 4
+                and now_ps - self._act_history[0] < self.spec.tfaw_ps):
+            raise TimingViolationError(
+                f"{self.name}: fifth ACT within tFAW "
+                f"({now_ps - self._act_history[0]} ps since the fourth-"
+                f"last, tFAW={self.spec.tfaw_ps} ps)")
+
+    def _begin_refresh(self, now_ps: int) -> None:
+        for bank in self.banks:
+            bank.begin_refresh(now_ps)
+        self.refresh_end_ps = now_ps + self.spec.trfc_device_ps
+        self.refresh_row_counter = (
+            (self.refresh_row_counter + 1) % 8192)
+        self.refreshes_done += 1
+
+    def complete_refresh(self, now_ps: int) -> None:
+        """Called tRFC_device after REF: banks become usable again."""
+        for bank in self.banks:
+            if bank.state is BankState.REFRESHING:
+                bank.end_refresh(now_ps)
+
+    def maybe_complete_refresh(self, now_ps: int) -> None:
+        """Idempotent refresh completion for pull-style callers.
+
+        Completion is timestamped at the actual refresh end, not at the
+        (possibly much later) observation time, so post-refresh timing
+        references are accurate.
+        """
+        if (self.refresh_end_ps >= 0 and now_ps >= self.refresh_end_ps
+                and self.banks[0].state is BankState.REFRESHING):
+            self.complete_refresh(self.refresh_end_ps)
+
+    # -- data store --------------------------------------------------------------
+
+    def _row_buffer(self, bank: int, row: int) -> bytearray:
+        key = (bank, row)
+        buf = self._rows.get(key)
+        if buf is None:
+            buf = bytearray(self.spec.row_size_bytes)
+            self._rows[key] = buf
+        return buf
+
+    def _burst_read(self, command: Command) -> bytes:
+        buf = self._row_buffer(command.bank, command.row)
+        start = command.column * self.spec.burst_bytes
+        return bytes(buf[start:start + self.spec.burst_bytes])
+
+    def _burst_write(self, command: Command, data: bytes) -> None:
+        buf = self._row_buffer(command.bank, command.row)
+        start = command.column * self.spec.burst_bytes
+        buf[start:start + self.spec.burst_bytes] = data
+
+    # -- backdoor access (verification / power-failure drain) ---------------------
+
+    def peek(self, addr: int, nbytes: int) -> bytes:
+        """Read bytes bypassing the protocol (test/verification aid)."""
+        out = bytearray()
+        while nbytes > 0:
+            parts = self.decode(addr)
+            buf = self._rows.get((parts.bank, parts.row))
+            chunk = min(nbytes, self.spec.row_size_bytes - parts.column_byte)
+            if buf is None:
+                out.extend(b"\x00" * chunk)
+            else:
+                out.extend(buf[parts.column_byte:parts.column_byte + chunk])
+            addr += chunk
+            nbytes -= chunk
+        return bytes(out)
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Write bytes bypassing the protocol (test/initialisation aid)."""
+        offset = 0
+        while offset < len(data):
+            parts = self.decode(addr + offset)
+            buf = self._row_buffer(parts.bank, parts.row)
+            chunk = min(len(data) - offset,
+                        self.spec.row_size_bytes - parts.column_byte)
+            buf[parts.column_byte:parts.column_byte + chunk] = (
+                data[offset:offset + chunk])
+            offset += chunk
+
+    @property
+    def touched_rows(self) -> int:
+        """Number of row buffers materialised by writes."""
+        return len(self._rows)

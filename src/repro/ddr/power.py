@@ -1,0 +1,77 @@
+"""DRAM refresh power: the watt cost of the tREFI knob.
+
+Fig. 12/13 trade bandwidth; this module adds the third axis.  Refresh
+energy is charged per REF command from the JEDEC IDD5B current class:
+one all-bank refresh of an 8 Gb x8 DDR4 die moves roughly
+
+    E_ref = (IDD5B - IDD3N) * VDD * tRFC_device
+
+(~1.1 uJ per die at 1.2 V), so a DIMM's refresh power scales linearly
+with the refresh *rate* — doubling the rate for the NVDIMM-C windows
+doubles this term.  Background/activate/IO power is out of scope; the
+point is the *marginal* cost of the mechanism's favourite knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ddr.spec import DDR4Spec
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class DramPowerParams:
+    """Electrical parameters of one DRAM die (JEDEC-class values)."""
+
+    vdd: float = 1.2            # V
+    idd5b_ma: float = 175.0     # burst-refresh current
+    idd3n_ma: float = 47.0      # active standby (subtracted baseline)
+
+    @property
+    def refresh_current_a(self) -> float:
+        return (self.idd5b_ma - self.idd3n_ma) / 1000.0
+
+
+def refresh_energy_per_ref_j(spec: DDR4Spec,
+                             params: DramPowerParams | None = None
+                             ) -> float:
+    """Energy of one REF command, per die (joules).
+
+    Uses the *device* tRFC — the die only works for 350 ns regardless
+    of the extended value programmed into the controller.
+    """
+    params = params or DramPowerParams()
+    return (params.refresh_current_a * params.vdd
+            * spec.trfc_device_ps / 1e12)
+
+
+def refresh_power_w(spec: DDR4Spec, dies: int = 18,
+                    params: DramPowerParams | None = None) -> float:
+    """Refresh power of a DIMM (default: 18 dies, an ECC RDIMM rank)."""
+    per_ref = refresh_energy_per_ref_j(spec, params)
+    refs_per_second = 1e12 / spec.trefi_ps
+    return per_ref * refs_per_second * dies
+
+
+@dataclass(frozen=True)
+class RefreshPowerPoint:
+    """One row of the power-vs-refresh-rate table."""
+
+    trefi_us: float
+    power_w: float
+    device_window_mib_s: float
+
+
+def power_sweep(spec: DDR4Spec, dies: int = 18) -> list[RefreshPowerPoint]:
+    """Refresh power and device-window bandwidth at 1x/2x/4x rates."""
+    from repro.units import PAGE_4K
+    out = []
+    for trefi_us_value in (7.8, 3.9, 1.95):
+        point_spec = spec.with_trefi(us(trefi_us_value))
+        windows_per_s = 1e12 / point_spec.trefi_ps
+        out.append(RefreshPowerPoint(
+            trefi_us=trefi_us_value,
+            power_w=refresh_power_w(point_spec, dies=dies),
+            device_window_mib_s=PAGE_4K * windows_per_s / 2**20))
+    return out

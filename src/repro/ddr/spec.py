@@ -1,0 +1,201 @@
+"""DDR4 speed grades and JEDEC timing parameters.
+
+Values follow the JEDEC DDR4 SDRAM specification (JESD79-4) for the
+parameters the paper exercises.  Times are stored in integer picoseconds
+(see :mod:`repro.units`); parameters natively specified in clocks are
+converted with the grade's clock period.
+
+The two parameters at the centre of the paper:
+
+* ``tRFC`` — refresh cycle time; 350 ns for an 8 Gb device.  NVDIMM-C
+  reprograms the *host's* tRFC register to 1250 ns (1000 device clocks at
+  DDR4-1600), creating a ~900 ns window after the real refresh during
+  which the device-side controller owns the bus (§IV-A).
+* ``tREFI`` — average refresh interval; 7.8 µs normally, halved above
+  85 °C, and reprogrammable by BIOS/kernel on Intel platforms (§II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import ns, us
+
+
+@dataclass(frozen=True)
+class SpeedGrade:
+    """A DDR4 speed bin: data rate and the core latency triplet."""
+
+    name: str
+    data_rate_mtps: int      # mega-transfers per second (DDR: 2 per clock)
+    cl_clk: int              # CAS latency, clocks
+    trcd_clk: int            # ACT-to-RD/WR, clocks
+    trp_clk: int             # PRE-to-ACT, clocks
+
+    @property
+    def clock_ps(self) -> int:
+        """Device clock period in picoseconds (clock = data rate / 2)."""
+        return round(2_000_000 / self.data_rate_mtps) * 1  # ps
+
+    @property
+    def half_clock_ps(self) -> int:
+        """Half clock period: one DDR transfer slot on the CA/DQ pins."""
+        return self.clock_ps // 2
+
+
+#: JEDEC DDR4-1600K (the paper's PoC runs at 1600 MT/s, Table I).
+GRADE_1600 = SpeedGrade("DDR4-1600", 1600, cl_clk=11, trcd_clk=11, trp_clk=11)
+
+#: JEDEC DDR4-2400R (used for the §III-A timing-budget discussion).
+GRADE_2400 = SpeedGrade("DDR4-2400", 2400, cl_clk=16, trcd_clk=16, trp_clk=16)
+
+#: tRFC by device density, JESD79-4 table (ns).
+TRFC_BY_DENSITY_NS = {
+    "2Gb": 160,
+    "4Gb": 260,
+    "8Gb": 350,
+    "16Gb": 550,
+}
+
+
+@dataclass(frozen=True)
+class DDR4Spec:
+    """Complete timing/geometry description of one DDR4 configuration.
+
+    All ``*_ps`` fields are picoseconds.  ``trfc_ps`` is the value
+    *programmed into the memory controller* — for NVDIMM-C this is the
+    extended 1250 ns, while ``trfc_device_ps`` remains the JEDEC value the
+    DRAM actually needs (350 ns for 8 Gb).  The difference is the paper's
+    device-access window.
+    """
+
+    grade: SpeedGrade
+    density: str = "8Gb"
+    ranks: int = 1
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    rows_per_bank: int = 1 << 17
+    row_size_bytes: int = 8192          # 8 KB page per rank (x64 DIMM)
+    burst_length: int = 8               # BL8: 64 B per column burst (x64)
+
+    trefi_ps: int = us(7.8)             # average refresh interval
+    trfc_ps: int = ns(350)              # programmed refresh cycle time
+    tras_clk: int = 28                  # ACT-to-PRE minimum
+    twr_clk: int = 12                   # write recovery
+    tccd_clk: int = 4                   # column-to-column (tCCD_L)
+    trrd_clk: int = 5                   # ACT-to-ACT, different banks
+    tfaw_clk: int = 28                  # four-activate window
+    cwl_clk: int = 9                    # CAS write latency
+
+    @property
+    def clock_ps(self) -> int:
+        return self.grade.clock_ps
+
+    @property
+    def trcd_ps(self) -> int:
+        return self.grade.trcd_clk * self.clock_ps
+
+    @property
+    def tcl_ps(self) -> int:
+        return self.grade.cl_clk * self.clock_ps
+
+    @property
+    def trp_ps(self) -> int:
+        return self.grade.trp_clk * self.clock_ps
+
+    @property
+    def tras_ps(self) -> int:
+        return self.tras_clk * self.clock_ps
+
+    @property
+    def twr_ps(self) -> int:
+        return self.twr_clk * self.clock_ps
+
+    @property
+    def tccd_ps(self) -> int:
+        return self.tccd_clk * self.clock_ps
+
+    @property
+    def cwl_ps(self) -> int:
+        return self.cwl_clk * self.clock_ps
+
+    @property
+    def trrd_ps(self) -> int:
+        """ACT-to-ACT spacing across banks."""
+        return self.trrd_clk * self.clock_ps
+
+    @property
+    def tfaw_ps(self) -> int:
+        """Four-activate window: at most 4 ACTs per rank within it."""
+        return self.tfaw_clk * self.clock_ps
+
+    @property
+    def trfc_device_ps(self) -> int:
+        """The JEDEC tRFC the DRAM die actually requires (by density)."""
+        return ns(TRFC_BY_DENSITY_NS[self.density])
+
+    @property
+    def extra_trfc_ps(self) -> int:
+        """Device-access window: programmed tRFC minus the JEDEC tRFC.
+
+        This is the paper's "additional tRFC time" of §IV-A during which
+        the NVMC may drive the shared bus.  Zero on a stock system.
+        """
+        return max(0, self.trfc_ps - self.trfc_device_ps)
+
+    @property
+    def burst_time_ps(self) -> int:
+        """Data-bus occupancy of one BL8 burst: BL/2 clocks."""
+        return (self.burst_length // 2) * self.clock_ps
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes moved per column burst on a x64 DIMM (8 B * BL)."""
+        return 8 * self.burst_length
+
+    @property
+    def total_banks(self) -> int:
+        return self.ranks * self.bank_groups * self.banks_per_group
+
+    @property
+    def read_latency_ps(self) -> int:
+        """Closed-row read latency: tRCD + tCL (the §III-A budget)."""
+        return self.trcd_ps + self.tcl_ps
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on an inconsistent configuration."""
+        if self.density not in TRFC_BY_DENSITY_NS:
+            raise ConfigError(f"unknown DRAM density {self.density!r}")
+        if self.trfc_ps < self.trfc_device_ps:
+            raise ConfigError(
+                "programmed tRFC is below the JEDEC device requirement: "
+                f"{self.trfc_ps} < {self.trfc_device_ps}")
+        if self.trefi_ps <= self.trfc_ps:
+            raise ConfigError(
+                "tREFI must exceed tRFC, otherwise refresh starves the bus")
+        if self.burst_length not in (4, 8):
+            raise ConfigError(f"unsupported burst length {self.burst_length}")
+
+    def with_extended_trfc(self, trfc_ps: int) -> "DDR4Spec":
+        """Copy of this spec with a reprogrammed controller tRFC."""
+        spec = replace(self, trfc_ps=trfc_ps)
+        spec.validate()
+        return spec
+
+    def with_trefi(self, trefi_ps: int) -> "DDR4Spec":
+        """Copy of this spec with a reprogrammed refresh interval."""
+        spec = replace(self, trefi_ps=trefi_ps)
+        spec.validate()
+        return spec
+
+
+#: Stock DDR4-1600, 8 Gb devices — the paper's main-memory RDIMMs.
+DDR4_1600 = DDR4Spec(grade=GRADE_1600)
+
+#: Stock DDR4-2400 — used in the §III-A design-space discussion.
+DDR4_2400 = DDR4Spec(grade=GRADE_2400)
+
+#: NVDIMM-C channel configuration: tRFC extended to 1000 device clocks
+#: (1.25 us at DDR4-1600), i.e. JEDEC 350 ns + a 900 ns device window.
+NVDIMMC_1600 = DDR4_1600.with_extended_trfc(ns(1250))

@@ -1,0 +1,63 @@
+"""Thermal refresh throttling (§II-B).
+
+"Since the leakage of cells is accelerated as the cell temperature
+increases, tREFI is adjusted to 3.9 us above 85°C."  For NVDIMM-C this
+cuts both ways: a hot module refreshes twice as often, which *doubles
+the device-side windows* (the Fig. 12 effect, for free) while costing
+the host the Fig. 13 tREFI2 penalty (~8 %).
+
+The model is the JEDEC two-step: 1x refresh up to 85°C, 2x above
+(extended-temperature range up to 95°C), out-of-spec beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ddr.spec import DDR4Spec
+from repro.errors import ConfigError
+from repro.units import us
+
+#: JEDEC normal / extended temperature range bounds (°C).
+NORMAL_MAX_C = 85
+EXTENDED_MAX_C = 95
+
+
+def trefi_for_temperature(temp_c: float,
+                          base_trefi_ps: int = us(7.8)) -> int:
+    """The refresh interval the iMC must program at ``temp_c``."""
+    if temp_c > EXTENDED_MAX_C:
+        raise ConfigError(
+            f"{temp_c}°C exceeds the extended temperature range "
+            f"({EXTENDED_MAX_C}°C): the device is out of spec")
+    if temp_c > NORMAL_MAX_C:
+        return base_trefi_ps // 2
+    return base_trefi_ps
+
+
+@dataclass(frozen=True)
+class ThermalOperatingPoint:
+    """NVDIMM-C behaviour at one module temperature."""
+
+    temp_c: float
+    trefi_ps: int
+    device_windows_per_sec: float
+    device_ceiling_mb_s: float      # one 4 KB page per window (MiB/s)
+
+    @property
+    def doubled(self) -> bool:
+        return self.trefi_ps < us(7.8)
+
+
+def operating_point(temp_c: float,
+                    spec: DDR4Spec | None = None) -> ThermalOperatingPoint:
+    """Device-side consequences of the module temperature."""
+    from repro.ddr.spec import NVDIMMC_1600
+    from repro.units import PAGE_4K
+    base = (spec or NVDIMMC_1600).trefi_ps
+    trefi = trefi_for_temperature(temp_c, base)
+    windows = 1e12 / trefi
+    return ThermalOperatingPoint(
+        temp_c=temp_c, trefi_ps=trefi,
+        device_windows_per_sec=windows,
+        device_ceiling_mb_s=PAGE_4K * windows / 2**20)

@@ -1,0 +1,23 @@
+"""Device-level composition: whole systems ready for workloads.
+
+* :mod:`repro.device.nvdimmc` — the full NVDIMM-C system (DRAM cache +
+  NVMC + Z-NAND + nvdc driver) and the pmem baseline system, both
+  exposing the common :class:`~repro.device.nvdimmc.DaxSystem` surface
+  the workload runners drive.
+* :mod:`repro.device.hypothetical` — the §VII-D1 programmable-delay
+  device (NVM replaced by tD).
+* :mod:`repro.device.power` — PMIC / battery model and the §V-C
+  power-failure drain with its persistence-domain race.
+"""
+
+from repro.device.hypothetical import HypotheticalSystem
+from repro.device.nvdimmc import DaxSystem, NVDIMMCSystem, PmemSystem
+from repro.device.power import PowerFailureModel
+
+__all__ = [
+    "DaxSystem",
+    "NVDIMMCSystem",
+    "PmemSystem",
+    "HypotheticalSystem",
+    "PowerFailureModel",
+]

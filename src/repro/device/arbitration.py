@@ -1,0 +1,132 @@
+"""Arbitration schemes for a bus shared with an in-DIMM controller.
+
+§VIII surveys the alternatives to the paper's tRFC scheme:
+
+* **tRFC windows** (this paper): the device owns the bus only inside
+  the extended refresh cycle.  Deterministic for the host, full DRAM
+  capacity, device ceiling = window bytes per tREFI — the paper's §V-A
+  arithmetic (500.8 MB/s at stock tREFI, double at tREFI2).
+* **Dummy-access** (Netlist patent [75]): a dual-rank DIMM where the
+  driver issues dummy writes to an unused rank while the DIMM
+  controller uses those bus slots on the data rank.  Device bandwidth
+  equals whatever dummy-write rate the driver sustains — flexible, but
+  it consumes host bandwidth 1:1 and *halves usable capacity*.
+* **Priority-preemption** (LPDDR3 mobile storage [73]): the storage
+  controller uses idle bus time and is preempted by any CPU access.
+  Free when the host is idle, but offers no progress guarantee under
+  load (the paper's reason for rejecting it: "the accesses from the
+  storage controller can be preempted anytime").
+
+The models are intentionally first-order — enough to reproduce the
+qualitative trade-offs the related-work section argues from, with the
+tRFC numbers tied to the same :class:`~repro.ddr.imc.RefreshTimeline`
+the rest of the simulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ddr.imc import RefreshTimeline
+from repro.ddr.spec import DDR4Spec, NVDIMMC_1600
+from repro.units import PAGE_4K
+
+
+@dataclass(frozen=True)
+class SchemeProfile:
+    """Comparable characteristics of one arbitration scheme."""
+
+    name: str
+    device_ceiling_mb_s: float        # sustained device-side bandwidth
+    host_bandwidth_share: float       # fraction of channel host keeps
+    capacity_efficiency: float        # usable / installed DRAM
+    deterministic_for_host: bool      # host timing untouched under load
+    guaranteed_device_progress: bool  # device can't be starved
+
+
+class TRFCScheme:
+    """The paper's mechanism, §III-B/§V-A."""
+
+    def __init__(self, spec: DDR4Spec = NVDIMMC_1600,
+                 window_bytes: int = PAGE_4K) -> None:
+        self.spec = spec
+        self.timeline = RefreshTimeline(spec)
+        self.window_bytes = window_bytes
+
+    def device_ceiling_mb_s(self) -> float:
+        """§V-A: up to ``window_bytes`` per tREFI.
+
+        500.8 MB/s at the stock 7.8 us tREFI with 4 KB windows; doubles
+        at tREFI2 — the exact figures the paper quotes.  (The paper's
+        arithmetic is binary-mega: 4096 B / 7.8 us = 500.8 * 2^20 B/s,
+        so this method reports MiB/s to match.)
+        """
+        per_second = 1e12 / self.timeline.trefi_ps
+        return self.window_bytes * per_second / 2**20
+
+    def host_share(self) -> float:
+        """Host keeps everything outside the blackouts."""
+        return 1.0 - self.timeline.blocked_fraction
+
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="tRFC windows (NVDIMM-C)",
+            device_ceiling_mb_s=self.device_ceiling_mb_s(),
+            host_bandwidth_share=self.host_share(),
+            capacity_efficiency=1.0,
+            deterministic_for_host=True,
+            guaranteed_device_progress=True)
+
+
+class DummyAccessScheme:
+    """The Netlist dual-rank dummy-write mechanism [75]."""
+
+    def __init__(self, dummy_write_mb_s: float,
+                 channel_mb_s: float = 12_800.0) -> None:
+        if dummy_write_mb_s < 0 or dummy_write_mb_s > channel_mb_s:
+            raise ValueError("dummy-write rate must fit the channel")
+        self.dummy_write_mb_s = dummy_write_mb_s
+        self.channel_mb_s = channel_mb_s
+
+    def profile(self) -> SchemeProfile:
+        return SchemeProfile(
+            name="dummy-access (Netlist)",
+            device_ceiling_mb_s=self.dummy_write_mb_s,
+            host_bandwidth_share=1.0 - (self.dummy_write_mb_s
+                                        / self.channel_mb_s),
+            # One rank carries data, the other exists to be written
+            # with garbage: "the actual DRAM capacity would be half".
+            capacity_efficiency=0.5,
+            deterministic_for_host=True,
+            guaranteed_device_progress=False)   # needs driver cooperation
+
+
+class PriorityPreemptScheme:
+    """The LPDDR3 mobile-storage arbitration [73]."""
+
+    def __init__(self, host_utilization: float,
+                 channel_mb_s: float = 12_800.0) -> None:
+        if not 0.0 <= host_utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        self.host_utilization = host_utilization
+        self.channel_mb_s = channel_mb_s
+
+    def profile(self) -> SchemeProfile:
+        idle = 1.0 - self.host_utilization
+        return SchemeProfile(
+            name="priority-preempt (LPDDR3 storage)",
+            device_ceiling_mb_s=idle * self.channel_mb_s,
+            host_bandwidth_share=1.0,        # CPU always wins
+            capacity_efficiency=1.0,
+            deterministic_for_host=True,
+            guaranteed_device_progress=False)   # starves under load
+
+
+def compare(host_utilization: float = 0.9,
+            dummy_write_mb_s: float = 500.0) -> list[SchemeProfile]:
+    """The three schemes at comparable operating points."""
+    return [
+        TRFCScheme().profile(),
+        DummyAccessScheme(dummy_write_mb_s).profile(),
+        PriorityPreemptScheme(host_utilization).profile(),
+    ]

@@ -1,0 +1,87 @@
+"""Power failure: the battery-backed drain and the §V-C domain race.
+
+On power loss "the firmware running on the FPGA reads the DRAM-to-NAND
+mappings stored in the 16MB metadata area ... while ignoring the
+tRFC-based serialization rule.  Therefore, the valid physical pages
+inside the DRAM cache can be stored into the persistent Z-NAND media."
+
+The catch (§V-C): the platform's own ADR flush of the write pending
+queue runs *concurrently*, so stores still sitting in the WPQ when the
+device snapshots a page may be lost — "the precise persistence domain
+with our device will be scaled down to the DRAM cache."  The model
+exposes that race so the recovery experiment can demonstrate both the
+safe case (data flushed to DRAM before the failure) and the lost-WPQ
+case the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ddr.imc import WritePendingQueue
+from repro.kernel.nvdc import NvdcDriver
+from repro.units import PAGE_4K
+
+
+@dataclass
+class DrainReport:
+    """Outcome of one power-failure drain."""
+
+    pages_drained: int = 0
+    wpq_entries_lost: int = 0
+    wpq_entries_raced_in: int = 0
+    drained_pages: list[int] = field(default_factory=list)
+
+
+class PowerFailureModel:
+    """Orchestrates the §V-C power-loss sequence on a built system."""
+
+    def __init__(self, driver: NvdcDriver,
+                 wpq: WritePendingQueue | None = None) -> None:
+        self.driver = driver
+        self.wpq = wpq if wpq is not None else WritePendingQueue()
+
+    def power_fail(self, flush_wpq_first: bool = False) -> DrainReport:
+        """Simulate power loss and the battery-backed drain.
+
+        ``flush_wpq_first=True`` models the lucky interleaving where ADR
+        completes before the device snapshots the affected pages;
+        ``False`` models the §V-C race where WPQ contents never reach
+        the DRAM cache and are lost.
+        """
+        report = DrainReport()
+        if flush_wpq_first:
+            for addr, data in self.wpq.drain():
+                self.driver.dram.poke(addr, data)
+                report.wpq_entries_raced_in += 1
+        else:
+            report.wpq_entries_lost = len(self.wpq)
+            self.wpq.entries.clear()
+
+        # The firmware walks the metadata-area mappings and programs
+        # every *valid* cached page to Z-NAND, tRFC rule suspended.
+        for slot, page in sorted(self.driver.slot_to_page.items()):
+            paddr = self.driver.region.slot_paddr(slot)
+            data = self.driver.dram.peek(paddr, PAGE_4K)
+            self.driver.nvmc.nand.preload(page, data)
+            report.pages_drained += 1
+            report.drained_pages.append(page)
+        return report
+
+    def recover(self) -> "RecoveredDevice":
+        """Boot-time view: DRAM contents are gone; NAND remains."""
+        return RecoveredDevice(self.driver)
+
+
+class RecoveredDevice:
+    """Post-reboot accessor: reads come from the persistent media."""
+
+    def __init__(self, driver: NvdcDriver) -> None:
+        self._nand = driver.nvmc.nand
+
+    def read_page(self, page: int) -> bytes:
+        """Read a device page from Z-NAND (ignoring the lost DRAM)."""
+        data, _ = self._nand.read_page(page, 0)
+        if data is None:
+            return bytes(PAGE_4K)
+        return data

@@ -1,0 +1,101 @@
+"""The JEDEC NVDIMM family (§VIII), modelled for comparison.
+
+* **NVDIMM-N** — a conventional DIMM plus NAND for backup: full DRAM
+  speed and byte-addressability, but capacity = the DRAM's, and
+  persistence relies on super-capacitors holding the module up long
+  enough to copy *all* of DRAM to NAND on power failure.
+* **NVDIMM-F** — NAND + controller, no DRAM: large and persistent but
+  block-access only, at NAND latency.
+* **NVDIMM-P / DDR-T** — the hybrid done with a *new protocol*: needs
+  a non-deterministic memory controller in the CPU (the compatibility
+  cost NVDIMM-C exists to avoid).
+* **NVDIMM-C** — this paper: hybrid capacity, byte-addressable,
+  standard iMC; pays with the DRAM-cache miss path.
+
+The profiles quantify the §VIII comparison table and back the
+``variants_compare`` experiment; power-failure characteristics reuse
+the same NAND bandwidth arithmetic as the §V-C drain model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import gb, us
+
+
+@dataclass(frozen=True)
+class VariantProfile:
+    """Comparable characteristics of one NVDIMM variant."""
+
+    name: str
+    byte_addressable: bool
+    persistent: bool
+    needs_new_imc: bool              # non-deterministic controller?
+    capacity_bytes: int              # usable capacity per module
+    hit_latency_us: float            # best-case 4 KB access
+    miss_latency_us: float | None    # worst-case 4 KB access (None = flat)
+    backup_energy_window_s: float    # power hold-up needed on failure
+
+
+#: NAND drain bandwidth available on power failure (two channels,
+#: transfers only — the tRFC rule is suspended, §V-C).
+DRAIN_MB_S = 800.0
+
+
+def nvdimm_n(dram_bytes: int = gb(16)) -> VariantProfile:
+    """NVDIMM-N: all of DRAM must be saved within the hold-up window."""
+    backup_s = dram_bytes / (DRAIN_MB_S * 1e6)
+    return VariantProfile(
+        name="NVDIMM-N", byte_addressable=True, persistent=True,
+        needs_new_imc=False, capacity_bytes=dram_bytes,
+        hit_latency_us=1.5, miss_latency_us=None,
+        backup_energy_window_s=backup_s)
+
+
+def nvdimm_f(nand_bytes: int = gb(120)) -> VariantProfile:
+    """NVDIMM-F: block device on the memory bus."""
+    return VariantProfile(
+        name="NVDIMM-F", byte_addressable=False, persistent=True,
+        needs_new_imc=False, capacity_bytes=nand_bytes,
+        hit_latency_us=30.0, miss_latency_us=None,
+        backup_energy_window_s=0.0)
+
+
+def nvdimm_p(nand_bytes: int = gb(120)) -> VariantProfile:
+    """NVDIMM-P / DDR-T: the hybrid with a handshake protocol."""
+    return VariantProfile(
+        name="NVDIMM-P/DDR-T", byte_addressable=True, persistent=True,
+        needs_new_imc=True, capacity_bytes=nand_bytes,
+        hit_latency_us=1.8, miss_latency_us=10.0,
+        backup_energy_window_s=0.0)
+
+
+def nvdimm_c(nand_bytes: int = gb(120), cache_bytes: int = gb(16),
+             hit_latency_us: float = 2.23,
+             miss_latency_us: float = 69.8) -> VariantProfile:
+    """This paper: hybrid capacity behind a DRAM cache, stock iMC.
+
+    Only the *dirty cached* pages need draining on power failure — the
+    metadata area bounds the energy window by the cache, not the
+    device (§V-C).
+    """
+    backup_s = cache_bytes / (DRAIN_MB_S * 1e6)
+    return VariantProfile(
+        name="NVDIMM-C", byte_addressable=True, persistent=True,
+        needs_new_imc=False, capacity_bytes=nand_bytes,
+        hit_latency_us=hit_latency_us, miss_latency_us=miss_latency_us,
+        backup_energy_window_s=backup_s)
+
+
+def all_variants() -> list[VariantProfile]:
+    return [nvdimm_n(), nvdimm_f(), nvdimm_p(), nvdimm_c()]
+
+
+def compatible_and_byte_addressable_and_dense(
+        min_capacity_bytes: int = gb(64)) -> list[VariantProfile]:
+    """The selection the paper's intro performs: who offers SCM-class
+    capacity, load/store access, and works on an unmodified platform?"""
+    return [v for v in all_variants()
+            if v.byte_addressable and not v.needs_new_imc
+            and v.capacity_bytes >= min_capacity_bytes]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the NVDIMM-C simulator.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch simulator problems without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A DDR4/NAND protocol rule was violated (illegal command sequence)."""
+
+
+class BusCollisionError(ProtocolError):
+    """Two bus masters drove the shared CA/DQ bus in overlapping slots.
+
+    This is the failure mode the paper's tRFC serialisation mechanism
+    exists to prevent (Fig. 2a cases C1/C2).  The simulator raises it when
+    collision detection is enabled and the rule is broken.
+    """
+
+    def __init__(self, message: str, time_ps: int = -1,
+                 masters: tuple[str, str] | None = None) -> None:
+        super().__init__(message)
+        self.time_ps = time_ps
+        self.masters = masters
+
+
+class TimingViolationError(ProtocolError):
+    """A command was issued before a JEDEC timing window elapsed."""
+
+
+class MediaError(ReproError):
+    """A NAND/NVM media operation failed (bad block, uncorrectable ECC)."""
+
+
+class UncorrectableError(MediaError):
+    """ECC decode failed: more raw bit errors than the code can correct."""
+
+
+class FTLError(ReproError):
+    """The flash translation layer hit an invariant violation."""
+
+
+class DeviceError(ReproError):
+    """NVDIMM-C device-level failure (CP protocol, power, configuration)."""
+
+
+class CPProtocolError(DeviceError):
+    """Malformed or out-of-order communication-protocol exchange."""
+
+
+class KernelError(ReproError):
+    """Software-stack failure (driver, filesystem, memory reservation)."""
+
+
+class OutOfSlotsError(KernelError):
+    """The DRAM cache has no free slot and no evictable victim."""
+
+
+class ConfigError(ReproError):
+    """Inconsistent or unsupported system configuration."""

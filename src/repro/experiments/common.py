@@ -1,0 +1,62 @@
+"""Shared builders for the experiment modules.
+
+All experiments run at a reduced capacity scale (ratios preserved; no
+timing constant depends on absolute capacity — see
+``repro.device.nvdimmc`` for the argument), with two standard sizes:
+
+* **standard** — 64 MB cache / 128 MB footprint systems for the cached
+  FIO experiments (1/256 of the paper's 16 GB cache);
+* **small** — ~2 MB cache systems for the uncached experiments, where
+  the cache must first be *filled* miss by miss.
+"""
+
+from __future__ import annotations
+
+from repro.device.nvdimmc import NVDIMMCSystem, PmemSystem
+from repro.nvmc.fsm import FirmwareModel
+from repro.units import PAGE_4K, mb
+
+#: Capacity scale of the standard experiment systems vs Table I.
+STANDARD_SCALE = 256
+
+
+def build_pmem(device_mb: int = 128, trefi_ps: int | None = None
+               ) -> PmemSystem:
+    """The /dev/pmem0 baseline at experiment scale."""
+    return PmemSystem(device_bytes=mb(device_mb), trefi_ps=trefi_ps)
+
+
+def build_cached_nvdc(cache_mb: int = 64, device_mb: int = 128,
+                      trefi_ps: int | None = None, **kwargs
+                      ) -> NVDIMMCSystem:
+    """NVDIMM-C sized so the FIO footprint fits the cache (Cached)."""
+    return NVDIMMCSystem(cache_bytes=mb(cache_mb),
+                         device_bytes=mb(device_mb),
+                         trefi_ps=trefi_ps, **kwargs)
+
+
+def build_uncached_nvdc(cache_mb: int = 2, device_mb: int = 32,
+                        extra_pages: int = 2048, fill: bool = True,
+                        **kwargs) -> tuple[NVDIMMCSystem, int, int]:
+    """NVDIMM-C with a pre-filled cache for Uncached measurements.
+
+    Returns ``(system, first_uncached_page, fill_end_ps)``.  The pages
+    beyond the cache are preloaded into Z-NAND (the FIO file was
+    preconditioned), so every measured miss pays real media time.
+    """
+    system = NVDIMMCSystem(cache_bytes=mb(cache_mb),
+                           device_bytes=mb(device_mb), **kwargs)
+    nslots = system.region.num_slots
+    payload = b"\x5c" * PAGE_4K
+    for page in range(nslots, nslots + extra_pages):
+        system.nand.preload(page, payload)
+    t = 0
+    if fill:
+        for page in range(nslots):
+            _, t = system.driver.fault(page, t, for_write=True)
+    return system, nslots, t
+
+
+def asic_firmware() -> FirmwareModel:
+    """The §VII-C ASIC what-if: hardware FSM, zero software lag."""
+    return FirmwareModel(step_ps=0)

@@ -1,0 +1,45 @@
+"""Fig. 12 — the hypothetical device: Uncached bandwidth vs media tD.
+
+Paper points (4 KB random reads, one thread, CP depth 1):
+
+    tD = 0        -> 1503 MB/s   (driver software only)
+    tD = 7.8 us   ->  451 MB/s   (media as slow as one tREFI)
+    tD = 3.9 us   ->  681 MB/s
+    tD = 1.85 us  ->  914 MB/s   (STT-MRAM/PRAM class: viable SCM)
+
+The conclusion the paper draws — NVM media with a 4 KB latency of
+1.85 us or less makes the architecture a balanced SCM — appears here as
+the measured bandwidth at that point staying above ~900 MB/s, i.e. half
+the Cached bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import ExperimentRecord
+from repro.analysis.tables import render_series
+from repro.device.hypothetical import HypotheticalSystem
+from repro.units import us
+
+PAPER_POINTS = {0.0: 1503, 1.85: 914, 3.9: 681, 7.8: 451}
+
+
+def run() -> tuple[ExperimentRecord, list[tuple[float, float]]]:
+    series = []
+    record = ExperimentRecord("fig12", "Hypothetical device vs tD")
+    for td_us in (0.0, 1.85, 3.9, 7.8):
+        system = HypotheticalSystem(td_ps=us(td_us))
+        bw = system.uncached_bandwidth_mb_s()
+        series.append((td_us, bw))
+        record.add(f"tD = {td_us} us", "MB/s", PAPER_POINTS[td_us], bw)
+    at_185 = dict(series)[1.85]
+    record.add("SCM-viability point (tD<=1.85us)", "MB/s", 914, at_185)
+    record.note("miss latency model: 2.72 us + 0.83 * tD, fitted to the "
+                "paper's four points (see device/hypothetical.py)")
+    return record, series
+
+
+def render(series: list[tuple[float, float]]) -> str:
+    return render_series("Fig. 12: Uncached bandwidth vs tD",
+                         [f"{td}us" for td, _ in series],
+                         [bw for _, bw in series],
+                         x_label="tD", y_label="MB/s")

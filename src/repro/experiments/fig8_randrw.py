@@ -1,0 +1,90 @@
+"""Fig. 8 — 4 KB random reads/writes, one thread, iodepth 1.
+
+Six bars: {Baseline, NVDC-Cached, NVDC-Uncached} x {read, write}, each
+as KIOPS and MB/s.  Paper values:
+
+    Baseline       R 646 K / 2606 MB/s    W 576 K / 2360 MB/s
+    NVDC-Cached    R 448 K / 1835 MB/s    W 438 K / 1796 MB/s
+    NVDC-Uncached  R 13 K  / 57.3 MB/s    W 14.2 K / 58.3 MB/s
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.results import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.experiments.common import (build_cached_nvdc, build_pmem,
+                                      build_uncached_nvdc)
+from repro.units import PAGE_4K, kb, mb
+from repro.workloads.fio import FIOJob, FIORunner
+
+PAPER = {
+    ("baseline", False): (646, 2606),
+    ("baseline", True): (576, 2360),
+    ("cached", False): (448, 1835),
+    ("cached", True): (438, 1796),
+    ("uncached", False): (13.9, 57.3),
+    ("uncached", True): (14.2, 58.3),
+}
+
+
+@dataclass
+class Fig8Row:
+    config: str
+    is_write: bool
+    kiops: float
+    mb_s: float
+
+
+def _cached_job(is_write: bool, nops: int) -> FIOJob:
+    return FIOJob(name="fig8", rw="randwrite" if is_write else "randread",
+                  bs=kb(4), size=mb(32), numjobs=1, nops=nops)
+
+
+def run(nops: int = 2000, uncached_ops: int = 120
+        ) -> tuple[ExperimentRecord, list[Fig8Row]]:
+    rows: list[Fig8Row] = []
+    for is_write in (False, True):
+        result = FIORunner(build_pmem()).run(_cached_job(is_write, nops))
+        rows.append(Fig8Row("baseline", is_write, result.kiops,
+                            result.bandwidth_mb_s))
+    for is_write in (False, True):
+        result = FIORunner(build_cached_nvdc()).run(
+            _cached_job(is_write, nops))
+        rows.append(Fig8Row("cached", is_write, result.kiops,
+                            result.bandwidth_mb_s))
+    for is_write in (False, True):
+        rows.append(_uncached_point(is_write, uncached_ops))
+
+    record = ExperimentRecord("fig8", "4 KB random R/W, single thread")
+    for row in rows:
+        paper_kiops, paper_mb = PAPER[(row.config, row.is_write)]
+        op = "write" if row.is_write else "read"
+        record.add(f"{row.config} {op}", "KIOPS", paper_kiops, row.kiops)
+        record.add(f"{row.config} {op}", "MB/s", paper_mb, row.mb_s)
+    record.note("uncached misses pay a full writeback+cachefill pair "
+                "(the PoC has no dirty tracking through DAX mappings)")
+    return record, rows
+
+
+def _uncached_point(is_write: bool, nops: int) -> Fig8Row:
+    system, first_page, t = build_uncached_nvdc(extra_pages=nops + 8)
+    start = t
+    for i in range(nops):
+        t = system.op((first_page + i) * PAGE_4K, kb(4), is_write, t)
+    span = t - start
+    kiops = nops / (span / 1e12) / 1e3
+    mb_s = nops * kb(4) / 1e6 / (span / 1e12)
+    return Fig8Row("uncached", is_write, kiops, mb_s)
+
+
+def render(rows: list[Fig8Row]) -> str:
+    table_rows = []
+    for row in rows:
+        op = "W" if row.is_write else "R"
+        paper_kiops, paper_mb = PAPER[(row.config, row.is_write)]
+        table_rows.append([f"{row.config} {op}", f"{row.kiops:.1f}",
+                           paper_kiops, f"{row.mb_s:.1f}", paper_mb])
+    return render_table(
+        ["config", "KIOPS", "paper", "MB/s", "paper"], table_rows)

@@ -1,0 +1,119 @@
+"""Parameter-sweep utilities and the design-choice sweep grids.
+
+A :class:`Sweep` evaluates a function over the cross product of two
+axes and renders the grid — the workhorse behind the "what should this
+knob be?" questions DESIGN.md calls out:
+
+* cache size x eviction policy  -> TPC-H hit rate (the §VII-B5 grid);
+* tREFI x NVM latency           -> device/host operating map;
+* window bytes x CP queue depth -> uncached-bandwidth ceiling map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.tables import render_table
+
+
+@dataclass
+class Sweep:
+    """A 2-D parameter sweep with memoised results."""
+
+    name: str
+    row_label: str
+    col_label: str
+    rows: Sequence
+    cols: Sequence
+    fn: Callable      # fn(row_value, col_value) -> float
+    unit: str = ""
+    _grid: list[list[float]] | None = field(default=None, repr=False)
+
+    def run(self) -> list[list[float]]:
+        """Evaluate the full grid (cached)."""
+        if self._grid is None:
+            self._grid = [[float(self.fn(r, c)) for c in self.cols]
+                          for r in self.rows]
+        return self._grid
+
+    def at(self, row, col) -> float:
+        grid = self.run()
+        return grid[list(self.rows).index(row)][list(self.cols).index(col)]
+
+    def best_cell(self) -> tuple:
+        """(row, col, value) of the maximum."""
+        grid = self.run()
+        best = None
+        for i, row in enumerate(self.rows):
+            for j, col in enumerate(self.cols):
+                if best is None or grid[i][j] > best[2]:
+                    best = (row, col, grid[i][j])
+        return best
+
+    def render(self) -> str:
+        grid = self.run()
+        header = [f"{self.row_label}\\{self.col_label}"] + [
+            str(c) for c in self.cols]
+        rows = [[str(r)] + [f"{v:.1f}" for v in row]
+                for r, row in zip(self.rows, grid)]
+        title = f"# {self.name}" + (f" ({self.unit})" if self.unit else "")
+        return title + "\n" + render_table(header, rows)
+
+
+# -- the concrete design-choice sweeps ---------------------------------------------
+
+
+def cache_policy_sweep(db_pages: int = 25_600) -> Sweep:
+    """TPC-H hit rate over cache size x eviction policy (§VII-B5)."""
+    from repro.workloads.tpch import simulate_hit_rate
+
+    return Sweep(
+        name="TPC-H hit rate", row_label="cache",
+        col_label="policy",
+        rows=("1GB", "2GB", "4GB", "8GB", "16GB"),
+        cols=("lrc", "lru", "clock"),
+        fn=lambda row, col: 100 * simulate_hit_rate(
+            int(row[:-2]) * 256, db_pages, policy=col),
+        unit="%")
+
+
+def operating_map_sweep() -> Sweep:
+    """Device-side bandwidth over tREFI x media tD (Figs. 12+13)."""
+    from repro.device.hypothetical import HypotheticalSystem
+    from repro.units import us
+
+    def device_bw(trefi_us: float, td_us: float) -> float:
+        # At a faster refresh rate the per-window waits shrink
+        # proportionally (the Fig. 12 experiment matches rate to tD).
+        scale = trefi_us / 7.8
+        system = HypotheticalSystem(td_ps=round(us(td_us * scale)))
+        return system.uncached_bandwidth_mb_s()
+
+    return Sweep(
+        name="uncached bandwidth", row_label="tREFI_us",
+        col_label="tD_us",
+        rows=(7.8, 3.9, 1.95),
+        cols=(0.0, 1.85, 3.9, 7.8),
+        fn=device_bw, unit="MB/s")
+
+
+def window_depth_sweep() -> Sweep:
+    """Pipelined uncached bandwidth over window bytes x CP depth."""
+    from repro.ddr.imc import RefreshTimeline
+    from repro.ddr.spec import NVDIMMC_1600
+    from repro.nand.spec import ZNAND_64GB
+    from repro.nvmc.pipeline import PipelinedNVMC
+    from repro.units import kb
+
+    timeline = RefreshTimeline(NVDIMMC_1600)
+
+    def bw(window_kb: int, depth: int) -> float:
+        model = PipelinedNVMC(timeline, ZNAND_64GB, queue_depth=depth,
+                              window_bytes=kb(window_kb))
+        return model.run_uncached(120).bandwidth_mb_s
+
+    return Sweep(
+        name="pipelined uncached bandwidth", row_label="window_kb",
+        col_label="depth", rows=(4, 8), cols=(1, 2, 4, 8),
+        fn=bw, unit="MB/s")

@@ -1,0 +1,56 @@
+"""§II-B extension — what module temperature does to NVDIMM-C.
+
+Above 85°C JEDEC halves tREFI.  For a normal DIMM that is pure
+overhead; for NVDIMM-C it *doubles the device windows* — the same knob
+Fig. 12/13 sweep deliberately, now driven by temperature.  The study
+quantifies both sides at a cool (40°C) and a hot (90°C) operating
+point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.results import ExperimentRecord
+from repro.analysis.tables import render_table
+from repro.ddr.imc import RefreshTimeline
+from repro.ddr.spec import NVDIMMC_1600
+from repro.ddr.thermal import operating_point, trefi_for_temperature
+from repro.perf.model import HostCostModel
+from repro.units import kb
+
+
+def _host_bw(temp_c: float) -> float:
+    trefi = trefi_for_temperature(temp_c)
+    spec = NVDIMMC_1600.with_trefi(trefi)
+    model = HostCostModel(RefreshTimeline(spec), "nvdc")
+    return model.cached_bandwidth_mb_s(kb(4), is_write=False)
+
+
+def run() -> ExperimentRecord:
+    record = ExperimentRecord("thermal", "Temperature vs the tREFI trade")
+    cool = operating_point(40)
+    hot = operating_point(90)
+    record.add("device ceiling @ 40C", "MiB/s", 500.8,
+               cool.device_ceiling_mb_s)
+    record.add("device ceiling @ 90C", "MiB/s", 1001.6,
+               hot.device_ceiling_mb_s)
+    cool_host = _host_bw(40)
+    hot_host = _host_bw(90)
+    record.add("host cached bw @ 40C", "MB/s", 1835, cool_host)
+    record.add("host cached bw @ 90C (tREFI2)", "MB/s", 1691, hot_host)
+    record.add("host cost of running hot (paper: 8%)", "%", None,
+               (1 - hot_host / cool_host) * 100)
+    record.note("a hot NVDIMM-C is a faster SCM: thermal throttling "
+                "doubles the device windows for the Fig. 13 tREFI2 "
+                "price (~8 % of host bandwidth)")
+    return record
+
+
+def render() -> str:
+    rows = []
+    for temp in (40, 85, 86, 90, 95):
+        point = operating_point(temp)
+        rows.append([f"{temp}C", f"{point.trefi_ps / 1e6:.1f}",
+                     f"{point.device_ceiling_mb_s:.0f}",
+                     f"{_host_bw(temp):.0f}"])
+    return render_table(
+        ["temp", "tREFI (us)", "device MiB/s", "host MB/s"], rows)

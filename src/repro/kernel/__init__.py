@@ -1,0 +1,40 @@
+"""The software stack: reserved memory, block layer, DAX, drivers.
+
+A faithful control-flow port of the paper's §IV-B/§IV-C software:
+
+* :mod:`repro.kernel.memmap` — the ``memmap=nn$ss`` reserved region and
+  its Fig. 5 layout (CP page, metadata area, cache slots).
+* :mod:`repro.kernel.blockdev` — the block-device abstraction with the
+  ``device_access`` fsdax hook (§II-A).
+* :mod:`repro.kernel.eviction` — cache-slot replacement policies: the
+  PoC's LRC (FIFO), plus LRU and CLOCK for the §VII-B5 comparison.
+* :mod:`repro.kernel.fs` — the DAX-aware filesystem layer and fault
+  path (Fig. 6).
+* :mod:`repro.kernel.nvdc` — the NVDIMM-C driver: slot management, CP
+  protocol exchange, explicit coherence.
+* :mod:`repro.kernel.pmem` — the emulated-NVDIMM baseline driver.
+"""
+
+from repro.kernel.blockdev import BlockDevice, SECTOR_BYTES
+from repro.kernel.eviction import (ClockPolicy, EvictionPolicy, LRCPolicy,
+                                   LRUPolicy, make_policy)
+from repro.kernel.fs import DaxFile, DaxFilesystem
+from repro.kernel.memmap import RegionLayout, ReservedRegion
+from repro.kernel.nvdc import NvdcDriver
+from repro.kernel.pmem import PmemDriver
+
+__all__ = [
+    "BlockDevice",
+    "SECTOR_BYTES",
+    "ClockPolicy",
+    "EvictionPolicy",
+    "LRCPolicy",
+    "LRUPolicy",
+    "make_policy",
+    "DaxFile",
+    "DaxFilesystem",
+    "RegionLayout",
+    "ReservedRegion",
+    "NvdcDriver",
+    "PmemDriver",
+]

@@ -1,0 +1,111 @@
+"""Device DAX (devdax) — the §V-C future-work path, implemented.
+
+The PoC exposes only fsdax ("the nvdc driver does not implement devdax,
+so direct manipulation of persistency from user applications is
+currently not supported").  This extension adds the character-device
+path: the whole block device is mapped into a process's address space
+with no filesystem in between, and the application manages persistency
+itself with clflush + sfence — the libpmem programming model.
+
+The fault path is the same driver miss machinery as fsdax, minus the
+filesystem's block lookup: the device page *is* the offset page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.mmu import MMU
+from repro.errors import KernelError
+from repro.kernel.nvdc import NvdcDriver
+from repro.units import PAGE_4K
+
+
+@dataclass
+class DevDaxMapping:
+    """An established /dev/daxX.Y mapping."""
+
+    vaddr: int
+    length: int
+
+    def vaddr_of(self, offset: int) -> int:
+        if not 0 <= offset < self.length:
+            raise KernelError(f"offset {offset} outside devdax mapping")
+        return self.vaddr + offset
+
+
+class DevDaxDevice:
+    """Character-device front end over the nvdc driver."""
+
+    def __init__(self, driver: NvdcDriver, name: str = "dax0.0") -> None:
+        self.driver = driver
+        self.name = name
+        self.fault_count = 0
+        #: Time cursor used by fault handlers (MMU callbacks carry no
+        #: timestamp, exactly as in the kernel).
+        self.now_ps = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.driver.capacity_bytes
+
+    def mmap(self, mmu: MMU, vaddr: int,
+             length: int | None = None) -> DevDaxMapping:
+        """Map ``length`` bytes of the device at ``vaddr``.
+
+        Alignment must be 4 KB (real devdax enforces its base alignment
+        at open time).
+        """
+        if vaddr % PAGE_4K:
+            raise KernelError("devdax mapping must be page-aligned")
+        length = self.size_bytes if length is None else length
+        if length % PAGE_4K or length > self.size_bytes:
+            raise KernelError(
+                f"devdax mapping length {length} invalid for "
+                f"{self.size_bytes}-byte device")
+        mapping = DevDaxMapping(vaddr=vaddr, length=length)
+
+        def dax_fault(fault_vaddr: int) -> bool:
+            self.fault_count += 1
+            offset = fault_vaddr - vaddr
+            page = offset // PAGE_4K
+            slot = self.driver.page_to_slot.get(page)
+            if slot is None:
+                slot, end_ps = self.driver.fault(page, self.now_ps,
+                                                 for_write=True)
+                self.now_ps = max(self.now_ps, end_ps)
+            paddr = self.driver.region.slot_paddr(slot)
+            mmu.map_page((vaddr + page * PAGE_4K) // PAGE_4K,
+                         paddr // PAGE_4K)
+            return True
+
+        def on_evict(device_page: int) -> None:
+            if device_page * PAGE_4K < length:
+                mmu.unmap_page((vaddr + device_page * PAGE_4K) // PAGE_4K)
+
+        mmu.register_fault_handler(vaddr, length, dax_fault)
+        self.driver.on_evict.append(on_evict)
+        return mapping
+
+    def persist(self, core, vaddr: int, nbytes: int) -> None:
+        """The user-space durability ritual: clflush range + sfence.
+
+        After this returns, the range is in the DRAM cache — the §V-C
+        persistence domain — and will survive power failure via the
+        battery-backed drain.
+        """
+        core.clflush_range(vaddr, nbytes)
+        core.sfence()
+        # Pages covered become dirty-tracked so eviction writes them
+        # back (the driver cannot see user-space stores otherwise).
+        first = vaddr // PAGE_4K
+        last = (vaddr + nbytes - 1) // PAGE_4K
+        base_pfn = self.driver.region.slot_pfn(0)
+        for vpn in range(first, last + 1):
+            pte = core.mmu.pte(vpn)
+            if pte is None:
+                continue
+            slot = pte.pfn - base_pfn
+            page = self.driver.slot_to_page.get(slot)
+            if page is not None:
+                self.driver.mark_write(page)

@@ -1,0 +1,140 @@
+"""The DAX-aware filesystem layer: files, mmap, and the fault path.
+
+§II-A / Fig. 6: an application mmaps a file on the DAX filesystem; the
+first touch of each 4 KB page faults; the kernel routes the fault to the
+filesystem, which calls the device's ``device_access`` to obtain the
+backing PFN and installs the PTE; the retried access then proceeds as a
+plain load/store.
+
+The filesystem here is a minimal extent-based XFS stand-in: contiguous
+allocation, 4 KB blocks, no journaling — enough to exercise the exact
+fault flow and offset arithmetic the driver depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.mmu import MMU
+from repro.errors import KernelError
+from repro.kernel.blockdev import BlockDevice, SECTORS_PER_PAGE
+from repro.units import PAGE_4K
+
+
+@dataclass
+class DaxFile:
+    """One file: a contiguous extent of device pages."""
+
+    name: str
+    start_page: int       # first device page of the extent
+    num_pages: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * PAGE_4K
+
+    def device_page(self, offset: int) -> int:
+        """Device page backing a byte offset within the file."""
+        if not 0 <= offset < self.size_bytes:
+            raise KernelError(
+                f"offset {offset} outside file {self.name!r}")
+        return self.start_page + offset // PAGE_4K
+
+
+@dataclass
+class Mapping:
+    """An established mmap of a file into a virtual address range."""
+
+    file: DaxFile
+    vaddr: int
+
+    def vaddr_of(self, offset: int) -> int:
+        return self.vaddr + offset
+
+
+class DaxFilesystem:
+    """Mounted-with ``-o dax`` filesystem over one block device."""
+
+    def __init__(self, device: BlockDevice, name: str = "xfs-dax") -> None:
+        self.device = device
+        self.name = name
+        self.files: dict[str, DaxFile] = {}
+        self._next_page = 0
+        self.fault_count = 0
+        #: Driver-visible clock used by fault handlers (the MMU fault
+        #: callback carries no timestamp, as in the kernel).
+        self.now_ps = 0
+
+    # -- namespace --------------------------------------------------------------------
+
+    def create(self, name: str, size_bytes: int) -> DaxFile:
+        """Create a file with a contiguous extent."""
+        if name in self.files:
+            raise KernelError(f"file {name!r} exists")
+        num_pages = -(-size_bytes // PAGE_4K)
+        if (self._next_page + num_pages) > self.device.num_pages:
+            raise KernelError(
+                f"filesystem full: {name!r} needs {num_pages} pages")
+        handle = DaxFile(name=name, start_page=self._next_page,
+                         num_pages=num_pages)
+        self._next_page += num_pages
+        self.files[name] = handle
+        return handle
+
+    # -- mmap + fault path (Fig. 6) ------------------------------------------------------
+
+    def mmap(self, handle: DaxFile, mmu: MMU, vaddr: int) -> Mapping:
+        """Map a file at ``vaddr`` and register the DAX fault handler."""
+        if vaddr % PAGE_4K:
+            raise KernelError("mmap address must be page-aligned")
+        mapping = Mapping(file=handle, vaddr=vaddr)
+
+        def dax_fault(fault_vaddr: int) -> bool:
+            self.fault_count += 1
+            offset = (fault_vaddr - vaddr) - (fault_vaddr - vaddr) % PAGE_4K
+            page = handle.device_page(offset)
+            dax = self.device.device_access(
+                page * SECTORS_PER_PAGE, self.now_ps, for_write=True)
+            self.now_ps = max(self.now_ps, dax.end_ps)
+            mmu.map_page((vaddr + offset) // PAGE_4K, dax.pfn)
+            return True
+
+        def on_evict(device_page: int) -> None:
+            # Tear down the PTE of an evicted page so the next access
+            # re-faults (the driver keeps PTE pointers for this, §IV-B).
+            if handle.start_page <= device_page < (handle.start_page
+                                                   + handle.num_pages):
+                offset = (device_page - handle.start_page) * PAGE_4K
+                mmu.unmap_page((vaddr + offset) // PAGE_4K)
+
+        mmu.register_fault_handler(vaddr, handle.size_bytes, dax_fault)
+        if hasattr(self.device, "on_evict"):
+            self.device.on_evict.append(on_evict)
+        return mapping
+
+    # -- buffered (non-DAX) I/O, used by the file-copy workload -------------------------------
+
+    def pwrite(self, handle: DaxFile, offset: int, data: bytes,
+               now_ps: int) -> int:
+        """Page-granular write through the block layer."""
+        if offset % PAGE_4K or len(data) % PAGE_4K:
+            raise KernelError("pwrite must be page-aligned (block layer)")
+        t = now_ps
+        for i in range(len(data) // PAGE_4K):
+            page = handle.device_page(offset + i * PAGE_4K)
+            t = self.device.write_page(
+                page, data[i * PAGE_4K:(i + 1) * PAGE_4K], t)
+        return t
+
+    def pread(self, handle: DaxFile, offset: int, nbytes: int,
+              now_ps: int) -> tuple[bytes, int]:
+        """Page-granular read through the block layer."""
+        if offset % PAGE_4K or nbytes % PAGE_4K:
+            raise KernelError("pread must be page-aligned (block layer)")
+        out = bytearray()
+        t = now_ps
+        for i in range(nbytes // PAGE_4K):
+            page = handle.device_page(offset + i * PAGE_4K)
+            data, t = self.device.read_page(page, t)
+            out.extend(data)
+        return bytes(out), t

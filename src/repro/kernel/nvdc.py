@@ -1,0 +1,286 @@
+"""The nvdc driver: DRAM-cache management over the CP protocol.
+
+This is the software half of NVDIMM-C (§IV-B/§IV-C, Fig. 6):
+
+* the 120 GB block device is direct-mapped: sector -> 4 KB NAND page;
+* the reserved region's slots form a fully associative, 4 KB-line cache
+  of those pages;
+* a miss allocates a free slot (or evicts a victim — writeback first if
+  dirty) and performs a *cachefill* through the CP mailbox;
+* explicit coherence brackets every CP operation: ``clflush`` +
+  ``sfence`` before a writeback so the device snapshots current bytes,
+  cacheline invalidation after a cachefill so the CPU cannot serve
+  stale data (§V-B);
+* eviction policy is pluggable — the PoC's LRC, or LRU/CLOCK for the
+  §VII-B5 study.
+
+``skip_coherence=True`` builds the *broken* driver that omits the §V-B
+bracket; the coherence tests use it to demonstrate the corruption the
+paper warns about.
+
+The PoC has no per-page dirty tracking through the writable DAX
+mappings, so it conservatively treats every mapped page as dirty
+(``conservative_dirty=True``, the configuration that reproduces the
+measured read-miss cost of a full writeback+cachefill pair, §VII-B2).
+Precise dirty tracking is available for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cpu.cache import CPUCache
+from repro.ddr.device import DRAMDevice
+from repro.errors import KernelError, OutOfSlotsError
+from repro.kernel.blockdev import (BlockDevice, DaxMapping, sector_to_page)
+from repro.kernel.eviction import EvictionPolicy, make_policy
+from repro.kernel.memmap import ReservedRegion
+from repro.nvmc.cp import CPCommand, Opcode
+from repro.nvmc.nvmc import NVMCModel
+from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.units import PAGE_4K
+
+
+@dataclass
+class NvdcStats:
+    """Driver-level counters."""
+
+    hits: int = 0
+    misses: int = 0
+    cachefills: int = 0
+    writebacks: int = 0
+    evictions: int = 0
+    merged_ops: int = 0
+    overwrite_claims: int = 0
+    fault_ns_total: float = 0.0
+    windows_total: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class NvdcDriver(BlockDevice):
+    """Driver for /dev/nvdc0."""
+
+    def __init__(self, region: ReservedRegion, nvmc: NVMCModel,
+                 dram: DRAMDevice, cpu_cache: CPUCache | None = None,
+                 policy: str | EvictionPolicy = "lrc",
+                 conservative_dirty: bool = True,
+                 skip_coherence: bool = False,
+                 use_merged_commands: bool = False,
+                 calibration: CalibrationConstants = DEFAULT_CALIBRATION,
+                 name: str = "nvdc0") -> None:
+        capacity = nvmc.nand.logical_capacity_bytes
+        super().__init__(name, capacity)
+        self.region = region
+        self.nvmc = nvmc
+        self.dram = dram
+        self.cpu_cache = cpu_cache
+        self.policy: EvictionPolicy = (
+            make_policy(policy) if isinstance(policy, str) else policy)
+        self.conservative_dirty = conservative_dirty
+        self.skip_coherence = skip_coherence
+        self.use_merged_commands = use_merged_commands
+        self.calibration = calibration
+        # Mapping state (lives in the Fig. 5 metadata area on hardware).
+        self.page_to_slot: dict[int, int] = {}
+        self.slot_to_page: dict[int, int] = {}
+        self.dirty_slots: set[int] = set()
+        self.free_slots: deque[int] = deque(range(region.num_slots))
+        #: Called with the evicted device page: the DAX layers register
+        #: PTE teardown here (§IV-B stores "the pointer to the
+        #: associated PTE" in the FIFO for exactly this purpose).
+        self.on_evict: list = []
+        self.stats = NvdcStats()
+        # Point the NVMC's slot arithmetic at our slot area.
+        nvmc.slot_base = region.base_paddr + region.layout.slots_offset
+
+    # -- fast-path lookup (the post-fault mapped state) ---------------------------------
+
+    def lookup(self, page: int) -> int | None:
+        """Slot holding ``page`` if cached, else None (no side effects
+        beyond recency bookkeeping)."""
+        slot = self.page_to_slot.get(page)
+        if slot is not None:
+            self.stats.hits += 1
+            self.policy.on_access(slot)
+        return slot
+
+    def mark_write(self, page: int) -> None:
+        """Record a store to a cached page (dirty bookkeeping)."""
+        slot = self.page_to_slot.get(page)
+        if slot is not None:
+            self.dirty_slots.add(slot)
+
+    # -- the miss path (Fig. 6) -----------------------------------------------------------
+
+    def fault(self, page: int, now_ps: int, for_write: bool,
+              full_page_write: bool = False) -> tuple[int, int]:
+        """Resolve a miss on device page ``page``; returns (slot, end).
+
+        Implements the §IV-B flow: free slot -> cachefill; no free slot
+        -> evict (writeback if dirty) then cachefill.
+
+        ``full_page_write`` marks block-layer writes that cover the
+        whole 4 KB page: when a *free slot* is available, those skip
+        the CP exchange entirely (the slot is claimed and overwritten),
+        which is how the PoC reaches its SSD-limited 518 MB/s during
+        the Fig. 7 free-slot phase.  On the eviction path the PoC still
+        performs the full writeback+cachefill pair — the DAX fault
+        handler cannot know the upcoming store pattern (§VII-B1).
+        """
+        if not 0 <= page < self.num_pages:
+            raise KernelError(f"{self.name}: page {page} beyond device")
+        if page in self.page_to_slot:
+            raise KernelError(f"{self.name}: fault on cached page {page}")
+        self.stats.misses += 1
+        t = now_ps + self.calibration.nvdc_miss_sw_ps
+
+        victim_page: int | None = None
+        victim_dirty = False
+        if not self.free_slots:
+            victim = self.policy.pick_victim()
+            victim_page = self.slot_to_page.pop(victim)
+            del self.page_to_slot[victim_page]
+            victim_dirty = (victim in self.dirty_slots
+                            or self.conservative_dirty)
+            self.dirty_slots.discard(victim)
+            self.stats.evictions += 1
+            for callback in self.on_evict:
+                callback(victim_page)
+            if victim_dirty and not self.use_merged_commands:
+                t = self._writeback(victim, victim_page, t)
+            self.free_slots.append(victim)
+
+        slot = self.free_slots.popleft()
+        if full_page_write and victim_page is None:
+            t = self._claim_for_overwrite(slot, t)
+        elif (self.use_merged_commands and victim_page is not None
+                and victim_dirty):
+            t = self._merged(slot, page, slot, victim_page, t)
+        else:
+            t = self._cachefill(slot, page, t)
+        self.page_to_slot[page] = slot
+        self.slot_to_page[slot] = page
+        self.policy.on_cached(slot)
+        if for_write or self.conservative_dirty:
+            self.dirty_slots.add(slot)
+        self.stats.fault_ns_total += (t - now_ps) / 1000.0
+        return slot, t
+
+    # -- CP exchanges -----------------------------------------------------------------------
+
+    def _writeback(self, slot: int, page: int, now_ps: int) -> int:
+        """Flush + CP WRITEBACK + ack poll (§IV-C)."""
+        paddr = self.region.slot_paddr(slot)
+        if self.cpu_cache is not None and not self.skip_coherence:
+            self.cpu_cache.flush_range(paddr, PAGE_4K)
+            self.cpu_cache.sfence()
+        command = CPCommand(phase=self.nvmc.next_phase(),
+                            opcode=Opcode.WRITEBACK,
+                            dram_slot=slot, nand_page=page)
+        result = self.nvmc.submit(command, now_ps)
+        self.stats.writebacks += 1
+        self.stats.windows_total += result.windows_used
+        return result.completion_ps + self.calibration.nvdc_ack_poll_ps
+
+    def _claim_for_overwrite(self, slot: int, now_ps: int) -> int:
+        """Free-slot full-page write: no CP exchange, just hygiene.
+
+        The slot's previous contents are zeroed (a hole must not leak
+        another tenant's bytes) and any CPU-cached lines dropped.
+        """
+        paddr = self.region.slot_paddr(slot)
+        self.dram.poke(paddr, bytes(PAGE_4K))
+        if self.cpu_cache is not None and not self.skip_coherence:
+            self.cpu_cache.invalidate_range(paddr, PAGE_4K)
+        self.stats.overwrite_claims += 1
+        return now_ps
+
+    def _cachefill(self, slot: int, page: int, now_ps: int) -> int:
+        """CP CACHEFILL + ack poll + cacheline invalidation (§V-B)."""
+        command = CPCommand(phase=self.nvmc.next_phase(),
+                            opcode=Opcode.CACHEFILL,
+                            dram_slot=slot, nand_page=page)
+        result = self.nvmc.submit(command, now_ps)
+        self.stats.cachefills += 1
+        self.stats.windows_total += result.windows_used
+        if self.cpu_cache is not None and not self.skip_coherence:
+            paddr = self.region.slot_paddr(slot)
+            self.cpu_cache.invalidate_range(paddr, PAGE_4K)
+        return result.completion_ps + self.calibration.nvdc_ack_poll_ps
+
+    def _merged(self, fill_slot: int, fill_page: int, wb_slot: int,
+                wb_page: int, now_ps: int) -> int:
+        """§VII-C item (4): one CP command carrying both halves."""
+        paddr = self.region.slot_paddr(wb_slot)
+        if self.cpu_cache is not None and not self.skip_coherence:
+            self.cpu_cache.flush_range(paddr, PAGE_4K)
+            self.cpu_cache.sfence()
+        command = CPCommand(phase=self.nvmc.next_phase(),
+                            opcode=Opcode.MERGED,
+                            dram_slot=fill_slot, nand_page=fill_page,
+                            wb_dram_slot=wb_slot, wb_nand_page=wb_page)
+        result = self.nvmc.submit(command, now_ps)
+        self.stats.merged_ops += 1
+        self.stats.windows_total += result.windows_used
+        if self.cpu_cache is not None and not self.skip_coherence:
+            fill_paddr = self.region.slot_paddr(fill_slot)
+            self.cpu_cache.invalidate_range(fill_paddr, PAGE_4K)
+        return result.completion_ps + self.calibration.nvdc_ack_poll_ps
+
+    # -- BlockDevice interface -----------------------------------------------------------------
+
+    def device_access(self, sector: int, now_ps: int,
+                      for_write: bool) -> DaxMapping:
+        """The fsdax hook: byte-addressable mapping for a block."""
+        self.check_sector(sector)
+        page = sector_to_page(sector)
+        slot = self.page_to_slot.get(page)
+        if slot is not None:
+            self.stats.hits += 1
+            self.policy.on_access(slot)
+            if for_write:
+                self.dirty_slots.add(slot)
+            end_ps = now_ps
+        else:
+            slot, end_ps = self.fault(page, now_ps, for_write)
+        paddr = self.region.slot_paddr(slot)
+        return DaxMapping(pfn=paddr // PAGE_4K, paddr=paddr, end_ps=end_ps)
+
+    def read_page(self, page: int, now_ps: int) -> tuple[bytes, int]:
+        """Block-layer page read (through the DRAM cache)."""
+        mapping = self.device_access(page * 8, now_ps, for_write=False)
+        data = self.dram.peek(mapping.paddr, PAGE_4K)
+        return data, mapping.end_ps
+
+    def write_page(self, page: int, data: bytes, now_ps: int) -> int:
+        """Block-layer page write (dirties the DRAM cache slot)."""
+        if len(data) != PAGE_4K:
+            raise KernelError("write_page needs exactly 4 KB")
+        sector = page * 8
+        self.check_sector(sector)
+        slot = self.page_to_slot.get(page)
+        if slot is not None:
+            self.stats.hits += 1
+            self.policy.on_access(slot)
+            self.dirty_slots.add(slot)
+            end_ps = now_ps
+        else:
+            slot, end_ps = self.fault(page, now_ps, for_write=True,
+                                      full_page_write=True)
+        self.dram.poke(self.region.slot_paddr(slot), data)
+        return end_ps
+
+    # -- capacity accounting ----------------------------------------------------------------------
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self.page_to_slot)
+
+    @property
+    def free_slot_count(self) -> int:
+        return len(self.free_slots)

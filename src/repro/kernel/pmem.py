@@ -1,0 +1,52 @@
+"""The emulated-NVDIMM baseline driver (/dev/pmem0).
+
+§VI: "we compare the results of our device with the emulated NVDIMM,
+which is integrated in the Linux kernel v4.2 or later ...  The NVDIMM
+emulation device uses the DRAMs as the back-end media (like a ramdisk);
+thus, it actually does not guarantee the persistency property."
+
+Every access is a hit by construction: ``device_access`` returns the
+direct mapping immediately.  The paper treats this device as the upper
+bound of NVDIMM-C performance.
+"""
+
+from __future__ import annotations
+
+from repro.ddr.device import DRAMDevice
+from repro.errors import KernelError
+from repro.kernel.blockdev import BlockDevice, DaxMapping, sector_to_page
+from repro.units import PAGE_4K
+
+
+class PmemDriver(BlockDevice):
+    """Ramdisk-like DAX device over a plain DRAM region."""
+
+    def __init__(self, dram: DRAMDevice, base_paddr: int,
+                 capacity_bytes: int, name: str = "pmem0") -> None:
+        super().__init__(name, capacity_bytes)
+        if base_paddr % PAGE_4K:
+            raise KernelError("pmem region must be page-aligned")
+        self.dram = dram
+        self.base_paddr = base_paddr
+        self.accesses = 0
+
+    def page_paddr(self, page: int) -> int:
+        return self.base_paddr + page * PAGE_4K
+
+    def device_access(self, sector: int, now_ps: int,
+                      for_write: bool) -> DaxMapping:
+        """Direct mapping: DRAM is the media, nothing to fill."""
+        self.check_sector(sector)
+        self.accesses += 1
+        paddr = self.page_paddr(sector_to_page(sector))
+        return DaxMapping(pfn=paddr // PAGE_4K, paddr=paddr, end_ps=now_ps)
+
+    def read_page(self, page: int, now_ps: int) -> tuple[bytes, int]:
+        paddr = self.page_paddr(page)
+        return self.dram.peek(paddr, PAGE_4K), now_ps
+
+    def write_page(self, page: int, data: bytes, now_ps: int) -> int:
+        if len(data) != PAGE_4K:
+            raise KernelError("write_page needs exactly 4 KB")
+        self.dram.poke(self.page_paddr(page), data)
+        return now_ps

@@ -1,0 +1,33 @@
+"""Z-NAND substrate: devices, ECC, FTL, channel controller.
+
+The paper's backend is two 64 GB Samsung Z-NAND packages (low-latency
+SLC NAND) managed by an FTL running on a Cortex-A53 core (§IV-A).  This
+package models that stack:
+
+* :mod:`repro.nand.spec` — geometry and timing of the Z-NAND parts.
+* :mod:`repro.nand.device` — dies/planes/blocks/pages with Read /
+  Program / Erase semantics, wear counting and bad blocks.
+* :mod:`repro.nand.ecc` — the 4 KB-codeword ECC model with bit-error
+  injection (the NVMC performs ECC "at the granularity of 4 KB", §III-A).
+* :mod:`repro.nand.ftl` — page-mapped flash translation layer with
+  wear-levelling, greedy garbage collection and bad-block management.
+* :mod:`repro.nand.controller` — the channel controller that serialises
+  operations per channel and exposes logical-page read/program.
+"""
+
+from repro.nand.spec import ZNANDSpec, ZNAND_64GB
+from repro.nand.device import NANDDie, PageState
+from repro.nand.ecc import ECCCodec, ECCStats
+from repro.nand.ftl import FlashTranslationLayer
+from repro.nand.controller import NANDController
+
+__all__ = [
+    "ZNANDSpec",
+    "ZNAND_64GB",
+    "NANDDie",
+    "PageState",
+    "ECCCodec",
+    "ECCStats",
+    "FlashTranslationLayer",
+    "NANDController",
+]

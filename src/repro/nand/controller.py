@@ -1,0 +1,153 @@
+"""The NAND channel controller: timing + ECC over the FTL.
+
+The PoC has two Z-NAND channels; dies are striped across them.  The
+controller converts the FTL's physical-operation lists into simulated
+time (per-channel busy cursors, so the channels overlap) and applies the
+ECC model on every page read — exercising the full encode / inject /
+decode path with an RBER derived from the source block's wear.
+
+Operations take and return picosecond timestamps in the same
+time-cursor style as :class:`repro.ddr.controller.DDR4Controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UncorrectableError
+from repro.nand.device import NANDDie
+from repro.nand.ecc import ECCCodec
+from repro.nand.ftl import FlashTranslationLayer, PhysOp
+from repro.nand.spec import ZNANDSpec
+
+
+@dataclass
+class NANDControllerStats:
+    """Timing/ECC counters for the channel controller."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    ecc_corrected_bits: int = 0
+    ecc_uncorrectable: int = 0
+
+
+class NANDController:
+    """Two-channel (configurable) Z-NAND controller with FTL and ECC."""
+
+    def __init__(self, spec: ZNANDSpec, logical_capacity_bytes: int,
+                 channels: int = 2, dies_total: int | None = None,
+                 seed: int = 7, firmware_overhead_ps: int = 0) -> None:
+        spec.validate()
+        self.spec = spec
+        self.channels = channels
+        dies_total = dies_total or spec.dies * 2   # two packages on the DIMM
+        self.dies = [NANDDie(spec, die_index=i, rng_seed=seed)
+                     for i in range(dies_total)]
+        self.ftl = FlashTranslationLayer(self.dies, logical_capacity_bytes)
+        self.codec = ECCCodec(payload_bytes=spec.page_bytes, seed=seed)
+        self.firmware_overhead_ps = firmware_overhead_ps
+        # The channel bus is held only while data shuttles; array
+        # operations occupy the die.  Z-NAND supports program suspend,
+        # so reads are not blocked by an in-flight program's array time.
+        self._channel_busy_until = [0] * channels
+        self._die_busy_until = [0] * len(self.dies)
+        self.stats = NANDControllerStats()
+
+    def channel_of_die(self, die_index: int) -> int:
+        """Dies are striped across channels."""
+        return die_index % self.channels
+
+    # -- logical page operations -------------------------------------------------------
+
+    def read_page(self, lpn: int, start_ps: int) -> tuple[bytes | None, int]:
+        """Read a logical 4 KB page; returns (data, completion time).
+
+        Never-written pages return ``(None, start_ps)`` — the driver
+        materialises them as zeros without touching the media.
+        """
+        data, ppa, ops = self.ftl.read_page(lpn)
+        if data is None:
+            return None, start_ps
+        end_ps = self._account(ops, start_ps)
+        data = self._ecc_pass(data, ppa.die, ppa.plane, ppa.block)
+        self.stats.page_reads += 1
+        return data, end_ps
+
+    def program_page(self, lpn: int, data: bytes, start_ps: int) -> int:
+        """Program a logical 4 KB page; returns the completion time."""
+        _ppa, ops = self.ftl.write_page(lpn, data)
+        end_ps = self._account(ops, start_ps)
+        self.stats.page_programs += 1
+        return end_ps
+
+    def trim(self, lpn: int) -> None:
+        self.ftl.trim(lpn)
+
+    def preload(self, lpn: int, data: bytes) -> None:
+        """Initialisation backdoor: program a page without consuming
+        simulated time (models content that existed before t=0)."""
+        self.ftl.write_page(lpn, data)
+        self.stats.page_programs += 1
+
+    # -- timing -------------------------------------------------------------------------
+
+    def _account(self, ops: list[PhysOp], start_ps: int) -> int:
+        """Schedule ops onto dies (array time) and channels (bus time).
+
+        * **read** — tR on the die (program-suspend lets it start even
+          while a program is in flight), then the page transfer on the
+          channel bus.
+        * **program** — page transfer on the bus, then tPROG on the
+          die; the bus is released during the array program.
+        * **erase** — die-only.
+
+        Returns the completion time of the last op in the list.
+        """
+        start_ps += self.firmware_overhead_ps
+        latest = start_ps
+        transfer = self.spec.transfer_ps_per_page
+        for op in ops:
+            channel = self.channel_of_die(op.die)
+            if op.kind == "read":
+                array_end = max(start_ps, 0) + self.spec.tr_ps
+                bus_begin = max(array_end,
+                                self._channel_busy_until[channel])
+                end = bus_begin + transfer
+                self._channel_busy_until[channel] = end
+            elif op.kind == "program":
+                bus_begin = max(start_ps,
+                                self._channel_busy_until[channel])
+                bus_end = bus_begin + transfer
+                self._channel_busy_until[channel] = bus_end
+                array_begin = max(bus_end, self._die_busy_until[op.die])
+                end = array_begin + self.spec.tprog_ps
+                self._die_busy_until[op.die] = end
+            else:   # erase
+                begin = max(start_ps, self._die_busy_until[op.die])
+                end = begin + self.spec.tbers_ps
+                self._die_busy_until[op.die] = end
+            latest = max(latest, end)
+        return latest
+
+    # -- ECC ---------------------------------------------------------------------------------
+
+    def _ecc_pass(self, data: bytes, die: int, plane: int,
+                  block: int) -> bytes:
+        """Encode/inject/decode round trip at the block's current RBER."""
+        wear = self.dies[die].block_info(plane, block).erase_count
+        rber = ECCCodec.rber_for_wear(wear, self.spec.endurance_pe_cycles)
+        codeword = self.codec.encode(data)
+        self.codec.inject_errors(codeword, rber)
+        try:
+            decoded = self.codec.decode(codeword)
+        except UncorrectableError:
+            self.stats.ecc_uncorrectable += 1
+            raise
+        self.stats.ecc_corrected_bits = self.codec.stats.bits_corrected
+        return decoded
+
+    # -- capacity ------------------------------------------------------------------------------
+
+    @property
+    def logical_capacity_bytes(self) -> int:
+        return self.ftl.logical_pages * self.spec.page_bytes

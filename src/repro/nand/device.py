@@ -1,0 +1,168 @@
+"""NAND die model: blocks, pages, Read/Program/Erase semantics.
+
+NAND's physical rules shape everything above it and are enforced here:
+
+* a page must be erased before it can be programmed;
+* pages within a block must be programmed in order;
+* erase works on whole blocks and wears them out (P/E cycles);
+* blocks can be bad — from the factory or by wear-out.
+
+Data is stored sparsely per programmed page.  Addresses within a die are
+``(plane, block, page)``; flattening across dies/channels is the
+controller's and FTL's business.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MediaError
+from repro.nand.spec import ZNANDSpec
+
+
+class PageState(enum.Enum):
+    """A page is erased, holds data, or holds stale (invalidated) data."""
+
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+
+
+@dataclass
+class BlockInfo:
+    """Per-block wear and health bookkeeping."""
+
+    erase_count: int = 0
+    bad: bool = False
+    next_page: int = 0    # program-in-order cursor
+
+
+class NANDDie:
+    """One die: ``planes_per_die`` planes of ``blocks_per_plane`` blocks."""
+
+    def __init__(self, spec: ZNANDSpec, die_index: int = 0,
+                 rng_seed: int | None = None) -> None:
+        spec.validate()
+        self.spec = spec
+        self.die_index = die_index
+        self.blocks: dict[tuple[int, int], BlockInfo] = {}
+        self._data: dict[tuple[int, int, int], bytes] = {}
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+        if rng_seed is not None:
+            self._seed_factory_bad_blocks(rng_seed)
+
+    def _seed_factory_bad_blocks(self, seed: int) -> None:
+        """Mark factory bad blocks pseudo-randomly (ppm from the spec)."""
+        import random
+        rng = random.Random(seed ^ (self.die_index * 0x9E3779B9))
+        for plane in range(self.spec.planes_per_die):
+            for block in range(self.spec.blocks_per_plane):
+                if rng.random() < self.spec.initial_bad_block_ppm / 1e6:
+                    self.block_info(plane, block).bad = True
+
+    def block_info(self, plane: int, block: int) -> BlockInfo:
+        self._check_block(plane, block)
+        key = (plane, block)
+        info = self.blocks.get(key)
+        if info is None:
+            info = BlockInfo()
+            self.blocks[key] = info
+        return info
+
+    # -- operations ---------------------------------------------------------
+
+    def read_page(self, plane: int, block: int, page: int) -> bytes:
+        """Raw page read; erased pages read as all-0xFF (NAND idiom)."""
+        self._check_page(plane, block, page)
+        info = self.block_info(plane, block)
+        if info.bad:
+            raise MediaError(
+                f"die {self.die_index}: read from bad block "
+                f"({plane},{block})")
+        self.reads += 1
+        data = self._data.get((plane, block, page))
+        if data is None:
+            return b"\xff" * self.spec.page_bytes
+        return data
+
+    def program_page(self, plane: int, block: int, page: int,
+                     data: bytes) -> None:
+        """Program a page; must target the block's next erased page."""
+        self._check_page(plane, block, page)
+        if len(data) != self.spec.page_bytes:
+            raise MediaError(
+                f"program data must be exactly {self.spec.page_bytes} B, "
+                f"got {len(data)}")
+        info = self.block_info(plane, block)
+        if info.bad:
+            raise MediaError(
+                f"die {self.die_index}: program to bad block "
+                f"({plane},{block})")
+        if page != info.next_page:
+            raise MediaError(
+                f"die {self.die_index}: out-of-order program "
+                f"(page {page}, expected {info.next_page}) in block "
+                f"({plane},{block})")
+        if info.erase_count == 0 and info.next_page == 0 and (
+                (plane, block, page) in self._data):
+            raise MediaError("program to non-erased page")
+        info.next_page += 1
+        self._data[(plane, block, page)] = bytes(data)
+        self.programs += 1
+
+    def erase_block(self, plane: int, block: int) -> None:
+        """Erase a whole block, aging it; wears out at endurance limit."""
+        self._check_block(plane, block)
+        info = self.block_info(plane, block)
+        if info.bad:
+            raise MediaError(
+                f"die {self.die_index}: erase of bad block "
+                f"({plane},{block})")
+        for page in range(self.spec.pages_per_block):
+            self._data.pop((plane, block, page), None)
+        info.erase_count += 1
+        info.next_page = 0
+        self.erases += 1
+        if info.erase_count >= self.spec.endurance_pe_cycles:
+            info.bad = True
+
+    def mark_bad(self, plane: int, block: int) -> None:
+        """Retire a block (grown bad block)."""
+        self.block_info(plane, block).bad = True
+
+    # -- queries -----------------------------------------------------------------
+
+    def page_state(self, plane: int, block: int, page: int) -> PageState:
+        self._check_page(plane, block, page)
+        if (plane, block, page) in self._data:
+            return PageState.PROGRAMMED
+        return PageState.ERASED
+
+    def is_bad(self, plane: int, block: int) -> bool:
+        return self.block_info(plane, block).bad
+
+    def good_blocks(self) -> list[tuple[int, int]]:
+        """All (plane, block) pairs not marked bad."""
+        out = []
+        for plane in range(self.spec.planes_per_die):
+            for block in range(self.spec.blocks_per_plane):
+                if not self.block_info(plane, block).bad:
+                    out.append((plane, block))
+        return out
+
+    # -- bounds -------------------------------------------------------------------
+
+    def _check_block(self, plane: int, block: int) -> None:
+        if not (0 <= plane < self.spec.planes_per_die
+                and 0 <= block < self.spec.blocks_per_plane):
+            raise MediaError(
+                f"die {self.die_index}: block address out of range "
+                f"({plane},{block})")
+
+    def _check_page(self, plane: int, block: int, page: int) -> None:
+        self._check_block(plane, block)
+        if not 0 <= page < self.spec.pages_per_block:
+            raise MediaError(
+                f"die {self.die_index}: page {page} out of range")

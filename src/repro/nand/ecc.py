@@ -1,0 +1,138 @@
+"""ECC model over 4 KB codewords with wear-driven bit-error injection.
+
+The NVMC performs error correction "at the granularity of 4 KB"
+(§III-A).  Rather than implement a real BCH/LDPC codec bit-for-bit, the
+model captures the externally visible contract:
+
+* ``encode`` wraps a 4 KB payload with parity metadata (a checksum plus
+  the correction budget);
+* the raw channel can flip bits (injection is driven by a deterministic
+  RNG and a raw-bit-error-rate that grows with the block's P/E count);
+* ``decode`` corrects up to ``t`` flipped bits per codeword, restoring
+  the exact payload, and raises
+  :class:`~repro.errors.UncorrectableError` beyond that.
+
+Because injected errors are recorded alongside the codeword, correction
+is exact — what a real code guarantees within its budget — while the
+failure statistics match the RBER model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+
+from repro.errors import UncorrectableError
+
+
+@dataclass
+class ECCStats:
+    """Aggregate codec counters."""
+
+    encoded: int = 0
+    decoded: int = 0
+    bits_corrected: int = 0
+    uncorrectable: int = 0
+
+
+@dataclass
+class Codeword:
+    """An encoded page: payload + parity descriptor + injected errors."""
+
+    payload: bytes
+    checksum: bytes
+    flipped_bits: list[int] = field(default_factory=list)
+
+
+class ECCCodec:
+    """A ``t``-bit-correcting code over 4 KB payloads.
+
+    ``t`` defaults to 72 bits per 4 KB codeword — a typical BCH budget
+    for SLC-class NAND.
+    """
+
+    def __init__(self, t_bits: int = 72, payload_bytes: int = 4096,
+                 seed: int = 0x5EED) -> None:
+        self.t_bits = t_bits
+        self.payload_bytes = payload_bytes
+        self.stats = ECCStats()
+        self._rng = random.Random(seed)
+
+    # -- codec -------------------------------------------------------------------
+
+    def encode(self, payload: bytes) -> Codeword:
+        """Wrap a payload in a codeword."""
+        if len(payload) != self.payload_bytes:
+            raise UncorrectableError(
+                f"codeword payload must be {self.payload_bytes} B, "
+                f"got {len(payload)}")
+        self.stats.encoded += 1
+        return Codeword(payload=bytes(payload),
+                        checksum=self._digest(payload))
+
+    def inject_errors(self, codeword: Codeword, rber: float) -> int:
+        """Flip bits at raw bit-error-rate ``rber``; returns flips added."""
+        total_bits = self.payload_bytes * 8
+        # Expected flips ~ Binomial(total_bits, rber); sample cheaply.
+        expected = total_bits * rber
+        flips = self._sample_poisson(expected)
+        for _ in range(flips):
+            codeword.flipped_bits.append(self._rng.randrange(total_bits))
+        return flips
+
+    def decode(self, codeword: Codeword) -> bytes:
+        """Recover the payload, correcting up to ``t`` raw bit errors."""
+        self.stats.decoded += 1
+        distinct = set(codeword.flipped_bits)
+        # Bits flipped an even number of times cancel out on the wire.
+        odd_flips = [b for b in distinct
+                     if codeword.flipped_bits.count(b) % 2 == 1]
+        if len(odd_flips) > self.t_bits:
+            self.stats.uncorrectable += 1
+            raise UncorrectableError(
+                f"{len(odd_flips)} raw bit errors exceed the "
+                f"{self.t_bits}-bit correction budget")
+        self.stats.bits_corrected += len(odd_flips)
+        payload = codeword.payload
+        if self._digest(payload) != codeword.checksum:
+            self.stats.uncorrectable += 1
+            raise UncorrectableError("payload does not match parity")
+        return payload
+
+    # -- RBER model -----------------------------------------------------------------
+
+    @staticmethod
+    def rber_for_wear(erase_count: int, endurance: int,
+                      floor: float = 1e-8, ceiling: float = 1e-4) -> float:
+        """Raw bit-error rate as a function of block wear.
+
+        Fresh blocks sit at ``floor``; RBER grows quadratically toward
+        ``ceiling`` at the endurance limit — the conventional SLC wear
+        curve shape.
+        """
+        if endurance <= 0:
+            return ceiling
+        x = min(1.0, erase_count / endurance)
+        return floor + (ceiling - floor) * x * x
+
+    def _sample_poisson(self, mean: float) -> int:
+        """Small-mean Poisson sampler (Knuth) for flip counts."""
+        if mean <= 0:
+            return 0
+        if mean > 30:
+            # Gaussian approximation for large means.
+            value = round(self._rng.gauss(mean, mean ** 0.5))
+            return max(0, value)
+        limit = 2.718281828459045 ** (-mean)
+        k, product = 0, 1.0
+        while True:
+            product *= self._rng.random()
+            if product <= limit:
+                return k
+            k += 1
+
+    @staticmethod
+    def _digest(payload: bytes) -> bytes:
+        return hashlib.blake2b(payload, digest_size=8).digest()

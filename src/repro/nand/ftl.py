@@ -1,0 +1,314 @@
+"""Flash translation layer: page-mapped L2P with GC and wear levelling.
+
+One Cortex-A53 core of the PoC runs "the flash translation layer (FTL)
+that manages the two channel Z-NAND devices" (§IV-A).  The model is a
+page-mapped FTL:
+
+* logical 4 KB pages map to physical ``(die, plane, block, page)``;
+* writes append to per-die open blocks (round-robin across dies for
+  channel parallelism), invalidating the old copy;
+* greedy garbage collection kicks in when free blocks run low,
+  relocating valid pages out of the fullest-of-stale blocks;
+* allocation prefers the least-erased free block (wear levelling);
+* grown bad blocks (program/erase failures) are retired and replaced;
+* 120 GB of the 128 GB raw capacity is exposed (§VI) — the remainder is
+  over-provisioning that keeps GC affordable.
+
+Every public operation returns the list of physical operations it
+performed so the controller can convert work into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FTLError, MediaError
+from repro.nand.device import NANDDie
+from repro.nand.spec import ZNANDSpec
+
+
+@dataclass(frozen=True)
+class PPA:
+    """Physical page address."""
+
+    die: int
+    plane: int
+    block: int
+    page: int
+
+
+@dataclass(frozen=True)
+class PhysOp:
+    """One physical NAND operation, for timing accounting."""
+
+    kind: str      # "read" | "program" | "erase"
+    die: int
+
+
+@dataclass
+class FTLStats:
+    """Externally visible FTL counters."""
+
+    host_reads: int = 0
+    host_programs: int = 0
+    gc_reads: int = 0
+    gc_programs: int = 0
+    erases: int = 0
+    gc_invocations: int = 0
+    grown_bad_blocks: int = 0
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_programs == 0:
+            return 1.0
+        return (self.host_programs + self.gc_programs) / self.host_programs
+
+
+@dataclass
+class _BlockMeta:
+    """FTL-side view of one physical block."""
+
+    die: int
+    plane: int
+    block: int
+    valid: int = 0
+    lpns: dict[int, int] = field(default_factory=dict)  # page -> lpn
+
+
+class FlashTranslationLayer:
+    """Page-mapped FTL over a set of dies."""
+
+    #: GC starts when fewer free blocks than this remain (per pool).
+    GC_LOW_WATER = 4
+    #: GC relocates until this many free blocks are available again.
+    GC_HIGH_WATER = 8
+
+    def __init__(self, dies: list[NANDDie],
+                 logical_capacity_bytes: int) -> None:
+        if not dies:
+            raise FTLError("FTL needs at least one die")
+        self.dies = dies
+        self.spec: ZNANDSpec = dies[0].spec
+        self.logical_pages = logical_capacity_bytes // self.spec.page_bytes
+        self._l2p: dict[int, PPA] = {}
+        self._blocks: dict[tuple[int, int, int], _BlockMeta] = {}
+        self._free: list[tuple[int, int, int]] = []
+        self._open: dict[int, _BlockMeta | None] = {}
+        self._next_die = 0
+        self.stats = FTLStats()
+        self._discover_blocks()
+        self._check_capacity()
+
+    # -- init ---------------------------------------------------------------------
+
+    def _discover_blocks(self) -> None:
+        for die_index, die in enumerate(self.dies):
+            self._open[die_index] = None
+            for plane, block in die.good_blocks():
+                self._free.append((die_index, plane, block))
+
+    def _check_capacity(self) -> None:
+        physical_pages = len(self._free) * self.spec.pages_per_block
+        if physical_pages < self.logical_pages + (
+                self.GC_HIGH_WATER * self.spec.pages_per_block):
+            raise FTLError(
+                "not enough physical capacity for the logical space "
+                "plus over-provisioning: "
+                f"{physical_pages} pages < {self.logical_pages} logical")
+
+    # -- host API ----------------------------------------------------------------------
+
+    def read_page(self, lpn: int) -> tuple[bytes | None, PPA | None,
+                                           list[PhysOp]]:
+        """Look up and read a logical page.
+
+        Returns ``(None, None, [])`` for never-written pages (the block
+        device reads them as zeros).
+        """
+        self._check_lpn(lpn)
+        ppa = self._l2p.get(lpn)
+        if ppa is None:
+            return None, None, []
+        die = self.dies[ppa.die]
+        data = die.read_page(ppa.plane, ppa.block, ppa.page)
+        self.stats.host_reads += 1
+        return data, ppa, [PhysOp("read", ppa.die)]
+
+    def write_page(self, lpn: int, data: bytes) -> tuple[PPA, list[PhysOp]]:
+        """Write a logical page out-of-place; returns its new PPA."""
+        self._check_lpn(lpn)
+        ops: list[PhysOp] = []
+        ops.extend(self._maybe_collect_garbage())
+        ppa, program_ops = self._append(lpn, data, gc=False)
+        ops.extend(program_ops)
+        return ppa, ops
+
+    def trim(self, lpn: int) -> None:
+        """Drop the mapping for a logical page (discard)."""
+        self._check_lpn(lpn)
+        ppa = self._l2p.pop(lpn, None)
+        if ppa is not None:
+            self._invalidate(ppa)
+
+    def mapping(self, lpn: int) -> PPA | None:
+        """Current physical location of a logical page, if any."""
+        return self._l2p.get(lpn)
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._l2p)
+
+    # -- allocation --------------------------------------------------------------------
+
+    def _append(self, lpn: int, data: bytes,
+                gc: bool) -> tuple[PPA, list[PhysOp]]:
+        ops: list[PhysOp] = []
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > 8:
+                raise FTLError("repeated program failures; media exhausted?")
+            die_index = self._pick_die()
+            meta = self._open_block(die_index)
+            page = self.dies[die_index].block_info(
+                meta.plane, meta.block).next_page
+            try:
+                self.dies[die_index].program_page(
+                    meta.plane, meta.block, page, data)
+            except MediaError:
+                self._retire(meta)
+                continue
+            break
+        ops.append(PhysOp("program", die_index))
+        if gc:
+            self.stats.gc_programs += 1
+        else:
+            self.stats.host_programs += 1
+        old = self._l2p.get(lpn)
+        if old is not None:
+            self._invalidate(old)
+        ppa = PPA(die_index, meta.plane, meta.block, page)
+        self._l2p[lpn] = ppa
+        meta.valid += 1
+        meta.lpns[page] = lpn
+        if page + 1 >= self.spec.pages_per_block:
+            self._open[die_index] = None   # block is full; close it
+        return ppa, ops
+
+    def _pick_die(self) -> int:
+        """Round-robin across dies, skipping dies with no space."""
+        for _ in range(len(self.dies)):
+            die_index = self._next_die
+            self._next_die = (self._next_die + 1) % len(self.dies)
+            if self._open[die_index] is not None or self._has_free(die_index):
+                return die_index
+        # Fall back to any die with a free block at all.
+        for die_index in range(len(self.dies)):
+            if self._open[die_index] is not None or self._has_free(die_index):
+                return die_index
+        raise FTLError("no die has free blocks; GC failed to reclaim space")
+
+    def _has_free(self, die_index: int) -> bool:
+        return any(key[0] == die_index for key in self._free)
+
+    def _open_block(self, die_index: int) -> _BlockMeta:
+        meta = self._open[die_index]
+        if meta is not None:
+            return meta
+        candidates = [key for key in self._free if key[0] == die_index]
+        if not candidates:
+            raise FTLError(f"die {die_index} has no free blocks")
+        # Wear levelling: least-erased candidate first.
+        key = min(candidates, key=lambda k: self.dies[k[0]].block_info(
+            k[1], k[2]).erase_count)
+        self._free.remove(key)
+        meta = _BlockMeta(die=key[0], plane=key[1], block=key[2])
+        self._blocks[key] = meta
+        self._open[die_index] = meta
+        return meta
+
+    def _invalidate(self, ppa: PPA) -> None:
+        meta = self._blocks.get((ppa.die, ppa.plane, ppa.block))
+        if meta is None:
+            raise FTLError(f"invalidate of untracked block {ppa}")
+        if meta.lpns.pop(ppa.page, None) is not None:
+            meta.valid -= 1
+
+    def _retire(self, meta: _BlockMeta) -> None:
+        """Mark a block grown-bad and forget it."""
+        die = self.dies[meta.die]
+        die.mark_bad(meta.plane, meta.block)
+        self.stats.grown_bad_blocks += 1
+        if self._open.get(meta.die) is meta:
+            self._open[meta.die] = None
+
+    # -- garbage collection --------------------------------------------------------------
+
+    def _maybe_collect_garbage(self) -> list[PhysOp]:
+        if len(self._free) > self.GC_LOW_WATER:
+            return []
+        self.stats.gc_invocations += 1
+        ops: list[PhysOp] = []
+        guard = 0
+        while len(self._free) < self.GC_HIGH_WATER:
+            guard += 1
+            if guard > 64:
+                break
+            victim = self._pick_victim()
+            if victim is None:
+                break
+            ops.extend(self._collect(victim))
+        return ops
+
+    def _pick_victim(self) -> _BlockMeta | None:
+        """Greedy: the closed block with the fewest valid pages."""
+        best: _BlockMeta | None = None
+        for key, meta in self._blocks.items():
+            if meta is self._open.get(meta.die):
+                continue
+            if key in self._free:
+                continue
+            full = self.dies[meta.die].block_info(
+                meta.plane, meta.block).next_page >= self.spec.pages_per_block
+            if not full:
+                continue
+            if best is None or meta.valid < best.valid:
+                best = meta
+        if best is not None and best.valid >= self.spec.pages_per_block:
+            return None   # nothing reclaimable
+        return best
+
+    def _collect(self, victim: _BlockMeta) -> list[PhysOp]:
+        ops: list[PhysOp] = []
+        die = self.dies[victim.die]
+        for page, lpn in sorted(victim.lpns.items()):
+            data = die.read_page(victim.plane, victim.block, page)
+            ops.append(PhysOp("read", victim.die))
+            self.stats.gc_reads += 1
+            _, program_ops = self._append(lpn, data, gc=True)
+            ops.extend(program_ops)
+        victim.lpns.clear()
+        victim.valid = 0
+        key = (victim.die, victim.plane, victim.block)
+        try:
+            die.erase_block(victim.plane, victim.block)
+        except MediaError:
+            self._retire(victim)
+            self._blocks.pop(key, None)
+            return ops
+        ops.append(PhysOp("erase", victim.die))
+        self.stats.erases += 1
+        self._blocks.pop(key, None)
+        self._free.append(key)
+        return ops
+
+    # -- misc ------------------------------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise FTLError(
+                f"logical page {lpn} out of range (0..{self.logical_pages})")

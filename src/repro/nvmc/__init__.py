@@ -1,0 +1,42 @@
+"""The NVM controller (NVMC) — the paper's FPGA side of NVDIMM-C.
+
+Subsystems mirror the RTL block diagram of Fig. 4 plus the firmware:
+
+* :mod:`repro.nvmc.deserializer` — the 1:8 serial-to-parallel converters
+  on each monitored CA signal.
+* :mod:`repro.nvmc.refresh_detector` — decodes REFRESH from the
+  deserialized pin states (and rejects SRE/SRX and every other command).
+* :mod:`repro.nvmc.cp` — the 64-bit communication-protocol command
+  format (Phase / Opcode / DRAM_Slot_ID / NAND_Page_ID, §IV-C).
+* :mod:`repro.nvmc.dma` — the per-window DMA engine (up to 4 KB per
+  extended-tRFC window).
+* :mod:`repro.nvmc.fsm` — the management state machine with the
+  firmware-lag model (§VII-C: software-controlled FSM transitions).
+* :mod:`repro.nvmc.nvmc` — transaction-level NVMC used by the
+  performance experiments.
+* :mod:`repro.nvmc.agent` — command-accurate NVMC process for the
+  protocol-validation experiments (drives the real shared bus).
+"""
+
+from repro.nvmc.deserializer import Deserializer
+from repro.nvmc.refresh_detector import RefreshDetector
+from repro.nvmc.cp import CPArea, CPCommand, Opcode, Phase
+from repro.nvmc.dma import DMAEngine
+from repro.nvmc.fsm import FirmwareModel, NVMCState
+from repro.nvmc.nvmc import NVMCModel, OperationResult
+from repro.nvmc.agent import NVMCProtocolAgent
+
+__all__ = [
+    "Deserializer",
+    "RefreshDetector",
+    "CPArea",
+    "CPCommand",
+    "Opcode",
+    "Phase",
+    "DMAEngine",
+    "FirmwareModel",
+    "NVMCState",
+    "NVMCModel",
+    "OperationResult",
+    "NVMCProtocolAgent",
+]

@@ -1,0 +1,170 @@
+"""Command-accurate NVMC agent for protocol-validation experiments.
+
+Unlike :class:`~repro.nvmc.nvmc.NVMCModel` (which schedules on the
+refresh-timeline arithmetic), the agent reacts to *detected* REFRESH
+commands on the real shared bus — the full causal chain of §III-B:
+
+    iMC issues PREA + REF  →  CA tap  →  1:8 deserializers  →
+    refresh detector  →  wait out the JEDEC tRFC  →  drive the bus.
+
+The agent is what the §VII-A aging experiments run: with the tRFC rule
+respected, gigabytes of interleaved host/device traffic must produce
+zero collisions and zero data corruption; with the rule disabled (the
+``rogue`` mode) collisions appear immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ddr.bus import SharedBus
+from repro.ddr.controller import DDR4Controller
+from repro.ddr.spec import DDR4Spec
+from repro.errors import DeviceError
+from repro.nvmc.refresh_detector import RefreshDetector
+from repro.units import PAGE_4K
+
+
+@dataclass
+class PendingTransfer:
+    """One queued device-side DRAM access."""
+
+    addr: int
+    data: bytes | None       # None = read of ``nbytes``
+    nbytes: int = 0
+    done: bool = False
+    result: bytes | None = None
+    completed_ps: int = -1
+
+
+@dataclass
+class AgentStats:
+    windfalls: int = 0        # windows in which work was performed
+    windows_seen: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    transfers_completed: int = 0
+    rule_violations: int = 0
+    queue_high_water: int = field(default=0)
+
+
+class NVMCProtocolAgent:
+    """Bus master that only drives the channel inside detected windows."""
+
+    def __init__(self, spec: DDR4Spec, bus: SharedBus,
+                 detector: RefreshDetector | None = None,
+                 window_bytes: int = PAGE_4K,
+                 respect_windows: bool = True,
+                 name: str = "nvmc") -> None:
+        self.spec = spec
+        self.bus = bus
+        self.name = name
+        self.window_bytes = window_bytes
+        self.respect_windows = respect_windows
+        self.controller = DDR4Controller(name, spec, bus)
+        self.detector = detector or RefreshDetector()
+        self.detector.on_refresh = self._on_refresh
+        bus.add_snooper(self.detector.observe)
+        self._queue: list[PendingTransfer] = []
+        self.stats = AgentStats()
+
+    # -- work submission ------------------------------------------------------------
+
+    def queue_write(self, addr: int, data: bytes) -> PendingTransfer:
+        """Queue a DRAM write to be performed in upcoming windows."""
+        transfer = PendingTransfer(addr=addr, data=bytes(data),
+                                   nbytes=len(data))
+        self._queue.append(transfer)
+        self.stats.queue_high_water = max(self.stats.queue_high_water,
+                                          len(self._queue))
+        return transfer
+
+    def queue_read(self, addr: int, nbytes: int) -> PendingTransfer:
+        """Queue a DRAM read to be performed in upcoming windows."""
+        transfer = PendingTransfer(addr=addr, data=None, nbytes=nbytes)
+        self._queue.append(transfer)
+        self.stats.queue_high_water = max(self.stats.queue_high_water,
+                                          len(self._queue))
+        return transfer
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    # -- the refresh-triggered path ------------------------------------------------------
+
+    def _on_refresh(self, refresh_ps: int) -> None:
+        """Detector callback: a REFRESH was decoded on the CA tap."""
+        self.stats.windows_seen += 1
+        if not self._queue:
+            return
+        if self.respect_windows:
+            start = refresh_ps + self.spec.trfc_device_ps
+            end = refresh_ps + self.spec.trfc_ps
+        else:
+            # Rogue mode: drive the bus immediately after REF, while the
+            # host believes it still owns the channel.
+            start = refresh_ps + 2 * self.spec.clock_ps
+            end = start + 10 * self.spec.trefi_ps
+            self.stats.rule_violations += 1
+        self._drain_window(start, end)
+
+    def _drain_window(self, start_ps: int, end_ps: int) -> None:
+        """Perform queued transfers that fit before the window closes."""
+        budget = self.window_bytes
+        t = start_ps
+        worked = False
+        # Windows follow a refresh: every bank is closed, so the
+        # controller's open-row book is reset once per window.
+        self.controller.forget_open_rows()
+        self.controller.busy_until_ps = t
+        while self._queue and budget > 0:
+            transfer = self._queue[0]
+            if transfer.nbytes > budget:
+                break
+            if not self._fits(transfer.nbytes, t, end_ps):
+                break
+            if transfer.data is None:
+                data, end = self.controller.read(
+                    transfer.addr, transfer.nbytes, t)
+                transfer.result = data
+                self.stats.bytes_read += transfer.nbytes
+            else:
+                end = self.controller.write(transfer.addr, transfer.data, t)
+                self.stats.bytes_written += transfer.nbytes
+            if self.respect_windows and end > end_ps:
+                raise DeviceError(
+                    f"{self.name}: transfer overran its window "
+                    f"({end} > {end_ps}) — DMA budget misconfigured")
+            transfer.done = True
+            transfer.completed_ps = end
+            self._queue.pop(0)
+            self.stats.transfers_completed += 1
+            budget -= transfer.nbytes
+            t = end
+            worked = True
+        if worked:
+            # The host returns believing every bank is precharged (its
+            # PREA preceded the REF), so the agent must close whatever
+            # it opened before the window ends — leaving a row active
+            # would make the host's next ACT illegal.
+            if self.controller.open_rows:
+                self.controller.precharge_all(t)
+            self.stats.windfalls += 1
+
+    #: Window-end margin reserved for the closing PREA (write recovery
+    #: after the last write burst, tRAS after the last ACT, plus the
+    #: command slot and tRP).
+    def _close_margin(self) -> int:
+        return (self.spec.tras_ps + self.spec.twr_ps
+                + self.spec.cwl_ps + self.spec.burst_time_ps
+                + self.spec.clock_ps + self.spec.trp_ps)
+
+    def _fits(self, nbytes: int, start_ps: int, end_ps: int) -> bool:
+        if not self.respect_windows:
+            return True
+        bursts = -(-nbytes // self.spec.burst_bytes)
+        lead_in = self.spec.trcd_ps + self.spec.tcl_ps
+        worst = lead_in + bursts * max(self.spec.tccd_ps,
+                                       self.spec.burst_time_ps)
+        return start_ps + worst + self._close_margin() <= end_ps

@@ -1,0 +1,174 @@
+"""The communication-protocol (CP) area between the nvdc driver and NVMC.
+
+"The first physical page of the reserved memory is used as a
+communication protocol (CP) area ... a command is 64b-wide data and
+stored in a single cacheline.  Each command includes four bit-fields:
+Phase, Opcode, DRAM_Slot_ID, and NAND_Page_ID" (§IV-C).
+
+Field layout (64-bit little-endian word):
+
+    [63:60] Phase      — toggles to mark a *new* command
+    [59:56] Opcode     — cachefill / writeback / merged / nop
+    [55:28] DRAM_Slot_ID  (28 bits: slots in the reserved region)
+    [27:0]  NAND_Page_ID  (28 bits: 4 KB pages of the 120 GB device)
+
+The acknowledgement region is the next cacheline; the device writes the
+completed command's phase + a status code there.  The paper's PoC
+supports exactly one in-flight command ("multi-command is not
+supported"); the model implements a configurable queue depth so the
+§VII-C future-work ablation can quantify what depth > 1 buys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CPProtocolError
+from repro.units import CACHELINE, PAGE_4K
+
+
+class Opcode(enum.IntEnum):
+    """CP operations."""
+
+    NOP = 0
+    CACHEFILL = 1       # NAND page -> DRAM slot
+    WRITEBACK = 2       # DRAM slot -> NAND page
+    MERGED = 3          # independent writeback + cachefill in one command
+                        # (§VII-C future-work item 4)
+    FLUSH_METADATA = 4  # persist the mapping metadata area
+
+
+class Phase(enum.IntEnum):
+    """Phase bit values; toggling marks a fresh command."""
+
+    EVEN = 0
+    ODD = 1
+
+
+_PHASE_SHIFT = 60
+_OPCODE_SHIFT = 56
+_SLOT_SHIFT = 28
+_SLOT_MASK = (1 << 28) - 1
+_PAGE_MASK = (1 << 28) - 1
+
+
+@dataclass(frozen=True)
+class CPCommand:
+    """A decoded CP command."""
+
+    phase: Phase
+    opcode: Opcode
+    dram_slot: int = 0
+    nand_page: int = 0
+    # MERGED carries a second (writeback) pair in the adjacent word on
+    # real hardware; the model carries it inline.
+    wb_dram_slot: int = 0
+    wb_nand_page: int = 0
+
+    def encode(self) -> int:
+        """Pack into the 64-bit CP word."""
+        if not 0 <= self.dram_slot <= _SLOT_MASK:
+            raise CPProtocolError(f"DRAM_Slot_ID out of field: "
+                                  f"{self.dram_slot}")
+        if not 0 <= self.nand_page <= _PAGE_MASK:
+            raise CPProtocolError(f"NAND_Page_ID out of field: "
+                                  f"{self.nand_page}")
+        return ((int(self.phase) << _PHASE_SHIFT)
+                | (int(self.opcode) << _OPCODE_SHIFT)
+                | (self.dram_slot << _SLOT_SHIFT)
+                | self.nand_page)
+
+    @staticmethod
+    def decode(word: int) -> "CPCommand":
+        """Unpack a 64-bit CP word."""
+        phase = Phase((word >> _PHASE_SHIFT) & 0xF)
+        opcode_bits = (word >> _OPCODE_SHIFT) & 0xF
+        try:
+            opcode = Opcode(opcode_bits)
+        except ValueError as exc:
+            raise CPProtocolError(f"unknown opcode {opcode_bits}") from exc
+        return CPCommand(phase=phase, opcode=opcode,
+                         dram_slot=(word >> _SLOT_SHIFT) & _SLOT_MASK,
+                         nand_page=word & _PAGE_MASK)
+
+
+@dataclass(frozen=True)
+class CPAck:
+    """Device acknowledgement: echoes the phase, carries a status."""
+
+    phase: Phase
+    status: int = 0          # 0 = OK
+
+    OK = 0
+    MEDIA_ERROR = 1
+
+    def encode(self) -> int:
+        return (int(self.phase) << 4) | (self.status & 0xF)
+
+    @staticmethod
+    def decode(word: int) -> "CPAck":
+        return CPAck(phase=Phase((word >> 4) & 0xF), status=word & 0xF)
+
+
+class CPArea:
+    """The 4 KB CP page: command slots + acknowledgement slots.
+
+    Slot ``i``'s command lives at cacheline ``i``; its ack lives at
+    cacheline ``queue_depth + i``.  The PoC uses ``queue_depth=1`` and
+    "does not use the remaining memory space of 4 KB" (§VII-C).
+    """
+
+    def __init__(self, queue_depth: int = 1) -> None:
+        if queue_depth < 1 or queue_depth * 2 * CACHELINE > PAGE_4K:
+            raise CPProtocolError(
+                f"queue depth {queue_depth} does not fit the 4 KB CP area")
+        self.queue_depth = queue_depth
+        self._commands: list[int] = [0] * queue_depth
+        # None = never acknowledged; real hardware reserves a status code.
+        self._acks: list[int | None] = [None] * queue_depth
+        self.commands_posted = 0
+
+    def post(self, slot: int, command: CPCommand) -> None:
+        """Driver side: write a command word (after cache flush)."""
+        self._check_slot(slot)
+        previous = CPCommand.decode(self._commands[slot]) \
+            if self._commands[slot] else None
+        if previous is not None and previous.phase == command.phase:
+            raise CPProtocolError(
+                "phase did not toggle; device cannot see a new command")
+        self._commands[slot] = command.encode()
+        self.commands_posted += 1
+
+    def poll_command(self, slot: int, last_phase: Phase | None) -> \
+            CPCommand | None:
+        """Device side: a new command if the phase toggled, else None."""
+        self._check_slot(slot)
+        word = self._commands[slot]
+        if word == 0:
+            return None
+        command = CPCommand.decode(word)
+        if last_phase is not None and command.phase == last_phase:
+            return None
+        return command
+
+    def ack(self, slot: int, ack: CPAck) -> None:
+        """Device side: publish completion status."""
+        self._check_slot(slot)
+        self._acks[slot] = ack.encode()
+
+    def poll_ack(self, slot: int, phase: Phase) -> CPAck | None:
+        """Driver side: the matching ack once the device completed."""
+        self._check_slot(slot)
+        word = self._acks[slot]
+        if word is None:
+            return None
+        decoded = CPAck.decode(word)
+        if decoded.phase != phase:
+            return None
+        return decoded
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.queue_depth:
+            raise CPProtocolError(
+                f"CP slot {slot} out of range (depth {self.queue_depth})")

@@ -1,0 +1,56 @@
+"""1:8 deserializers on the monitored CA signals.
+
+Fig. 4: "each of the CA signals and the DDR4 differential clock ... are
+input of the 1:8 deserializer that parallelizes the incoming signals by
+eight bits.  Assuming that the CA signals operate at DDR, the data of
+each CA signal is captured every four clock cycles so that the output of
+the deserializer is eight-bit wide."
+
+The model pushes one sampled logic level per half-clock and emits an
+8-bit parallel word every eight samples; the refresh detector consumes
+the aligned words of all six signals.
+"""
+
+from __future__ import annotations
+
+
+class Deserializer:
+    """Serial-in, 8-bit-parallel-out shift register for one CA signal."""
+
+    WIDTH = 8
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._shift: list[bool] = []
+        self.words_emitted = 0
+
+    def push(self, level: bool) -> int | None:
+        """Shift in one DDR sample; returns a word every 8th sample.
+
+        Bit 0 of the word is the oldest sample, matching how the RTL
+        presents time-ordered captures to the detector.
+        """
+        self._shift.append(bool(level))
+        if len(self._shift) < self.WIDTH:
+            return None
+        word = 0
+        for i, bit in enumerate(self._shift):
+            if bit:
+                word |= 1 << i
+        self._shift.clear()
+        self.words_emitted += 1
+        return word
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples captured since the last emitted word."""
+        return len(self._shift)
+
+    def reset(self) -> None:
+        """Drop partial captures (e.g. on relock after clock loss)."""
+        self._shift.clear()
+
+
+def word_bits(word: int, width: int = Deserializer.WIDTH) -> list[bool]:
+    """Unpack a parallel word back into time-ordered samples."""
+    return [bool(word & (1 << i)) for i in range(width)]

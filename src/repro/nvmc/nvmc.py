@@ -1,0 +1,220 @@
+"""Transaction-level NVMC: window-scheduled cachefill/writeback timing.
+
+This model advances an operation through the §IV-C control flow on the
+:class:`~repro.ddr.imc.RefreshTimeline`:
+
+1. **Poll** — the device learns of a posted CP command in the first
+   refresh window at or after the post (it "always polls the CP area
+   every tRFC time").
+2. **Media + DMA** — cachefill reads the NAND page then DMAs it into
+   the DRAM slot in a later window; writeback DMAs the victim out of
+   DRAM in a window and then programs NAND (the program continues in the
+   background once the data is captured in the battery-backed buffer).
+3. **Ack** — completion status is written into the CP area in a further
+   window, where the driver's polling picks it up.
+
+Between steps the firmware-lag model inserts the software processing
+delay that §VII-C blames for the PoC running at 8.9 tREFI windows per
+writeback+cachefill pair instead of the 6-window theoretical minimum.
+
+Every byte of payload actually moves: cachefill deposits real NAND page
+contents into the DRAM cache device, so the integrity experiments catch
+any bookkeeping bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ddr.device import DRAMDevice
+from repro.ddr.imc import RefreshTimeline
+from repro.errors import CPProtocolError
+from repro.nand.controller import NANDController
+from repro.nvmc.cp import CPAck, CPArea, CPCommand, Opcode, Phase
+from repro.nvmc.dma import DMAEngine
+from repro.nvmc.fsm import FirmwareModel, FSMTracker, NVMCState
+from repro.units import CACHELINE, PAGE_4K
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Timing summary of one completed CP command."""
+
+    opcode: Opcode
+    submit_ps: int
+    completion_ps: int
+    windows_used: int
+    nand_busy_ps: int
+
+    @property
+    def latency_ps(self) -> int:
+        return self.completion_ps - self.submit_ps
+
+
+class NVMCModel:
+    """The device-side controller, at transaction granularity."""
+
+    def __init__(self, timeline: RefreshTimeline, nand: NANDController,
+                 dram: DRAMDevice, slot_base: int = PAGE_4K * 2,
+                 window_bytes: int = PAGE_4K,
+                 firmware: FirmwareModel | None = None,
+                 cp_queue_depth: int = 1) -> None:
+        self.timeline = timeline
+        self.nand = nand
+        self.dram = dram
+        self.slot_base = slot_base
+        self.dma = DMAEngine(timeline.spec, window_bytes=window_bytes)
+        self.firmware = firmware if firmware is not None else FirmwareModel()
+        self.cp = CPArea(queue_depth=cp_queue_depth)
+        self.fsm = FSMTracker()
+        #: Device serialisation point: the FSM handles one command at a
+        #: time (the PoC's queue depth is one).
+        self.ready_ps = 0
+        self.operations: list[OperationResult] = []
+        self._phase = Phase.EVEN
+
+    # -- driver-facing API -------------------------------------------------------------
+
+    def next_phase(self) -> Phase:
+        """Toggle and return the phase for the next CP command."""
+        self._phase = Phase.ODD if self._phase is Phase.EVEN else Phase.EVEN
+        return self._phase
+
+    def submit(self, command: CPCommand, submit_ps: int,
+               slot: int = 0) -> OperationResult:
+        """Post a CP command at ``submit_ps``; returns its timing.
+
+        The caller (the nvdc driver) must already have flushed the CP
+        cacheline — the kernel layer enforces that; this layer assumes a
+        coherent CP view.
+        """
+        self.cp.post(slot, command)
+        start = max(submit_ps, self.ready_ps)
+        if command.opcode is Opcode.CACHEFILL:
+            result = self._run_cachefill(command, submit_ps, start)
+        elif command.opcode is Opcode.WRITEBACK:
+            result = self._run_writeback(command, submit_ps, start)
+        elif command.opcode is Opcode.MERGED:
+            result = self._run_merged(command, submit_ps, start)
+        elif command.opcode is Opcode.NOP:
+            result = self._run_nop(command, submit_ps, start)
+        else:
+            raise CPProtocolError(f"unsupported opcode {command.opcode}")
+        self.cp.ack(slot, CPAck(phase=command.phase, status=CPAck.OK))
+        self.ready_ps = result.completion_ps
+        self.operations.append(result)
+        return result
+
+    # -- operation flows ---------------------------------------------------------------
+
+    def _poll(self, start_ps: int) -> tuple[int, int]:
+        """The CP-poll step; returns (poll end, windows consumed)."""
+        self._fsm_to(NVMCState.POLL_CP, start_ps)
+        window = self.timeline.next_window(start_ps)
+        end = self.dma.schedule(CACHELINE, window)
+        return self.firmware.ready_after(end), 1
+
+    def _ack(self, ready_ps: int) -> tuple[int, int]:
+        """The ack-publish step; returns (ack end, windows consumed)."""
+        self._fsm_to(NVMCState.ACK, ready_ps)
+        window = self.timeline.next_window(ready_ps)
+        end = self.dma.schedule(CACHELINE, window)
+        self._fsm_to(NVMCState.IDLE, end)
+        return end, 1
+
+    def _run_cachefill(self, command: CPCommand, submit_ps: int,
+                       start_ps: int) -> OperationResult:
+        ready, windows = self._poll(start_ps)
+        # NAND page read (tR + channel transfer), then firmware arms DMA.
+        self._fsm_to(NVMCState.NAND_READ, ready)
+        data, nand_end = self.nand.read_page(command.nand_page, ready)
+        nand_busy = nand_end - ready
+        if data is None:
+            data = bytes(PAGE_4K)   # never-written page reads as zeros
+        ready = self.firmware.ready_after(nand_end)
+        # DMA the page into the DRAM cache slot inside a window.
+        self._fsm_to(NVMCState.DRAM_WRITE, ready)
+        window = self.timeline.next_window(ready)
+        end = self.dma.schedule(PAGE_4K, window)
+        self.dram.poke(self._slot_addr(command.dram_slot), data)
+        windows += 1
+        ready = self.firmware.ready_after(end)
+        end, ack_windows = self._ack(ready)
+        return OperationResult(Opcode.CACHEFILL, submit_ps, end,
+                               windows + ack_windows, nand_busy)
+
+    def _run_writeback(self, command: CPCommand, submit_ps: int,
+                       start_ps: int) -> OperationResult:
+        ready, windows = self._poll(start_ps)
+        # DMA the victim page out of the DRAM cache inside a window.
+        self._fsm_to(NVMCState.DRAM_READ, ready)
+        window = self.timeline.next_window(ready)
+        end = self.dma.schedule(PAGE_4K, window)
+        data = self.dram.peek(self._slot_addr(command.dram_slot), PAGE_4K)
+        windows += 1
+        # Program NAND; the data sits in the battery-backed buffer, so
+        # the ack does not wait for the program to finish — but the
+        # channel stays busy, which throttles sustained writebacks.
+        self._fsm_to(NVMCState.NAND_PROGRAM, end)
+        nand_end = self.nand.program_page(command.nand_page, data, end)
+        nand_busy = nand_end - end
+        ready = self.firmware.ready_after(end)
+        end, ack_windows = self._ack(ready)
+        return OperationResult(Opcode.WRITEBACK, submit_ps, end,
+                               windows + ack_windows, nand_busy)
+
+    def _run_merged(self, command: CPCommand, submit_ps: int,
+                    start_ps: int) -> OperationResult:
+        """Future-work item (4): independent WB+fill in one command.
+
+        The NAND read for the fill overlaps the victim DMA-out and the
+        NAND program runs on the other channel; one poll and one ack are
+        amortised over both halves.
+        """
+        ready, windows = self._poll(start_ps)
+        # Window A: victim out of DRAM; NAND read proceeds in parallel.
+        self._fsm_to(NVMCState.DRAM_READ, ready)
+        window = self.timeline.next_window(ready)
+        wb_end = self.dma.schedule(PAGE_4K, window)
+        victim = self.dram.peek(self._slot_addr(command.wb_dram_slot),
+                                PAGE_4K)
+        windows += 1
+        self._fsm_to(NVMCState.NAND_PROGRAM, wb_end)
+        prog_end = self.nand.program_page(command.wb_nand_page, victim,
+                                          wb_end)
+        self._fsm_to(NVMCState.NAND_READ, wb_end)
+        data, read_end = self.nand.read_page(command.nand_page, ready)
+        if data is None:
+            data = bytes(PAGE_4K)
+        nand_busy = max(prog_end, read_end) - ready
+        ready = self.firmware.ready_after(max(wb_end, read_end))
+        # Window B: fill data into the (just vacated) DRAM slot.
+        self._fsm_to(NVMCState.DRAM_WRITE, ready)
+        window = self.timeline.next_window(ready)
+        end = self.dma.schedule(PAGE_4K, window)
+        self.dram.poke(self._slot_addr(command.dram_slot), data)
+        windows += 1
+        ready = self.firmware.ready_after(end)
+        end, ack_windows = self._ack(ready)
+        return OperationResult(Opcode.MERGED, submit_ps, end,
+                               windows + ack_windows, nand_busy)
+
+    def _run_nop(self, command: CPCommand, submit_ps: int,
+                 start_ps: int) -> OperationResult:
+        ready, windows = self._poll(start_ps)
+        end, ack_windows = self._ack(ready)
+        return OperationResult(Opcode.NOP, submit_ps, end,
+                               windows + ack_windows, 0)
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _slot_addr(self, slot_id: int) -> int:
+        """DRAM byte address of a cache slot."""
+        return self.slot_base + slot_id * PAGE_4K
+
+    def _fsm_to(self, state: NVMCState, time_ps: int) -> None:
+        # POLL_CP is reachable from ACK (back-to-back commands) and IDLE.
+        if state is NVMCState.POLL_CP and self.fsm.state not in (
+                NVMCState.IDLE, NVMCState.ACK):
+            self.fsm.transition(NVMCState.IDLE, time_ps)
+        self.fsm.transition(state, time_ps)

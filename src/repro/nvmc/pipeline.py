@@ -1,0 +1,198 @@
+"""Pipelined NVMC: CP queue depth > 1 (§VII-C future-work item 2).
+
+The PoC supports one in-flight CP command, so its uncached throughput
+is a serial walk of refresh windows.  This model implements what the
+paper proposes: a CP area holding several commands, a firmware that
+polls *all* slots in one window (commands and acks are 64 B — one 4 KB
+window carries up to 64 of them), NAND phases that overlap across
+commands, and one 4 KB data transfer per window.
+
+It is a purpose-built window-stepped simulator (windows are the only
+time anything can happen on the bus, so stepping window by window is
+exact) used by the queue-depth ablation; the mainline
+:class:`~repro.nvmc.nvmc.NVMCModel` stays faithful to the depth-1 PoC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ddr.imc import RefreshTimeline
+from repro.errors import ConfigError
+from repro.nand.spec import ZNANDSpec
+from repro.units import CACHELINE, PAGE_4K
+
+
+class Stage(enum.Enum):
+    """Lifecycle of one miss (a writeback+cachefill pair)."""
+
+    POSTED = "posted"              # in the CP area, not yet seen
+    WB_DATA = "wb_data"            # needs a window: victim out of DRAM
+    NAND = "nand"                  # fill's NAND read in flight
+    FILL_DATA = "fill_data"        # needs a window: page into DRAM
+    ACK = "ack"                    # needs (a share of) a window: ack
+    DONE = "done"
+
+
+@dataclass
+class _Miss:
+    """One outstanding miss and its stage clock."""
+
+    index: int
+    stage: Stage = Stage.POSTED
+    ready_ps: int = 0              # when the current stage can use a window
+    done_ps: int = 0
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a pipelined uncached run."""
+
+    misses: int
+    span_ps: int
+    windows_elapsed: int
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        if self.span_ps <= 0:
+            return 0.0
+        return self.misses * PAGE_4K / 1e6 / (self.span_ps / 1e12)
+
+    @property
+    def windows_per_miss(self) -> float:
+        return self.windows_elapsed / self.misses if self.misses else 0.0
+
+
+class PipelinedNVMC:
+    """Window-stepped model of a multi-command NVMC."""
+
+    def __init__(self, timeline: RefreshTimeline, nand_spec: ZNANDSpec,
+                 queue_depth: int = 4, window_bytes: int = PAGE_4K,
+                 firmware_step_ps: int = 0,
+                 dirty_victims: bool = True) -> None:
+        if queue_depth < 1:
+            raise ConfigError("queue depth must be >= 1")
+        self.timeline = timeline
+        self.nand_spec = nand_spec
+        self.queue_depth = queue_depth
+        self.window_bytes = window_bytes
+        self.firmware_step_ps = firmware_step_ps
+        self.dirty_victims = dirty_victims
+
+    def run_uncached(self, n_misses: int,
+                     driver_gap_ps: int = 1_200_000) -> PipelineResult:
+        """Sustained uncached misses with ``queue_depth`` in flight.
+
+        ``driver_gap_ps`` is the host software between observing an ack
+        and posting the next command into the freed CP slot.
+        """
+        from repro.nvmc.dma import DMAEngine
+        dma = DMAEngine(self.timeline.spec, window_bytes=self.window_bytes)
+        page_cost_ps = dma.transfer_time_ps(PAGE_4K)
+        cl_cost_ps = dma.transfer_time_ps(CACHELINE)
+        max_pages_per_window = max(1, self.window_bytes // PAGE_4K)
+
+        in_flight: list[_Miss] = []
+        posted = 0
+        completed = 0
+        next_post_ps = 0
+        window_index = 0
+        first_window = self.timeline.window(0)
+        last_done = first_window.start_ps
+
+        while completed < n_misses:
+            window = self.timeline.window(window_index)
+            window_index += 1
+            # Post new commands whose driver-side gap has elapsed.
+            while (posted < n_misses and len(in_flight) < self.queue_depth
+                    and next_post_ps <= window.start_ps):
+                in_flight.append(_Miss(index=posted,
+                                       ready_ps=next_post_ps))
+                posted += 1
+
+            # The window is a *time* budget: one-to-two 4 KB transfers
+            # (~350 ns each) plus a handful of 64 B CP ops fit in the
+            # 900 ns the extended tRFC provides.
+            budget_ps = window.duration_ps
+            pages_left = max_pages_per_window
+
+            # One batched poll covers every newly posted command.
+            new = [m for m in in_flight if m.stage is Stage.POSTED
+                   and m.ready_ps <= window.start_ps]
+            if new and budget_ps >= cl_cost_ps:
+                budget_ps -= cl_cost_ps     # one CP-page read sees all
+                for miss in new:
+                    if self.dirty_victims:
+                        miss.stage = Stage.WB_DATA
+                    else:
+                        miss.stage = Stage.NAND
+                        miss.ready_ps = (window.start_ps
+                                         + self.firmware_step_ps
+                                         + self.nand_spec.read_ps)
+
+            # Acks are cheap; batch every ack-ready command.
+            for miss in in_flight:
+                if (miss.stage is Stage.ACK
+                        and miss.ready_ps <= window.start_ps
+                        and budget_ps >= cl_cost_ps):
+                    budget_ps -= cl_cost_ps
+                    miss.stage = Stage.DONE
+                    miss.done_ps = window.start_ps + cl_cost_ps
+                    last_done = max(last_done, miss.done_ps)
+                    completed += 1
+                    next_post_ps = max(next_post_ps,
+                                       miss.done_ps + driver_gap_ps)
+
+            # 4 KB data transfers, oldest ready first.
+            for miss in sorted(in_flight, key=lambda m: m.index):
+                if pages_left == 0 or budget_ps < page_cost_ps:
+                    break
+                if (miss.stage is Stage.WB_DATA
+                        and miss.ready_ps <= window.start_ps):
+                    budget_ps -= page_cost_ps
+                    pages_left -= 1
+                    # Victim captured; NAND program overlaps; the fill
+                    # read starts now.
+                    miss.stage = Stage.NAND
+                    miss.ready_ps = (window.start_ps
+                                     + self.firmware_step_ps
+                                     + self.nand_spec.read_ps)
+                elif (miss.stage is Stage.FILL_DATA
+                        and miss.ready_ps <= window.start_ps):
+                    budget_ps -= page_cost_ps
+                    pages_left -= 1
+                    miss.stage = Stage.ACK
+                    miss.ready_ps = (window.start_ps
+                                     + self.firmware_step_ps)
+
+            # NAND reads complete off-bus.
+            for miss in in_flight:
+                if (miss.stage is Stage.NAND
+                        and miss.ready_ps <= window.end_ps):
+                    miss.stage = Stage.FILL_DATA
+                    miss.ready_ps += self.firmware_step_ps
+
+            in_flight = [m for m in in_flight if m.stage is not Stage.DONE]
+
+            if window_index > 1000 * n_misses:
+                raise ConfigError("pipeline made no progress")
+
+        span = last_done - first_window.start_ps
+        return PipelineResult(misses=n_misses, span_ps=span,
+                              windows_elapsed=window_index)
+
+
+def queue_depth_sweep(depths=(1, 2, 4, 8), n_misses: int = 200,
+                      firmware_step_ps: int = 0) -> list[tuple[int, float]]:
+    """Uncached bandwidth vs CP queue depth (the §VII-C item-2 curve)."""
+    from repro.ddr.spec import NVDIMMC_1600
+    from repro.nand.spec import ZNAND_64GB
+    timeline = RefreshTimeline(NVDIMMC_1600)
+    out = []
+    for depth in depths:
+        model = PipelinedNVMC(timeline, ZNAND_64GB, queue_depth=depth,
+                              firmware_step_ps=firmware_step_ps)
+        result = model.run_uncached(n_misses)
+        out.append((depth, result.bandwidth_mb_s))
+    return out

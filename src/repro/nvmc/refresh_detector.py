@@ -1,0 +1,127 @@
+"""The refresh detector: REF pattern match over deserialized CA samples.
+
+"The refresh detector receives six 8-bit data per clock from the
+deserializers, and determines whether those parallel data includes the
+state of Refresh" (§IV-A).  The match is
+
+    CKE=H, CS_n=L, ACT_n=H, RAS_n=L, CAS_n=L, WE_n=H
+
+with CKE *steady* — a falling CKE with the same pins is self-refresh
+entry and must not arm a device transfer (the following blackout has no
+bounded end).
+
+The detector plugs into the shared bus as a snooper.  Each observed
+command slot is expanded into two DDR samples (one clock) followed by
+idle samples, pushed through the six 1:8 deserializers, and
+pattern-matched on the emitted parallel words.  An optional electrical
+noise model flips samples at a configurable rate, letting the
+§VII-A-style aging experiments quantify detection accuracy (the paper
+could not quantify it analytically and relied on aging tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.ddr.commands import CAState
+from repro.nvmc.deserializer import Deserializer, word_bits
+
+#: Monitored pin names, board-routing order (§IV-A).
+PIN_NAMES = ("CKE", "CS_n", "ACT_n", "RAS_n", "CAS_n", "WE_n")
+
+#: Samples injected per observed command slot (1 clock at DDR = 2) plus
+#: trailing idle samples so the deserializers keep emitting words.
+ACTIVE_SAMPLES = 2
+IDLE_SAMPLES = 6
+
+#: Idle (DESELECT) levels per pin: CKE=H, CS_n=H, others H.
+IDLE_LEVELS = (True, True, True, True, True, True)
+
+#: The REF match per pin: (CKE, CS_n, ACT_n, RAS_n, CAS_n, WE_n).
+REF_PATTERN = (True, False, True, False, False, True)
+
+
+class RefreshDetector:
+    """Pattern-matching refresh detector with optional sampling noise."""
+
+    def __init__(self, noise_ber: float = 0.0, seed: int = 0,
+                 on_refresh: Callable[[int], None] | None = None) -> None:
+        self.noise_ber = noise_ber
+        self._rng = random.Random(seed)
+        self.on_refresh = on_refresh
+        self._deserializers = [Deserializer(name) for name in PIN_NAMES]
+        self._last_cke = True
+        self.detections: list[int] = []
+        self.true_positives = 0
+        self.false_positives = 0
+        self.false_negatives = 0
+        self.commands_observed = 0
+
+    # -- bus snooper entry point ---------------------------------------------------
+
+    def observe(self, time_ps: int, state: CAState) -> None:
+        """Consume one command slot from the CA bus tap."""
+        from repro.ddr.commands import is_refresh_state
+        self.commands_observed += 1
+        truth = is_refresh_state(state)
+        levels = state.pins()
+        detected = self._sample_command(levels)
+        if detected and self._cke_fell(levels):
+            detected = False   # SRE guard: REF pins but CKE falling
+        self._last_cke = levels[0]
+        if detected and truth:
+            self.true_positives += 1
+        elif detected and not truth:
+            self.false_positives += 1
+        elif truth and not detected:
+            self.false_negatives += 1
+        if detected:
+            self.detections.append(time_ps)
+            if self.on_refresh is not None:
+                self.on_refresh(time_ps)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _cke_fell(self, levels: tuple[bool, ...]) -> bool:
+        return self._last_cke and not levels[0]
+
+    def _sample_command(self, levels: tuple[bool, ...]) -> bool:
+        """Serialize, deserialize, and pattern-match one command slot."""
+        matched = False
+        for sample_index in range(ACTIVE_SAMPLES + IDLE_SAMPLES):
+            if sample_index < ACTIVE_SAMPLES:
+                sampled = levels
+            else:
+                sampled = IDLE_LEVELS
+            words = []
+            for pin_index, deser in enumerate(self._deserializers):
+                level = sampled[pin_index]
+                if self.noise_ber and self._rng.random() < self.noise_ber:
+                    level = not level
+                words.append(deser.push(level))
+            if words[0] is not None:
+                matched |= self._match_words(words)
+        return matched
+
+    @staticmethod
+    def _match_words(words: list[int | None]) -> bool:
+        """True if any aligned sample across the six words matches REF."""
+        columns = [word_bits(w) for w in words if w is not None]
+        if len(columns) != len(PIN_NAMES):
+            return False
+        for i in range(Deserializer.WIDTH):
+            sample = tuple(columns[pin][i] for pin in range(len(PIN_NAMES)))
+            if sample == REF_PATTERN:
+                return True
+        return False
+
+    # -- metrics -------------------------------------------------------------------------
+
+    @property
+    def accuracy(self) -> float:
+        """Detection accuracy over everything observed so far."""
+        if self.commands_observed == 0:
+            return 1.0
+        wrong = self.false_positives + self.false_negatives
+        return 1.0 - wrong / self.commands_observed

@@ -1,0 +1,25 @@
+"""Calibrated host-side performance model.
+
+The command-accurate DDR4 layer validates the *mechanism*; it cannot be
+run for the gigabytes of traffic the paper's FIO experiments move.  The
+workload runners therefore charge each host-side operation with costs
+from a calibrated model:
+
+* :mod:`repro.perf.calibration` — every constant, with the paper
+  measurement it was derived from.
+* :mod:`repro.perf.model` — per-operation latency (fixed + per-byte
+  software + per-byte memory inflated by the refresh-blocked fraction).
+* :mod:`repro.perf.contention` — the shared memory-channel resource that
+  produces thread-scaling saturation (Fig. 9).
+"""
+
+from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.perf.contention import MemoryChannel
+from repro.perf.model import HostCostModel
+
+__all__ = [
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+    "MemoryChannel",
+    "HostCostModel",
+]

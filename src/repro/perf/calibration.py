@@ -1,0 +1,103 @@
+"""Calibration constants, each traced to a paper measurement.
+
+The reproduction cannot match the authors' testbed absolutely (their
+numbers come from a real Skylake server and an FPGA PoC); what it can do
+is anchor the model's free constants to the paper's own measurements and
+then *predict* every other configuration.  This module is the single
+place those anchors live.
+
+Derivations (all times for 4 KB unless noted):
+
+* **Baseline (/dev/pmem0)** — Fig. 8: 646 KIOPS read -> 1.548 us/op;
+  Fig. 10: 128 B read ~1867 KIOPS -> 0.536 us/op.  A linear fit gives a
+  fixed cost of ~0.50 us and ~0.256 ns/B slope.
+* **NVDC-Cached** — Fig. 8: 448 KIOPS read -> 2.232 us/op; Fig. 10:
+  128 B read 2147 KIOPS -> 0.466 us/op.  Fit: fixed ~0.45 us,
+  ~0.445 ns/B slope.  The *lower* fixed cost than baseline reproduces
+  the paper's 1.15x small-access win; the steeper slope is the
+  per-line coherence + 4 KB mapping management (§VII-B2's 24-30 %
+  overhead).
+* **Refresh sensitivity** — Fig. 13: 1835 / 1691 / 1530 MB/s at
+  tREFI / tREFI2 / tREFI4.  The per-op latency increments are linear in
+  the refresh *rate*; fitting the expected-stall model
+  ``t = base + (mem_raw*blk + blk^2/2)/tREFI`` (blk = tRFC + tRP =
+  1.264 us) gives a raw memory component of ~0.27 us per 4 KB
+  (0.066 ns/B) and reproduces all three points within 2 %.
+* **Channel caps** — Fig. 9 saturation plateaus: baseline 8694 MB/s,
+  NVDC-Cached 4341 (reads) / 4615 (writes) MB/s.
+* **Write variants** — Fig. 8: baseline write 576 KIOPS (1.736 us),
+  NVDC-Cached write 438 KIOPS (2.283 us): writes carry ~0.19 us (base)
+  and ~0.05 us (nvdc) extra fixed cost over reads.
+* **Firmware lag** — §VII-B2: one writeback+cachefill pair = 69.8 us =
+  8.9 tREFI, against the 6-window theoretical minimum; reproduced (as
+  8 integer windows, 65.6 MB/s — a deterministic model quantises away
+  the fractional window) with a 4.0 us per-step firmware delay plus the
+  ~8 us PoC NAND page read (50 MHz PHY, §VII-C).
+* **Hypothetical tD overlap** — Fig. 12: fitting measured bandwidths at
+  tD in {0, 1.85, 3.9, 7.8} us yields an effective added latency of
+  ~0.83 * tD per miss (the three per-window waits overlap the media
+  delay at the matched refresh rate); fixed part 2.72 us (= the tD=0
+  measurement, mapping management without coherence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import us
+
+
+def _per_byte(ns_per_byte: float) -> float:
+    """Readability helper: ns/B -> ps/B."""
+    return ns_per_byte * 1000.0
+
+
+@dataclass(frozen=True)
+class CalibrationConstants:
+    """All tunables of the host-side cost model (times in ps)."""
+
+    # -- baseline emulated NVDIMM (/dev/pmem0) ---------------------------------
+    pmem_fixed_read_ps: int = round(us(0.495))
+    pmem_fixed_write_ps: int = round(us(0.683))
+    pmem_sw_byte_ps: float = _per_byte(0.186)
+
+    # -- nvdc cached path -------------------------------------------------------
+    nvdc_fixed_read_ps: int = round(us(0.311))
+    nvdc_fixed_write_ps: int = round(us(0.362))
+    nvdc_sw_byte_ps: float = _per_byte(0.3674)
+    #: Bytes beyond the first 4 KB of an op stream at this rate (Fig. 10:
+    #: 3050 MB/s at 64 KB implies ~0.237 ns/B of software once per-op and
+    #: per-page latency effects are amortised over a long copy).
+    nvdc_stream_byte_ps: float = _per_byte(0.2367)
+
+    # -- raw DRAM service (stalls during refresh blackouts) ----------------------
+    mem_byte_ps: float = _per_byte(0.066)
+
+    # -- channel caps for thread scaling (bytes/s, decimal MB) -------------------
+    pmem_channel_mb_s: float = 8694.0
+    nvdc_channel_read_mb_s: float = 4341.0
+    nvdc_channel_write_mb_s: float = 4615.0
+
+    # -- driver miss-path software ------------------------------------------------
+    #: per-miss software beyond the CP round trips: victim selection,
+    #: mapping updates, PTE install (the 18 % of Fig. 12's tD=0 point).
+    nvdc_miss_sw_ps: int = round(us(1.0))
+    #: ack-polling granularity of the driver's busy-wait loop.
+    nvdc_ack_poll_ps: int = round(us(0.2))
+
+    # -- hypothetical device (Fig. 12) ----------------------------------------------
+    hypo_fixed_ps: int = round(us(2.72))
+    hypo_td_factor: float = 0.83
+
+    # -- misc -------------------------------------------------------------------------
+    #: SSD sequential read bandwidth for the Fig. 7 file copy source.
+    ssd_seq_read_mb_s: float = 520.0
+    ssd_seq_write_mb_s: float = 475.0
+
+    def scaled(self, **overrides: float) -> "CalibrationConstants":
+        """Copy with some constants replaced (ablation studies)."""
+        return replace(self, **overrides)
+
+
+#: The constants used by every experiment unless overridden.
+DEFAULT_CALIBRATION = CalibrationConstants()

@@ -1,0 +1,75 @@
+"""The shared memory-channel resource for multi-thread experiments.
+
+Each host thread spends a private software phase per operation and then
+occupies the shared channel for the operation's service time.  With one
+thread the channel is idle most of the time; as threads multiply, the
+channel queue grows until throughput plateaus at the channel capacity —
+the Fig. 9 saturation shape.
+
+The channel is a plain time-cursor resource (like the NAND channels):
+requests are served FIFO from a single busy-until cursor, which is
+exact for a single-queue channel and keeps million-op runs fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChannelStats:
+    requests: int = 0
+    busy_ps: int = 0
+    waited_ps: int = 0
+
+
+class MemoryChannel:
+    """FIFO single-server channel shared by all host threads."""
+
+    def __init__(self, name: str = "channel") -> None:
+        self.name = name
+        self._busy_until = 0
+        self.stats = ChannelStats()
+
+    def serve(self, arrive_ps: int, service_ps: int) -> int:
+        """Enqueue a request arriving at ``arrive_ps``; returns its
+        completion time after FIFO queueing."""
+        start = max(arrive_ps, self._busy_until)
+        end = start + service_ps
+        self._busy_until = end
+        self.stats.requests += 1
+        self.stats.busy_ps += service_ps
+        self.stats.waited_ps += start - arrive_ps
+        return end
+
+    def serve_split(self, arrive_ps: int, occupancy_ps: int,
+                    latency_ps: int) -> int:
+        """Serve a request whose *latency* and *occupancy* differ.
+
+        An op's observed memory latency (what the thread waits) is
+        shorter than its channel occupancy (what it denies to others):
+        bank-level parallelism overlaps parts of the access with other
+        requesters' traffic, but scheduling slots are still consumed.
+        The queue is FIFO on occupancy; the caller's completion is
+        ``queue-entry + latency``.
+        """
+        start = max(arrive_ps, self._busy_until)
+        self._busy_until = start + occupancy_ps
+        self.stats.requests += 1
+        self.stats.busy_ps += occupancy_ps
+        self.stats.waited_ps += start - arrive_ps
+        return start + latency_ps
+
+    def utilization(self, horizon_ps: int) -> float:
+        """Busy fraction over a horizon."""
+        if horizon_ps <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_ps / horizon_ps)
+
+    @property
+    def busy_until_ps(self) -> int:
+        return self._busy_until
+
+    def reset(self) -> None:
+        self._busy_until = 0
+        self.stats = ChannelStats()

@@ -1,0 +1,118 @@
+"""The discrete-event engine: a time-ordered callback queue.
+
+The engine owns the simulated clock (integer picoseconds) and a binary
+heap of pending callbacks.  Ties at the same timestamp are broken by
+insertion order, which makes every simulation fully deterministic.
+
+The engine itself knows nothing about processes or resources; those are
+layered on top in :mod:`repro.sim.process` and
+:mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], Any]
+
+
+class Engine:
+    """Event queue and simulated clock.
+
+    >>> eng = Engine()
+    >>> hits = []
+    >>> _ = eng.call_at(100, lambda: hits.append(eng.now))
+    >>> _ = eng.call_at(50, lambda: hits.append(eng.now))
+    >>> eng.run()
+    >>> hits
+    [50, 100]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._heap: list[tuple[int, int, Callback]] = []
+        self._seq = 0
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    def call_at(self, time_ps: int, callback: Callback) -> None:
+        """Schedule ``callback`` to run at absolute time ``time_ps``."""
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time_ps} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (time_ps, self._seq, callback))
+        self._seq += 1
+
+    def call_after(self, delay_ps: int, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps}")
+        self.call_at(self._now + delay_ps, callback)
+
+    def peek(self) -> int | None:
+        """Timestamp of the next pending event, or None if queue is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if none remain."""
+        if not self._heap:
+            return False
+        time_ps, _seq, callback = heapq.heappop(self._heap)
+        self._now = time_ps
+        self.events_executed += 1
+        callback()
+        return True
+
+    def run(self, until: int | None = None,
+            max_events: int | None = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        When stopping at ``until`` the clock is advanced to exactly
+        ``until`` even if no event lands there, so back-to-back ``run``
+        calls observe a monotonic clock.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def drain(self) -> None:
+        """Discard all pending events without running them."""
+        self._heap.clear()
+
+    @property
+    def pending(self) -> int:
+        """Number of callbacks still queued."""
+        return len(self._heap)
+
+    @property
+    def running(self) -> bool:
+        """True while inside :meth:`run` (reentrant calls are illegal)."""
+        return self._running
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Engine(now={self._now}, pending={len(self._heap)})"

@@ -1,0 +1,157 @@
+"""Generator-based processes on top of the event engine.
+
+A *process* is a Python generator that yields waitables:
+
+* ``Timeout(delay_ps)`` — resume after simulated time passes,
+* ``Event`` — resume when another party triggers it (one-shot),
+* another ``Process`` — resume when that process finishes (join).
+
+The value sent back into the generator is the waitable's payload
+(``Event.value`` or the joined process's return value), mirroring SimPy
+semantics closely enough that the device models read naturally::
+
+    def refresh_loop(eng, imc):
+        while True:
+            yield Timeout(imc.trefi_ps)
+            imc.issue_refresh()
+
+Exceptions raised inside a process propagate out of ``Engine.run`` unless
+the process was spawned with ``daemon=True`` error capture disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class Timeout:
+    """Waitable that fires after ``delay_ps`` of simulated time."""
+
+    __slots__ = ("delay_ps", "value")
+
+    def __init__(self, delay_ps: int, value: Any = None) -> None:
+        if delay_ps < 0:
+            raise SimulationError(f"negative timeout: {delay_ps}")
+        self.delay_ps = delay_ps
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay_ps})"
+
+
+class Event:
+    """One-shot event that processes can wait on.
+
+    ``succeed(value)`` wakes every waiter with ``value``; waiting on an
+    already-triggered event resumes immediately with the stored value.
+    """
+
+    __slots__ = ("engine", "_waiters", "triggered", "value", "name")
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self._waiters: list[Process] = []
+        self.triggered = False
+        self.value: Any = None
+        self.name = name
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, waking all current and future waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine.call_after(0, lambda p=process: p._resume(self.value))
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self.engine.call_after(0, lambda: process._resume(self.value))
+        else:
+            self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return f"Event({self.name!r}, {state})"
+
+
+class Process:
+    """A running generator coupled to the engine.
+
+    Create with :func:`spawn`; the process starts at the current simulated
+    time (its first slice runs via a zero-delay callback so spawn order is
+    preserved deterministically).
+    """
+
+    __slots__ = ("engine", "_gen", "name", "finished", "result", "error",
+                 "_joiners")
+
+    def __init__(self, engine: Engine, gen: Generator[Any, Any, Any],
+                 name: str = "") -> None:
+        self.engine = engine
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._joiners: list[Process] = []
+        engine.call_after(0, lambda: self._resume(None))
+
+    # -- engine plumbing ---------------------------------------------------
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            waitable = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(waitable)
+
+    def _wait_on(self, waitable: Any) -> None:
+        if isinstance(waitable, Timeout):
+            self.engine.call_after(
+                waitable.delay_ps, lambda: self._resume(waitable.value))
+        elif isinstance(waitable, Event):
+            waitable._add_waiter(self)
+        elif isinstance(waitable, Process):
+            waitable._add_joiner(self)
+        else:
+            error = SimulationError(
+                f"process {self.name!r} yielded non-waitable {waitable!r}")
+            self._gen.throw(error)
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self.engine.call_after(0, lambda j=joiner: j._resume(result))
+
+    def _add_joiner(self, process: "Process") -> None:
+        if self.finished:
+            self.engine.call_after(0, lambda: process._resume(self.result))
+        else:
+            self._joiners.append(process)
+
+    # -- user API ------------------------------------------------------------
+
+    def interrupt(self) -> None:
+        """Stop the process at its next resume point by closing it."""
+        if not self.finished:
+            self._gen.close()
+            self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+def spawn(engine: Engine, gen: Iterator[Any], name: str = "") -> Process:
+    """Start a generator as a process on ``engine``."""
+    return Process(engine, gen, name=name)

@@ -1,0 +1,125 @@
+"""Queueing primitives for process-level models.
+
+These are deliberately minimal: a counted :class:`Resource` with FIFO
+admission (used to model the host memory channel and NAND channel
+controllers), a :class:`Lock` (capacity-1 resource), and a :class:`Store`
+(unbounded FIFO of items, used for request queues such as the CP command
+mailbox and the FTL's GC queue).
+
+All waiting is expressed through :class:`~repro.sim.process.Event`, so
+callers interact with them from process generators::
+
+    token = yield resource.acquire()
+    ...critical section...
+    resource.release()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import Event
+
+
+class Resource:
+    """Counted resource with FIFO admission.
+
+    ``acquire`` returns an :class:`Event` that triggers when a slot is
+    granted; ``release`` frees one slot and admits the next waiter.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1,
+                 name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >=1: {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+        # Occupancy accounting for utilisation metrics.
+        self._busy_ps = 0
+        self._last_change = 0
+
+    def acquire(self) -> Event:
+        """Request a slot; the returned event fires when granted."""
+        event = Event(self.engine, name=f"{self.name}.acquire")
+        if self.in_use < self.capacity:
+            self._account()
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot, handing it to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            event = self._waiters.popleft()
+            event.succeed()
+        else:
+            self._account()
+            self.in_use -= 1
+
+    def _account(self) -> None:
+        now = self.engine.now
+        self._busy_ps += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity in use since the start of time."""
+        self._account()
+        if self.engine.now == 0:
+            return 0.0
+        return self._busy_ps / (self.engine.now * self.capacity)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquirers still waiting."""
+        return len(self._waiters)
+
+
+class Lock(Resource):
+    """A capacity-1 resource (mutual exclusion)."""
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        super().__init__(engine, capacity=1, name=name)
+
+
+class Store:
+    """Unbounded FIFO of items with blocking get.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    item once one is available (items are matched to getters FIFO).
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest pending getter if any."""
+        if self._getters:
+            event = self._getters.popleft()
+            event.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Request the oldest item; the event fires with it as value."""
+        event = Event(self.engine, name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,79 @@
+"""Structured event tracing.
+
+Device models emit :class:`TraceRecord` entries through a shared
+:class:`Tracer`.  Tracing is off by default (the hot paths check a single
+boolean) and tests enable it to assert on protocol-level behaviour, e.g.
+"the NVMC only drove the bus inside extended-tRFC windows".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.units import format_time
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``category`` is a dotted namespace (``"ddr.cmd"``, ``"nvmc.window"``,
+    ``"nvdc.op"``, ...), ``fields`` carries structured payload.
+    """
+
+    time_ps: int
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        text = f"[{format_time(self.time_ps):>12}] {self.category}: {self.message}"
+        return f"{text} {extra}".rstrip()
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category prefix."""
+
+    def __init__(self, enabled: bool = False,
+                 categories: tuple[str, ...] | None = None,
+                 capacity: int | None = None) -> None:
+        self.enabled = enabled
+        self.categories = categories
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time_ps: int, category: str, message: str,
+             **fields: Any) -> None:
+        """Record an event if tracing is on and the category is selected."""
+        if not self.enabled:
+            return
+        if self.categories is not None and not any(
+                category.startswith(prefix) for prefix in self.categories):
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time_ps, category, message, fields))
+
+    def filter(self, prefix: str) -> list[TraceRecord]:
+        """All records whose category starts with ``prefix``."""
+        return [r for r in self.records if r.category.startswith(prefix)]
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self.records.clear()
+        self.dropped = 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: A module-level tracer that is always disabled; models default to it so
+#: construction never requires threading a tracer through every layer.
+NULL_TRACER = Tracer(enabled=False)

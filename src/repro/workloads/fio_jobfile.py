@@ -1,0 +1,124 @@
+"""FIO job-file (INI) parsing.
+
+Real FIO experiments are described by job files; supporting the format
+makes the paper's methodology reproducible verbatim.  The §VII-B2 run,
+as FIO would see it::
+
+    [global]
+    ioengine=libpmem
+    bs=4k
+    iodepth=1
+
+    [randread-cached]
+    rw=randread
+    size=32m
+    numjobs=1
+
+Supported keys: rw, bs, size, numjobs, iodepth, rwmixread, nops, seed.
+Sizes accept FIO suffixes (k/m/g, binary).  ``ioengine`` is validated
+(only the DAX-style engines make sense here) but has no further effect,
+exactly like the paper's fixed ``libpmem`` engine.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.workloads.fio import FIOJob
+
+_SUPPORTED_ENGINES = ("libpmem", "dev-dax", "mmap")
+
+
+def parse_size(text: str) -> int:
+    """FIO size syntax: plain bytes or k/m/g suffix (binary)."""
+    text = text.strip().lower()
+    multipliers = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    if text and text[-1] in multipliers:
+        number, unit = text[:-1], multipliers[text[-1]]
+    else:
+        number, unit = text, 1
+    try:
+        return int(float(number) * unit)
+    except ValueError as exc:
+        raise ConfigError(f"bad size value {text!r}") from exc
+
+
+def parse_jobfile(text: str) -> list[FIOJob]:
+    """Parse a job file into :class:`FIOJob` specs.
+
+    ``[global]`` options apply to every job; later sections override.
+    """
+    sections: list[tuple[str, dict[str, str]]] = []
+    current: dict[str, str] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            current = {}
+            sections.append((name, current))
+            continue
+        if current is None:
+            raise ConfigError(
+                f"line {lineno}: option outside any [section]")
+        if "=" in line:
+            key, value = line.split("=", 1)
+            current[key.strip()] = value.strip()
+        else:
+            current[line] = "1"     # bare flags (e.g. "group_reporting")
+
+    global_opts: dict[str, str] = {}
+    jobs: list[FIOJob] = []
+    for name, opts in sections:
+        if name == "global":
+            global_opts.update(opts)
+            continue
+        merged = dict(global_opts)
+        merged.update(opts)
+        jobs.append(_job_from_options(name, merged))
+    if not jobs:
+        raise ConfigError("job file defines no jobs")
+    return jobs
+
+
+def _job_from_options(name: str, opts: dict[str, str]) -> FIOJob:
+    engine = opts.get("ioengine", "libpmem")
+    if engine not in _SUPPORTED_ENGINES:
+        raise ConfigError(
+            f"job {name!r}: ioengine {engine!r} is not a DAX engine "
+            f"(supported: {_SUPPORTED_ENGINES})")
+    known = {"ioengine", "rw", "bs", "size", "numjobs", "iodepth",
+             "rwmixread", "nops", "seed", "group_reporting", "direct",
+             "time_based", "runtime"}
+    unknown = set(opts) - known
+    if unknown:
+        raise ConfigError(f"job {name!r}: unsupported options "
+                          f"{sorted(unknown)}")
+    return FIOJob(
+        name=name,
+        rw=opts.get("rw", "randread"),
+        bs=parse_size(opts.get("bs", "4k")),
+        size=parse_size(opts.get("size", "64m")),
+        numjobs=int(opts.get("numjobs", "1")),
+        iodepth=int(opts.get("iodepth", "1")),
+        rwmixread=int(opts.get("rwmixread", "50")),
+        nops=int(opts.get("nops", "1000")),
+        seed=int(opts.get("seed", "1234")))
+
+
+#: The paper's §VII-B2 methodology as a job file, ready to run.
+PAPER_FIG8_JOBFILE = """\
+[global]
+ioengine=libpmem
+bs=4k
+iodepth=1
+numjobs=1
+size=32m
+nops=2000
+
+[fig8-randread]
+rw=randread
+
+[fig8-randwrite]
+rw=randwrite
+"""

@@ -1,0 +1,237 @@
+"""Synthetic TPC-H SF-100 traces on a HANA-like engine model (Fig. 11).
+
+We cannot run SAP HANA; what shapes Fig. 11 is each query's *page
+access behaviour* against the 16 GB DRAM cache of a 100 GB database:
+
+* Q1 is "a sequential table scan, so with increase in bandwidth of the
+  device this query can become compute-bound" — large sequential reads
+  plus heavy compute, giving the smallest slowdown (3.3x);
+* Q20 "results in many small accesses" [Kandaswamy & Knighten, IPDS'00]
+  over a footprint larger than the cache, and under the PoC's LRC
+  eviction it thrashes (78x);
+* the remaining queries are parameterised from the same I/O-phase
+  characterisation study: mixes of scans over the big tables
+  (lineitem/orders) and skewed index-ish lookups.
+
+The per-query parameters are **synthetic** (documented here and in
+DESIGN.md): they are tuned so that the two text-anchored queries land
+on the paper's numbers and the rest fall in the plausible middle.  The
+LRU hit-rate study of §VII-B5 (78.7-99.3 % from 1 to 16 GB) runs the
+same traces through the same eviction policies.
+
+Query execution time is computed with the cache-simulation + cost-model
+split the paper's own in-house simulation used: the trace runs through
+a slot cache with the chosen policy (hits/misses counted), and time is
+``compute + hits * hit_cost + misses * miss_cost``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.kernel.eviction import make_policy
+from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.units import PAGE_4K, us
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Access-behaviour parameters of one TPC-H query (synthetic)."""
+
+    name: str
+    footprint_frac: float      # fraction of the database touched
+    accesses_per_page: float   # trace length / footprint pages
+    pattern: str               # "seq" | "rand" | "zipf"
+    zipf_hot_frac: float = 0.2     # hot fraction for "zipf"
+    zipf_hot_prob: float = 0.8     # probability of hitting the hot set
+    access_bytes: int = PAGE_4K
+    compute_us_per_access: float = 0.0
+
+
+#: The 22 queries.  Q1 and Q20 are calibrated against the paper's text;
+#: the others follow the IPDS'00 characterisation qualitatively
+#: (scan-heavy early queries, lookup-heavy late ones).
+TPCH_QUERIES: dict[str, QuerySpec] = {
+    "Q1": QuerySpec("Q1", 0.70, 1.0, "seq", compute_us_per_access=29.3),
+    "Q2": QuerySpec("Q2", 0.05, 3.0, "zipf", compute_us_per_access=2.0),
+    "Q3": QuerySpec("Q3", 0.45, 1.2, "seq", compute_us_per_access=6.0),
+    "Q4": QuerySpec("Q4", 0.30, 1.5, "zipf", compute_us_per_access=4.0),
+    "Q5": QuerySpec("Q5", 0.40, 1.3, "zipf", compute_us_per_access=5.0),
+    "Q6": QuerySpec("Q6", 0.60, 1.0, "seq", compute_us_per_access=8.0),
+    "Q7": QuerySpec("Q7", 0.35, 1.4, "zipf", compute_us_per_access=4.0),
+    "Q8": QuerySpec("Q8", 0.30, 1.6, "zipf", compute_us_per_access=3.5),
+    "Q9": QuerySpec("Q9", 0.55, 1.5, "zipf", compute_us_per_access=3.0),
+    "Q10": QuerySpec("Q10", 0.35, 1.3, "zipf", compute_us_per_access=4.0),
+    "Q11": QuerySpec("Q11", 0.08, 2.5, "zipf", compute_us_per_access=2.0),
+    "Q12": QuerySpec("Q12", 0.40, 1.1, "seq", compute_us_per_access=5.0),
+    "Q13": QuerySpec("Q13", 0.25, 1.5, "zipf", compute_us_per_access=5.0),
+    "Q14": QuerySpec("Q14", 0.30, 1.2, "seq", compute_us_per_access=4.0),
+    "Q15": QuerySpec("Q15", 0.30, 1.4, "seq", compute_us_per_access=4.0),
+    "Q16": QuerySpec("Q16", 0.10, 2.0, "zipf", compute_us_per_access=2.5),
+    "Q17": QuerySpec("Q17", 0.45, 2.0, "rand", access_bytes=1024,
+                     compute_us_per_access=1.0),
+    "Q18": QuerySpec("Q18", 0.50, 1.6, "zipf", compute_us_per_access=2.5),
+    "Q19": QuerySpec("Q19", 0.35, 1.5, "zipf", compute_us_per_access=3.0),
+    "Q20": QuerySpec("Q20", 0.80, 3.0, "rand", access_bytes=512,
+                     compute_us_per_access=0.10),
+    "Q21": QuerySpec("Q21", 0.55, 1.8, "zipf", compute_us_per_access=2.0),
+    "Q22": QuerySpec("Q22", 0.12, 2.0, "zipf", compute_us_per_access=2.0),
+}
+
+
+#: Parameters of the §VII-B5 hit-rate study traces.  The paper's
+#: in-house simulation traced *HANA's* accesses to the device, which
+#: concentrate on a hot main-store subset far more than raw query page
+#: touches do: all queries share the big base tables, and HANA touches
+#: the compressed hot columns overwhelmingly often.  The hot region is
+#: ~12 % of SF-100 (≈12 GB — inside the 16 GB cache, which is why the
+#: paper's LRU curve saturates at 99.3 %), with a strong skew inside.
+HOT_DB_FRAC = 0.12
+HOT_SKEW = 12.0
+HOT_WEIGHT = 0.99
+
+
+def _hot_page(rng: random.Random, db_pages: int) -> int:
+    """A skewed draw from the database-wide hot region."""
+    hot_pages = max(1, int(db_pages * HOT_DB_FRAC))
+    return int(hot_pages * rng.random() ** HOT_SKEW)
+
+
+def generate_query_trace(spec: QuerySpec, db_pages: int,
+                         max_accesses: int = 60_000,
+                         seed: int = 7,
+                         hot_weight: float = 0.0) -> list[int]:
+    """Page-number trace for one query over a ``db_pages`` database.
+
+    With ``hot_weight = 0`` (the Fig. 11 configuration) accesses follow
+    the query's own pattern over its footprint — raw page touches.
+    With ``hot_weight > 0`` (the hit-rate-study configuration) that
+    fraction of accesses goes to the shared skewed hot region instead,
+    modelling HANA's main-store locality.  Query footprints are
+    anchored deterministically (the same "tables" across runs and cache
+    sizes).  Trace length scales with the footprint but is capped so a
+    full 22-query run stays fast at any scale.
+    """
+    rng = random.Random(seed ^ hash(spec.name))
+    footprint = max(16, int(db_pages * spec.footprint_frac))
+    # Deterministic anchor: queries over the same table ranges overlap.
+    base = (hash(spec.name) % 7) * max(1, (db_pages - footprint) // 7)
+    length = min(max_accesses, int(footprint * spec.accesses_per_page))
+    trace: list[int] = []
+    seq_cursor = 0
+    for _ in range(length):
+        if hot_weight and rng.random() < hot_weight:
+            trace.append(_hot_page(rng, db_pages))
+            continue
+        if spec.pattern == "seq":
+            trace.append(base + seq_cursor % footprint)
+            seq_cursor += 1
+        elif spec.pattern == "rand":
+            trace.append(base + rng.randrange(footprint))
+        elif spec.pattern == "zipf":
+            hot_pages = max(1, int(footprint * spec.zipf_hot_frac))
+            if rng.random() < spec.zipf_hot_prob:
+                trace.append(base + rng.randrange(hot_pages))
+            else:
+                trace.append(base + rng.randrange(footprint))
+        else:
+            raise ValueError(f"unknown pattern {spec.pattern!r}")
+    return trace
+
+
+class _SlotCache:
+    """Counting-only cache simulation (policy + membership)."""
+
+    def __init__(self, capacity_pages: int, policy_name: str) -> None:
+        self.capacity = capacity_pages
+        self.policy = make_policy(policy_name)
+        self.members: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        if page in self.members:
+            self.hits += 1
+            self.policy.on_access(page)
+            return True
+        self.misses += 1
+        if len(self.members) >= self.capacity:
+            victim = self.policy.pick_victim()
+            self.members.remove(victim)
+        self.policy.on_cached(page)
+        self.members.add(page)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class TPCHResult:
+    """One query's outcome on one device configuration."""
+
+    name: str
+    time_nvdc_s: float
+    time_pmem_s: float
+    hit_rate: float
+
+    @property
+    def slowdown(self) -> float:
+        """Execution time normalised to the baseline (Fig. 11 y-axis)."""
+        return self.time_nvdc_s / self.time_pmem_s
+
+
+def run_query(spec: QuerySpec, db_pages: int, cache_pages: int,
+              policy: str = "lrc", seed: int = 7,
+              calibration: CalibrationConstants = DEFAULT_CALIBRATION,
+              miss_pair_us: float = 70.2) -> TPCHResult:
+    """Execute one query on NVDIMM-C (cache sim + cost model) and on
+    the pmem baseline."""
+    trace = generate_query_trace(spec, db_pages, seed=seed)
+    cache = _SlotCache(cache_pages, policy)
+    for page in trace:
+        cache.access(page)
+    bs = spec.access_bytes
+    # Host-side per-access costs from the same calibrated model the FIO
+    # experiments use (single-thread; queries here are single-stream).
+    from repro.ddr.imc import RefreshTimeline
+    from repro.ddr.spec import DDR4_1600, NVDIMMC_1600
+    from repro.perf.model import HostCostModel
+    nvdc_model = HostCostModel(RefreshTimeline(NVDIMMC_1600), "nvdc",
+                               calibration)
+    pmem_model = HostCostModel(RefreshTimeline(DDR4_1600), "pmem",
+                               calibration)
+    hit_ps = nvdc_model.cached_cost(bs, False).total_ps
+    pmem_ps = pmem_model.cached_cost(bs, False).total_ps
+    miss_ps = us(miss_pair_us) + hit_ps
+    compute_ps = us(spec.compute_us_per_access) * len(trace)
+    time_nvdc = (cache.hits * hit_ps + cache.misses * miss_ps
+                 + compute_ps) / 1e12
+    time_pmem = (len(trace) * pmem_ps + compute_ps) / 1e12
+    return TPCHResult(name=spec.name, time_nvdc_s=time_nvdc,
+                      time_pmem_s=time_pmem, hit_rate=cache.hit_rate)
+
+
+def run_all_queries(db_pages: int, cache_pages: int, policy: str = "lrc",
+                    seed: int = 7) -> list[TPCHResult]:
+    """Fig. 11: all 22 queries, in order."""
+    return [run_query(TPCH_QUERIES[f"Q{i}"], db_pages, cache_pages,
+                      policy=policy, seed=seed)
+            for i in range(1, 23)]
+
+
+def simulate_hit_rate(cache_pages: int, db_pages: int,
+                      policy: str = "lru", seed: int = 7) -> float:
+    """The §VII-B5 in-house study: aggregate hit rate of the TPC-H
+    trace mix under a policy at a given cache size."""
+    cache = _SlotCache(cache_pages, policy)
+    for i in range(1, 23):
+        spec = TPCH_QUERIES[f"Q{i}"]
+        for page in generate_query_trace(spec, db_pages,
+                                         max_accesses=20_000, seed=seed,
+                                         hot_weight=HOT_WEIGHT):
+            cache.access(page)
+    return cache.hit_rate

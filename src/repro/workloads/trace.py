@@ -1,0 +1,99 @@
+"""Generic access traces: record, save/load, replay.
+
+A trace is a list of :class:`Access` records — the portable currency
+between workload generators, the cache simulators, and the DAX systems.
+Traces serialise to a compact text format (one access per line) so
+experiments can be archived and replayed bit-exactly.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.units import PAGE_4K
+
+
+@dataclass(frozen=True)
+class Access:
+    """One access: byte offset, length, direction."""
+
+    offset: int
+    nbytes: int
+    is_write: bool
+
+    def pages(self) -> range:
+        """Device pages the access touches."""
+        first = self.offset // PAGE_4K
+        last = (self.offset + self.nbytes - 1) // PAGE_4K
+        return range(first, last + 1)
+
+
+class AccessTrace:
+    """An ordered sequence of accesses with (de)serialisation."""
+
+    def __init__(self, accesses: Iterable[Access] = ()) -> None:
+        self.accesses: list[Access] = list(accesses)
+
+    def append(self, offset: int, nbytes: int, is_write: bool) -> None:
+        if nbytes <= 0 or offset < 0:
+            raise ConfigError(
+                f"bad access: offset={offset}, nbytes={nbytes}")
+        self.accesses.append(Access(offset, nbytes, is_write))
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.accesses)
+
+    @property
+    def bytes_total(self) -> int:
+        return sum(a.nbytes for a in self.accesses)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return sum(a.is_write for a in self.accesses) / len(self.accesses)
+
+    def footprint_pages(self) -> int:
+        """Distinct 4 KB pages the trace touches."""
+        pages: set[int] = set()
+        for access in self.accesses:
+            pages.update(access.pages())
+        return len(pages)
+
+    # -- serialisation ----------------------------------------------------------
+
+    def dumps(self) -> str:
+        """One access per line: ``R|W offset nbytes``."""
+        out = io.StringIO()
+        for access in self.accesses:
+            kind = "W" if access.is_write else "R"
+            out.write(f"{kind} {access.offset} {access.nbytes}\n")
+        return out.getvalue()
+
+    @classmethod
+    def loads(cls, text: str) -> "AccessTrace":
+        trace = cls()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in ("R", "W"):
+                raise ConfigError(f"bad trace line {lineno}: {line!r}")
+            trace.append(int(parts[1]), int(parts[2]), parts[0] == "W")
+        return trace
+
+    # -- replay -------------------------------------------------------------------
+
+    def replay(self, system, start_ps: int = 0) -> int:
+        """Drive the trace through a DAX system; returns the end time."""
+        t = max(start_ps, getattr(system, "now_floor_ps", 0))
+        for access in self.accesses:
+            t = system.op(access.offset, access.nbytes, access.is_write, t)
+        return t

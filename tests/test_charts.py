@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.charts import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_simple_bars(self):
+        text = bar_chart(["read", "write"], [100.0, 50.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart(["a", "b"], [0.0, 10.0], width=10)
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1.0, 1000.0], width=30)
+        logged = bar_chart(["a", "b"], [1.0, 1000.0], width=30, log=True)
+        assert linear.splitlines()[0].count("#") == 1
+        assert logged.splitlines()[0].count("#") > 1
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert "empty" in bar_chart([], [])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=20))
+    def test_bars_never_exceed_width(self, values):
+        labels = [f"v{i}" for i in range(len(values))]
+        text = bar_chart(labels, values, width=40)
+        for line in text.splitlines():
+            assert line.count("#") <= 41
+
+
+class TestLineChart:
+    def test_renders_grid(self):
+        text = line_chart([0, 1, 2, 3], [0, 1, 4, 9], width=20, height=6)
+        lines = text.splitlines()
+        assert len(lines) == 6 + 3   # header + grid + axis + footer
+        assert any("*" in line for line in lines)
+
+    def test_constant_series(self):
+        text = line_chart([0, 1], [5, 5])
+        assert "*" in text
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1], [1, 2])
+        with pytest.raises(ValueError):
+            line_chart([], [])
+
+    def test_extents_in_footer(self):
+        text = line_chart([1, 16], [100, 200], x_label="threads",
+                          y_label="MB/s")
+        assert "threads: 1 .. 16" in text
+        assert "max 200" in text

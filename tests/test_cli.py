@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fio_defaults(self):
+        args = build_parser().parse_args(["fio"])
+        assert args.device == "nvdc"
+        assert args.rw == "randread"
+        assert args.bs == 4096
+
+    def test_unknown_experiment_id_fails(self):
+        assert main(["experiments", "fig99"]) == 2
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "NVDIMM-C" in out
+        assert "STT-MRAM" in out
+
+    def test_fio_pmem(self, capsys):
+        assert main(["fio", "--device", "pmem", "--nops", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "KIOPS" in out
+
+    def test_fio_nvdc_multithread(self, capsys):
+        assert main(["fio", "--threads", "2", "--nops", "200"]) == 0
+        assert "MB/s" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--iterations", "1"]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "Hypothetical" in out

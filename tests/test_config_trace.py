@@ -1,0 +1,99 @@
+"""Tests for SystemConfig and the generic access-trace module."""
+
+import pytest
+
+from repro.config import (ASIC_CONFIG, EXPERIMENT_CONFIG, PAPER_CONFIG,
+                          SystemConfig)
+from repro.errors import ConfigError
+from repro.units import PAGE_4K, gb, kb, mb
+from repro.workloads.trace import Access, AccessTrace
+
+
+class TestSystemConfig:
+    def test_paper_config_is_table1(self):
+        assert PAPER_CONFIG.cache_bytes == gb(16)
+        assert PAPER_CONFIG.device_bytes == gb(120)
+        assert PAPER_CONFIG.policy == "lrc"
+        assert PAPER_CONFIG.cp_queue_depth == 1
+
+    def test_scaled_preserves_ratio(self):
+        scaled = PAPER_CONFIG.scaled(512)
+        assert (scaled.cache_bytes / scaled.device_bytes
+                == pytest.approx(16 / 120))
+        assert scaled.spec is PAPER_CONFIG.spec
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ConfigError):
+            PAPER_CONFIG.scaled(0)
+
+    def test_cache_larger_than_device_rejected(self):
+        bad = SystemConfig(cache_bytes=gb(16), device_bytes=gb(8))
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_build_experiment_scale(self):
+        system = EXPERIMENT_CONFIG.scaled(4).build()
+        assert system.capacity_bytes == gb(120) // 1024
+        end = system.op(0, kb(4), False, 0)
+        assert end > 0
+
+    def test_asic_config_is_faster_uncached(self):
+        assert ASIC_CONFIG.firmware_step_ps == 0
+        assert ASIC_CONFIG.nand_phy_mhz == 500
+        assert ASIC_CONFIG.use_merged_commands
+
+
+class TestAccessTrace:
+    def test_append_and_iterate(self):
+        trace = AccessTrace()
+        trace.append(0, kb(4), False)
+        trace.append(kb(4), 64, True)
+        assert len(trace) == 2
+        assert trace.bytes_total == kb(4) + 64
+        assert trace.write_fraction == 0.5
+
+    def test_bad_access_rejected(self):
+        trace = AccessTrace()
+        with pytest.raises(ConfigError):
+            trace.append(-1, 64, False)
+        with pytest.raises(ConfigError):
+            trace.append(0, 0, False)
+
+    def test_pages_covered(self):
+        access = Access(offset=PAGE_4K - 10, nbytes=20, is_write=False)
+        assert list(access.pages()) == [0, 1]
+
+    def test_footprint(self):
+        trace = AccessTrace([Access(0, 64, False),
+                             Access(100, 64, False),
+                             Access(PAGE_4K, 64, True)])
+        assert trace.footprint_pages() == 2
+
+    def test_serialise_round_trip(self):
+        trace = AccessTrace([Access(0, 4096, False),
+                             Access(8192, 512, True)])
+        text = trace.dumps()
+        loaded = AccessTrace.loads(text)
+        assert loaded.accesses == trace.accesses
+
+    def test_loads_skips_comments_and_blanks(self):
+        text = "# header\n\nR 0 64\nW 64 64\n"
+        trace = AccessTrace.loads(text)
+        assert len(trace) == 2
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            AccessTrace.loads("X 0 64")
+        with pytest.raises(ConfigError):
+            AccessTrace.loads("R 0")
+
+    def test_replay_on_pmem(self):
+        from repro.device.nvdimmc import PmemSystem
+        system = PmemSystem(device_bytes=mb(32))
+        trace = AccessTrace([Access(i * PAGE_4K, kb(4), False)
+                             for i in range(10)])
+        end = trace.replay(system)
+        assert end > 0
+        # Deterministic: same trace, fresh system, same time.
+        assert AccessTrace.loads(trace.dumps()).replay(
+            PmemSystem(device_bytes=mb(32))) == end

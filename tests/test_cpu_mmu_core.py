@@ -1,0 +1,148 @@
+"""Tests for the MMU (TLB, faults, DAX handler hook) and CPU cores."""
+
+import pytest
+
+from repro.cpu.cache import CPUCache
+from repro.cpu.core import CPUCore
+from repro.cpu.mmu import MMU, PageFault
+from repro.errors import KernelError
+from repro.units import PAGE_4K
+
+
+class RAM:
+    def __init__(self, size=1 << 22):
+        self.data = bytearray(size)
+
+    def mem_read(self, addr, nbytes):
+        return bytes(self.data[addr:addr + nbytes])
+
+    def mem_write(self, addr, data):
+        self.data[addr:addr + len(data)] = data
+
+
+class TestTranslation:
+    def test_mapped_page_translates(self):
+        mmu = MMU()
+        mmu.map_page(vpn=5, pfn=9)
+        assert mmu.translate(5 * PAGE_4K + 123) == 9 * PAGE_4K + 123
+
+    def test_unmapped_page_faults(self):
+        mmu = MMU()
+        with pytest.raises(PageFault):
+            mmu.translate(0x1000)
+        assert mmu.stats.unresolved_faults == 1
+
+    def test_tlb_caches_translations(self):
+        mmu = MMU()
+        mmu.map_page(0, 1)
+        mmu.translate(0)
+        mmu.translate(64)
+        assert mmu.stats.tlb_hits == 1
+        assert mmu.stats.page_walks == 1
+
+    def test_tlb_capacity_evicts_lru(self):
+        mmu = MMU(tlb_entries=2)
+        for vpn in range(3):
+            mmu.map_page(vpn, vpn + 10)
+            mmu.translate(vpn * PAGE_4K)
+        mmu.translate(0)   # vpn 0 was evicted: page walk again
+        assert mmu.stats.page_walks == 4
+
+    def test_unmap_shoots_down_tlb(self):
+        mmu = MMU()
+        mmu.map_page(0, 1)
+        mmu.translate(0)
+        mmu.unmap_page(0)
+        with pytest.raises(PageFault):
+            mmu.translate(0)
+
+    def test_write_to_readonly_rejected(self):
+        mmu = MMU()
+        mmu.map_page(0, 1, writable=False)
+        mmu.translate(0, write=False)
+        with pytest.raises(KernelError):
+            mmu.translate(0, write=True)
+
+    def test_dirty_accessed_bits(self):
+        mmu = MMU()
+        mmu.map_page(0, 1)
+        mmu.translate(100, write=True)
+        pte = mmu.pte(0)
+        assert pte.dirty and pte.accessed
+
+
+class TestFaultHandlers:
+    def test_handler_resolves_fault(self):
+        """The §II-A DAX flow: fault -> driver handler -> PTE -> retry."""
+        mmu = MMU()
+        calls = []
+
+        def handler(vaddr):
+            calls.append(vaddr)
+            mmu.map_page(vaddr // PAGE_4K, pfn=77)
+            return True
+
+        mmu.register_fault_handler(0x10000, 0x10000, handler)
+        paddr = mmu.translate(0x10008)
+        assert paddr == 77 * PAGE_4K + 8
+        assert calls == [0x10008]
+        assert mmu.stats.faults == 1
+
+    def test_fault_outside_registered_range_unhandled(self):
+        mmu = MMU()
+        mmu.register_fault_handler(0x10000, 0x1000, lambda v: True)
+        with pytest.raises(PageFault):
+            mmu.translate(0x20000)
+
+    def test_handler_lying_about_success_detected(self):
+        mmu = MMU()
+        mmu.register_fault_handler(0, PAGE_4K, lambda v: True)
+        with pytest.raises(KernelError):
+            mmu.translate(5)
+
+    def test_handler_returning_false_falls_through(self):
+        mmu = MMU()
+        mmu.register_fault_handler(0, PAGE_4K, lambda v: False)
+        with pytest.raises(PageFault):
+            mmu.translate(5)
+
+
+class TestCPUCore:
+    def make(self):
+        ram = RAM()
+        mmu = MMU()
+        cache = CPUCache(ram)
+        core = CPUCore(0, mmu, cache)
+        return ram, mmu, cache, core
+
+    def test_store_load_round_trip(self):
+        _ram, mmu, _cache, core = self.make()
+        mmu.map_page(0, 3)
+        core.store(10, b"payload")
+        assert core.load(10, 7) == b"payload"
+
+    def test_access_spans_pages(self):
+        _ram, mmu, _cache, core = self.make()
+        mmu.map_page(0, 3)
+        mmu.map_page(1, 7)   # physically discontiguous
+        data = bytes(range(256)) * 2
+        core.store(PAGE_4K - 256, data)
+        assert core.load(PAGE_4K - 256, 512) == data
+
+    def test_clflush_range_reaches_backend(self):
+        ram, mmu, _cache, core = self.make()
+        mmu.map_page(0, 0)
+        core.store(0, b"persist!" * 8)
+        core.clflush_range(0, 64)
+        core.sfence()
+        assert ram.data[0:64] == b"persist!" * 8
+
+    def test_stats(self):
+        _ram, mmu, _cache, core = self.make()
+        mmu.map_page(0, 0)
+        core.store(0, bytes(128))
+        core.load(0, 64)
+        assert core.stats.stores == 1
+        assert core.stats.loads == 1
+        assert core.stats.bytes_stored == 128
+        assert core.stats.bytes_loaded == 64

@@ -1,0 +1,142 @@
+"""Tests for the per-bank state machine and timing enforcement."""
+
+import pytest
+
+from repro.ddr.bank import Bank, BankState
+from repro.ddr.spec import DDR4_1600
+from repro.errors import ProtocolError, TimingViolationError
+
+
+@pytest.fixture
+def bank():
+    return Bank(0, DDR4_1600)
+
+
+SPEC = DDR4_1600
+
+
+class TestActivate:
+    def test_activate_opens_row(self, bank):
+        bank.activate(row=5, now_ps=0)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 5
+
+    def test_double_activate_rejected(self, bank):
+        bank.activate(5, 0)
+        with pytest.raises(ProtocolError):
+            bank.activate(6, SPEC.trcd_ps)
+
+    def test_activate_respects_trp(self, bank):
+        bank.activate(5, 0)
+        t = SPEC.tras_ps
+        bank.precharge(t)
+        with pytest.raises(TimingViolationError):
+            bank.activate(6, t + SPEC.trp_ps - 1)
+        bank.activate(6, t + SPEC.trp_ps)
+
+    def test_activate_during_refresh_rejected(self, bank):
+        bank.begin_refresh(0)
+        with pytest.raises(ProtocolError):
+            bank.activate(1, 100)
+
+
+class TestColumnAccess:
+    def test_read_needs_open_row(self, bank):
+        """Fig. 2a C2: READ after the row was closed under the reader."""
+        with pytest.raises(ProtocolError):
+            bank.read(5, 0)
+
+    def test_read_wrong_row_rejected(self, bank):
+        bank.activate(5, 0)
+        with pytest.raises(ProtocolError):
+            bank.read(6, SPEC.trcd_ps)
+
+    def test_read_respects_trcd(self, bank):
+        bank.activate(5, 0)
+        with pytest.raises(TimingViolationError):
+            bank.read(5, SPEC.trcd_ps - 1)
+        bank.read(5, SPEC.trcd_ps)
+
+    def test_back_to_back_reads_respect_tccd(self, bank):
+        bank.activate(5, 0)
+        t = SPEC.trcd_ps
+        bank.read(5, t)
+        with pytest.raises(TimingViolationError):
+            bank.read(5, t + SPEC.tccd_ps - 1)
+        bank.read(5, t + SPEC.tccd_ps)
+
+    def test_write_records_recovery(self, bank):
+        bank.activate(5, 0)
+        t = SPEC.trcd_ps
+        bank.write(5, t)
+        assert bank.last_write_end_ps > t
+
+
+class TestPrecharge:
+    def test_precharge_closes_row(self, bank):
+        bank.activate(5, 0)
+        bank.precharge(SPEC.tras_ps)
+        assert bank.state is BankState.IDLE
+        assert bank.open_row == -1
+
+    def test_precharge_idle_is_noop(self, bank):
+        bank.precharge(0)
+        assert bank.state is BankState.IDLE
+
+    def test_precharge_respects_tras(self, bank):
+        bank.activate(5, 0)
+        with pytest.raises(TimingViolationError):
+            bank.precharge(SPEC.tras_ps - 1)
+
+    def test_precharge_respects_twr(self, bank):
+        bank.activate(5, 0)
+        t = SPEC.trcd_ps
+        bank.write(5, t)
+        early = bank.last_write_end_ps + SPEC.twr_ps - 1
+        with pytest.raises(TimingViolationError):
+            bank.precharge(early)
+        bank.precharge(bank.last_write_end_ps + SPEC.twr_ps)
+
+
+class TestRefresh:
+    def test_refresh_requires_precharged(self, bank):
+        """§III-B: DDR4 controllers must PREA before REFRESH."""
+        bank.activate(5, 0)
+        with pytest.raises(ProtocolError):
+            bank.begin_refresh(SPEC.tras_ps)
+
+    def test_refresh_cycle(self, bank):
+        bank.begin_refresh(0)
+        assert bank.state is BankState.REFRESHING
+        bank.end_refresh(SPEC.trfc_device_ps)
+        assert bank.state is BankState.IDLE
+
+    def test_access_during_refresh_rejected(self, bank):
+        bank.begin_refresh(0)
+        with pytest.raises(ProtocolError):
+            bank.read(0, 100)
+        with pytest.raises(ProtocolError):
+            bank.precharge(100)
+
+    def test_end_refresh_when_idle_rejected(self, bank):
+        with pytest.raises(ProtocolError):
+            bank.end_refresh(0)
+
+    def test_activate_legal_immediately_after_refresh(self, bank):
+        """JEDEC: REF-to-ACT spacing is tRFC alone, no extra tRP."""
+        bank.begin_refresh(0)
+        end = SPEC.trfc_device_ps
+        bank.end_refresh(end)
+        bank.activate(1, end)
+        assert bank.open_row == 1
+
+
+class TestStats:
+    def test_counters(self, bank):
+        bank.activate(1, 0)
+        t = SPEC.trcd_ps
+        bank.read(1, t)
+        bank.write(1, t + SPEC.tccd_ps)
+        assert bank.stats["activates"] == 1
+        assert bank.stats["reads"] == 1
+        assert bank.stats["writes"] == 1

@@ -1,0 +1,137 @@
+"""Tests for the shared bus: collisions, snooping, reservations.
+
+These tests exercise the exact hazards of the paper's Fig. 2a and show
+that the bus model detects them — the mechanism's whole purpose.
+"""
+
+import pytest
+
+from repro.ddr.bus import SharedBus
+from repro.ddr.commands import Command, CommandKind
+from repro.ddr.device import DRAMDevice
+from repro.ddr.spec import DDR4_1600, NVDIMMC_1600
+from repro.errors import BusCollisionError, ProtocolError
+from repro.units import mb
+
+SPEC = DDR4_1600
+
+
+def make_bus(raise_on_collision=True, spec=SPEC):
+    device = DRAMDevice(spec, capacity_bytes=mb(64))
+    return SharedBus(spec, device, raise_on_collision=raise_on_collision)
+
+
+class TestCACollisions:
+    def test_same_slot_two_masters_collides(self):
+        """Fig. 2a C1: NVMC ACT while iMC issues a command."""
+        bus = make_bus()
+        bus.issue("imc", Command(CommandKind.ACT, bank=0, row=1), 1000)
+        with pytest.raises(BusCollisionError):
+            bus.issue("nvmc", Command(CommandKind.ACT, bank=1, row=2), 1500)
+
+    def test_disjoint_slots_ok(self):
+        bus = make_bus()
+        bus.issue("imc", Command(CommandKind.ACT, bank=0, row=1), 0)
+        bus.issue("nvmc", Command(CommandKind.ACT, bank=1, row=2),
+                  SPEC.clock_ps)
+        assert bus.collision_count == 0
+
+    def test_same_master_overlap_is_protocol_error(self):
+        bus = make_bus()
+        bus.issue("imc", Command(CommandKind.ACT, bank=0, row=1), 0)
+        with pytest.raises(ProtocolError):
+            bus.issue("imc", Command(CommandKind.ACT, bank=1, row=2),
+                      SPEC.clock_ps // 2)
+
+    def test_record_mode_counts_instead_of_raising(self):
+        bus = make_bus(raise_on_collision=False)
+        bus.issue("imc", Command(CommandKind.ACT, bank=0, row=1), 0)
+        bus.issue("nvmc", Command(CommandKind.ACT, bank=1, row=2), 100)
+        assert bus.collision_count == 1
+        assert bus.collisions[0].bus == "CA"
+
+
+class TestDQCollisions:
+    def test_read_data_windows_collide(self):
+        """Two masters' read bursts landing together on DQ."""
+        bus = make_bus(raise_on_collision=False)
+        t = 0
+        bus.issue("imc", Command(CommandKind.ACT, bank=0, row=1), t)
+        bus.issue("nvmc", Command(CommandKind.ACT, bank=1, row=1),
+                  t + SPEC.clock_ps)
+        t_rd = t + SPEC.trcd_ps + SPEC.clock_ps
+        bus.issue("imc", Command(CommandKind.RD, bank=0, row=1, column=0),
+                  t_rd)
+        # NVMC read lands 2 clocks later: CA slots are distinct but the
+        # tCL-delayed DQ bursts overlap.
+        bus.issue("nvmc", Command(CommandKind.RD, bank=1, row=1, column=0),
+                  t_rd + 2 * SPEC.clock_ps)
+        dq = [c for c in bus.collisions if c.bus == "DQ"]
+        assert len(dq) == 1
+
+    def test_spaced_reads_do_not_collide_on_dq(self):
+        bus = make_bus()
+        t = 0
+        bus.issue("imc", Command(CommandKind.ACT, bank=0, row=1), t)
+        bus.issue("nvmc", Command(CommandKind.ACT, bank=1, row=1),
+                  t + SPEC.clock_ps)
+        t_rd = t + SPEC.trcd_ps + SPEC.clock_ps
+        bus.issue("imc", Command(CommandKind.RD, bank=0, row=1, column=0),
+                  t_rd)
+        bus.issue("nvmc", Command(CommandKind.RD, bank=1, row=1, column=0),
+                  t_rd + SPEC.burst_time_ps + SPEC.clock_ps)
+        assert bus.collision_count == 0
+
+
+class TestRowClosedUnderReader:
+    def test_fig2a_c2_precharge_invalidates_read(self):
+        """Fig. 2a C2: iMC precharges the row the NVMC is bursting on."""
+        bus = make_bus()
+        t = 0
+        bus.issue("nvmc", Command(CommandKind.ACT, bank=0, row=7), t)
+        # iMC closes the bank (believes it owns it) after tRAS.
+        bus.issue("imc", Command(CommandKind.PRE, bank=0), t + SPEC.tras_ps)
+        # NVMC's subsequent read hits a precharged bank: protocol error.
+        with pytest.raises(ProtocolError, match="precharged bank"):
+            bus.issue("nvmc", Command(CommandKind.RD, bank=0, row=7,
+                                      column=0),
+                      t + SPEC.tras_ps + 2 * SPEC.clock_ps)
+
+
+class TestSnooping:
+    def test_snooper_sees_every_command(self):
+        bus = make_bus()
+        seen = []
+        bus.add_snooper(lambda t, state: seen.append((t, state)))
+        bus.issue("imc", Command(CommandKind.PREA), 0)
+        bus.issue("imc", Command(CommandKind.REF), SPEC.trp_ps)
+        assert len(seen) == 2
+        from repro.ddr.commands import is_refresh_state
+        assert not is_refresh_state(seen[0][1])
+        assert is_refresh_state(seen[1][1])
+
+    def test_commands_issued_counter(self):
+        bus = make_bus()
+        bus.issue("imc", Command(CommandKind.PREA), 0)
+        assert bus.commands_issued == 1
+
+
+class TestPruning:
+    def test_old_reservations_are_pruned(self):
+        bus = make_bus()
+        bus.issue("imc", Command(CommandKind.PREA), 0)
+        # Far in the future, old CA reservations should be dropped.
+        bus.issue("imc", Command(CommandKind.PREA),
+                  SharedBus.PRUNE_HORIZON_PS * 3)
+        assert len(bus._ca) == 1
+
+
+class TestExtendedTrfcSpec:
+    def test_bus_accepts_nvdimmc_spec(self):
+        bus = make_bus(spec=NVDIMMC_1600)
+        bus.issue("imc", Command(CommandKind.REF), 0)
+        # Device refresh completes after the JEDEC time, not the
+        # programmed time: the gap is the NVMC's window.
+        bus.device.maybe_complete_refresh(NVDIMMC_1600.trfc_device_ps)
+        from repro.ddr.bank import BankState
+        assert bus.device.banks[0].state is BankState.IDLE

@@ -1,0 +1,111 @@
+"""Tests for DDR4 command encoding and the refresh-state predicate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ddr.commands import (CAState, Command, CommandKind, classify,
+                                encode, is_refresh_state)
+from repro.errors import ProtocolError
+
+
+class TestEncoding:
+    def test_refresh_encoding_matches_paper(self):
+        """§IV-A: REF = CKE, ACT_n, WE_n high; CS_n, RAS_n, CAS_n low."""
+        state = encode(CommandKind.REF)
+        assert state.cke and state.act_n and state.we_n
+        assert not state.cs_n and not state.ras_n and not state.cas_n
+
+    def test_all_encodings_are_mutually_exclusive(self):
+        """§IV-A: 'the CA states of all DDR4 commands are mutually
+        exclusive' — no two kinds share a full pin tuple + CKE history."""
+        seen = {}
+        for kind in CommandKind:
+            state = encode(kind)
+            key = state.pins() + (state.cke_prev,)
+            # RD/RDA, WR/WRA, PRE/PREA legitimately share pins (they
+            # differ in A10 only, which is not monitored).
+            aliases = {
+                CommandKind.RDA: CommandKind.RD,
+                CommandKind.WRA: CommandKind.WR,
+                CommandKind.PREA: CommandKind.PRE,
+            }
+            canonical = aliases.get(kind, kind)
+            if key in seen:
+                assert seen[key] == canonical, (
+                    f"{kind} collides with {seen[key]}")
+            seen[key] = canonical
+
+    def test_deselect_has_cs_high(self):
+        assert encode(CommandKind.DES).cs_n
+
+    def test_act_has_act_n_low(self):
+        assert not encode(CommandKind.ACT).act_n
+
+
+class TestRefreshPredicate:
+    def test_only_ref_matches(self):
+        for kind in CommandKind:
+            state = encode(kind)
+            expected = kind is CommandKind.REF
+            assert is_refresh_state(state) is expected, kind
+
+    def test_sre_is_not_refresh(self):
+        """Self-refresh entry shares the REF pin state but CKE falls —
+        treating it as a normal refresh would start a device transfer
+        inside an unbounded self-refresh window."""
+        assert not is_refresh_state(encode(CommandKind.SRE))
+
+    def test_cke_falling_with_ref_pins_is_sre(self):
+        state = CAState(cke=False, cs_n=False, act_n=True, ras_n=False,
+                        cas_n=False, we_n=True, cke_prev=True)
+        assert classify(state) is CommandKind.SRE
+        assert not is_refresh_state(state)
+
+    @given(st.tuples(*[st.booleans()] * 7))
+    def test_predicate_matches_exactly_one_pattern(self, bits):
+        state = CAState(*bits)
+        expected = (state.cke and state.cke_prev and not state.cs_n
+                    and state.act_n and not state.ras_n
+                    and not state.cas_n and state.we_n)
+        assert is_refresh_state(state) is expected
+
+
+class TestClassify:
+    @pytest.mark.parametrize("kind,expected", [
+        (CommandKind.DES, CommandKind.DES),
+        (CommandKind.NOP, CommandKind.NOP),
+        (CommandKind.ACT, CommandKind.ACT),
+        (CommandKind.RD, CommandKind.RD),
+        (CommandKind.RDA, CommandKind.RD),     # A10 not monitored
+        (CommandKind.WR, CommandKind.WR),
+        (CommandKind.WRA, CommandKind.WR),
+        (CommandKind.PRE, CommandKind.PRE),
+        (CommandKind.PREA, CommandKind.PRE),
+        (CommandKind.REF, CommandKind.REF),
+        (CommandKind.SRE, CommandKind.SRE),
+        (CommandKind.SRX, CommandKind.SRX),
+        (CommandKind.MRS, CommandKind.MRS),
+        (CommandKind.ZQCL, CommandKind.ZQCL),
+    ])
+    def test_round_trip(self, kind, expected):
+        assert classify(encode(kind)) is expected
+
+    def test_cke_fall_with_wrong_pins_rejected(self):
+        state = CAState(cke=False, cs_n=False, act_n=True, ras_n=True,
+                        cas_n=True, we_n=True, cke_prev=True)
+        with pytest.raises(ProtocolError):
+            classify(state)
+
+
+class TestCommandObject:
+    def test_str_includes_address(self):
+        cmd = Command(CommandKind.ACT, bank=3, row=100)
+        assert "ACT" in str(cmd) and "b3" in str(cmd) and "r100" in str(cmd)
+
+    def test_ca_state_property(self):
+        cmd = Command(CommandKind.REF)
+        assert is_refresh_state(cmd.ca_state)
+
+    def test_defaults_unaddressed(self):
+        cmd = Command(CommandKind.PREA)
+        assert cmd.bank == -1 and cmd.row == -1 and cmd.column == -1

@@ -1,0 +1,108 @@
+"""Tests for the DDR4 controller's command-sequence generation."""
+
+import pytest
+
+from repro.ddr.bus import SharedBus
+from repro.ddr.controller import DDR4Controller
+from repro.ddr.device import DRAMDevice
+from repro.ddr.spec import DDR4_1600
+from repro.errors import ProtocolError
+from repro.units import mb
+
+SPEC = DDR4_1600
+
+
+@pytest.fixture
+def setup():
+    device = DRAMDevice(SPEC, capacity_bytes=mb(64))
+    bus = SharedBus(SPEC, device)
+    ctrl = DDR4Controller("imc", SPEC, bus)
+    return device, bus, ctrl
+
+
+class TestReadWrite:
+    def test_write_read_round_trip(self, setup):
+        _device, _bus, ctrl = setup
+        data = bytes(range(256)) * 16  # 4 KB
+        end = ctrl.write(0, data, 0)
+        out, _ = ctrl.read(0, len(data), end)
+        assert out == data
+
+    def test_read_returns_end_after_data(self, setup):
+        _device, _bus, ctrl = setup
+        _, end = ctrl.read(0, 64, 0)
+        # Closed row: ACT + tRCD + RD + tCL + burst
+        expected = SPEC.trcd_ps + SPEC.tcl_ps + SPEC.burst_time_ps
+        assert end == expected
+
+    def test_row_hit_skips_activate(self, setup):
+        device, _bus, ctrl = setup
+        _, end1 = ctrl.read(0, 64, 0)
+        _, end2 = ctrl.read(64, 64, end1)
+        # Second read on the open row: no ACT, so only tCCD + tCL + burst
+        assert end2 - end1 <= SPEC.tccd_ps + SPEC.tcl_ps + SPEC.burst_time_ps
+        assert device.banks[0].stats["activates"] == 1
+
+    def test_row_switch_precharges(self, setup):
+        device, _bus, ctrl = setup
+        row_stride = SPEC.row_size_bytes * SPEC.total_banks  # same bank
+        _, end = ctrl.read(0, 64, 0)
+        ctrl.read(row_stride, 64, end)
+        assert device.banks[0].stats["precharges"] == 1
+        assert device.banks[0].stats["activates"] == 2
+
+    def test_unaligned_transfer_rejected(self, setup):
+        _device, _bus, ctrl = setup
+        with pytest.raises(ProtocolError):
+            ctrl.read(1, 64, 0)
+        with pytest.raises(ProtocolError):
+            ctrl.read(0, 63, 0)
+        with pytest.raises(ProtocolError):
+            ctrl.write(0, b"x", 0)
+
+    def test_4kb_write_data_lands_in_device(self, setup):
+        device, _bus, ctrl = setup
+        data = bytes((i * 7) % 256 for i in range(4096))
+        ctrl.write(8192, data, 0)
+        assert device.peek(8192, 4096) == data
+
+    def test_byte_counters(self, setup):
+        _device, _bus, ctrl = setup
+        end = ctrl.write(0, bytes(128), 0)
+        ctrl.read(0, 64, end)
+        assert ctrl.bytes_written == 128
+        assert ctrl.bytes_read == 64
+
+
+class TestRefreshSequence:
+    def test_precharge_all_then_refresh(self, setup):
+        device, _bus, ctrl = setup
+        _, end = ctrl.read(0, 64, 0)
+        t = ctrl.precharge_all(end)
+        ctrl.refresh(t)
+        assert device.refreshes_done == 1
+
+    def test_prea_waits_for_tras(self, setup):
+        device, _bus, ctrl = setup
+        ctrl.read(0, 64, 0)
+        # PREA immediately after the ACT would violate tRAS; the
+        # controller must defer it rather than raise.
+        ctrl.precharge_all(SPEC.trcd_ps + SPEC.tccd_ps)
+        assert device.banks[0].stats["precharges"] == 1
+
+    def test_refresh_without_prea_raises_via_device(self, setup):
+        _device, _bus, ctrl = setup
+        _, end = ctrl.read(0, 64, 0)
+        with pytest.raises(ProtocolError):
+            ctrl.refresh(end)
+
+
+class TestBusyUntil:
+    def test_overlapping_calls_serialize(self, setup):
+        _device, _bus, ctrl = setup
+        end1 = ctrl.write(0, bytes(4096), 0)
+        # Requesting a start in the middle of the previous transfer is
+        # deferred, not interleaved.
+        out, end2 = ctrl.read(0, 64, end1 // 2)
+        assert end2 > end1
+        assert out == bytes(64)

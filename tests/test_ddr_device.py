@@ -1,0 +1,145 @@
+"""Tests for the DRAM device model: decode, data, refresh."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ddr.commands import Command, CommandKind
+from repro.ddr.device import DRAMDevice
+from repro.ddr.spec import DDR4_1600
+from repro.errors import ProtocolError
+from repro.units import mb
+
+SPEC = DDR4_1600
+
+
+@pytest.fixture
+def dram():
+    return DRAMDevice(SPEC, capacity_bytes=mb(64))
+
+
+class TestAddressDecode:
+    def test_zero_address(self, dram):
+        parts = dram.decode(0)
+        assert (parts.bank, parts.row, parts.column_byte) == (0, 0, 0)
+
+    def test_rows_interleave_across_banks(self, dram):
+        a = dram.decode(0)
+        b = dram.decode(SPEC.row_size_bytes)
+        assert b.bank == (a.bank + 1) % SPEC.total_banks
+
+    def test_column_offset(self, dram):
+        parts = dram.decode(100)
+        assert parts.column_byte == 100
+
+    def test_out_of_range_rejected(self, dram):
+        with pytest.raises(ProtocolError):
+            dram.decode(mb(64))
+        with pytest.raises(ProtocolError):
+            dram.decode(-1)
+
+    @given(st.integers(min_value=0, max_value=mb(64) - 1))
+    def test_decode_is_injective_per_row_granularity(self, addr):
+        dram = DRAMDevice(SPEC, capacity_bytes=mb(64))
+        parts = dram.decode(addr)
+        reconstructed = ((parts.row * SPEC.total_banks + parts.bank)
+                         * SPEC.row_size_bytes + parts.column_byte)
+        assert reconstructed == addr
+
+
+class TestDataPath:
+    def test_write_then_read_burst(self, dram):
+        parts = dram.decode(0)
+        t = 0
+        dram.execute(Command(CommandKind.ACT, bank=parts.bank,
+                             row=parts.row), t)
+        t += SPEC.trcd_ps
+        payload = bytes(range(64))
+        dram.execute(Command(CommandKind.WR, bank=parts.bank, row=parts.row,
+                             column=0), t, data=payload)
+        t += SPEC.tccd_ps
+        out = dram.execute(Command(CommandKind.RD, bank=parts.bank,
+                                   row=parts.row, column=0), t)
+        assert out == payload
+
+    def test_unwritten_reads_zero(self, dram):
+        parts = dram.decode(0)
+        dram.execute(Command(CommandKind.ACT, bank=parts.bank,
+                             row=parts.row), 0)
+        out = dram.execute(Command(CommandKind.RD, bank=parts.bank,
+                                   row=parts.row, column=3), SPEC.trcd_ps)
+        assert out == bytes(64)
+
+    def test_write_requires_full_burst(self, dram):
+        parts = dram.decode(0)
+        dram.execute(Command(CommandKind.ACT, bank=parts.bank,
+                             row=parts.row), 0)
+        with pytest.raises(ProtocolError):
+            dram.execute(Command(CommandKind.WR, bank=parts.bank,
+                                 row=parts.row, column=0),
+                         SPEC.trcd_ps, data=b"short")
+
+    def test_rda_auto_precharges(self, dram):
+        parts = dram.decode(0)
+        dram.execute(Command(CommandKind.ACT, bank=parts.bank,
+                             row=parts.row), 0)
+        dram.execute(Command(CommandKind.RDA, bank=parts.bank,
+                             row=parts.row, column=0), SPEC.trcd_ps)
+        from repro.ddr.bank import BankState
+        assert dram.banks[parts.bank].state is BankState.IDLE
+
+
+class TestPeekPoke:
+    def test_poke_peek_round_trip(self, dram):
+        data = bytes(i % 251 for i in range(10_000))
+        dram.poke(12345, data)
+        assert dram.peek(12345, len(data)) == data
+
+    def test_peek_untouched_is_zero(self, dram):
+        assert dram.peek(0, 128) == bytes(128)
+
+    def test_poke_spans_rows(self, dram):
+        data = b"\xab" * (SPEC.row_size_bytes * 2)
+        dram.poke(SPEC.row_size_bytes // 2, data)
+        assert dram.peek(SPEC.row_size_bytes // 2, len(data)) == data
+        assert dram.touched_rows >= 2
+
+    def test_poke_visible_via_protocol_read(self, dram):
+        dram.poke(0, bytes(range(64)))
+        parts = dram.decode(0)
+        dram.execute(Command(CommandKind.ACT, bank=parts.bank,
+                             row=parts.row), 0)
+        out = dram.execute(Command(CommandKind.RD, bank=parts.bank,
+                                   row=parts.row, column=0), SPEC.trcd_ps)
+        assert out == bytes(range(64))
+
+
+class TestRefresh:
+    def test_refresh_requires_prea_first(self, dram):
+        parts = dram.decode(0)
+        dram.execute(Command(CommandKind.ACT, bank=parts.bank,
+                             row=parts.row), 0)
+        with pytest.raises(ProtocolError):
+            dram.execute(Command(CommandKind.REF), SPEC.tras_ps)
+
+    def test_refresh_cycle_blocks_then_completes(self, dram):
+        dram.execute(Command(CommandKind.REF), 0)
+        parts = dram.decode(0)
+        with pytest.raises(ProtocolError):
+            dram.execute(Command(CommandKind.ACT, bank=parts.bank,
+                                 row=parts.row), 100)
+        dram.maybe_complete_refresh(SPEC.trfc_device_ps)
+        dram.execute(Command(CommandKind.ACT, bank=parts.bank, row=parts.row),
+                     SPEC.trfc_device_ps + SPEC.trp_ps)
+
+    def test_refresh_counter_wraps_at_8k(self, dram):
+        dram.refresh_row_counter = 8191
+        dram.execute(Command(CommandKind.REF), 0)
+        assert dram.refresh_row_counter == 0
+        assert dram.refreshes_done == 1
+
+    def test_self_refresh_blocks_everything_but_srx(self, dram):
+        dram.execute(Command(CommandKind.SRE), 0)
+        with pytest.raises(ProtocolError):
+            dram.execute(Command(CommandKind.REF), 10**9)
+        dram.execute(Command(CommandKind.SRX), 2 * 10**9)
+        assert not dram.in_self_refresh

@@ -1,0 +1,161 @@
+"""Tests for the iMC: refresh timeline arithmetic, refresh loop, WPQ."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ddr.bus import SharedBus
+from repro.ddr.device import DRAMDevice
+from repro.ddr.imc import (IntegratedMemoryController, RefreshTimeline,
+                           WritePendingQueue)
+from repro.ddr.spec import DDR4_1600, NVDIMMC_1600
+from repro.errors import ConfigError
+from repro.sim import Engine
+from repro.units import mb, ns, us
+
+SPEC = NVDIMMC_1600
+
+
+class TestRefreshTimeline:
+    def test_window_bounds(self):
+        tl = RefreshTimeline(SPEC)
+        w = tl.window(0)
+        assert w.refresh_ps == SPEC.trefi_ps
+        assert w.start_ps == w.refresh_ps + ns(350)
+        assert w.end_ps == w.refresh_ps + ns(1250)
+        assert w.duration_ps == ns(900)
+
+    def test_windows_are_trefi_apart(self):
+        tl = RefreshTimeline(SPEC)
+        assert (tl.window(5).refresh_ps - tl.window(4).refresh_ps
+                == SPEC.trefi_ps)
+
+    def test_next_window_skips_partial(self):
+        tl = RefreshTimeline(SPEC)
+        w0 = tl.window(0)
+        # Just after w0's start: w0 unusable from its beginning -> w1.
+        w = tl.next_window(w0.start_ps + 1)
+        assert w.index == 1
+
+    def test_next_window_exact_start_is_usable(self):
+        tl = RefreshTimeline(SPEC)
+        w0 = tl.window(0)
+        assert tl.next_window(w0.start_ps).index == 0
+
+    def test_window_containing(self):
+        tl = RefreshTimeline(SPEC)
+        w0 = tl.window(0)
+        assert tl.window_containing(w0.start_ps + 100).index == 0
+        assert tl.window_containing(w0.end_ps) is None
+        assert tl.window_containing(w0.refresh_ps) is None  # device busy
+
+    def test_stock_spec_has_no_window(self):
+        tl = RefreshTimeline(DDR4_1600)
+        assert tl.window_duration_ps == 0
+        assert tl.window_containing(tl.window(0).refresh_ps + 1) is None
+
+    def test_host_blocked_during_refresh(self):
+        tl = RefreshTimeline(SPEC)
+        ref = tl.refresh_time(0)
+        assert tl.host_blocked_until(ref + 1) == ref + SPEC.trfc_ps
+        # Blocked from the PREA lead-in as well.
+        assert (tl.host_blocked_until(ref - SPEC.trp_ps)
+                == ref + SPEC.trfc_ps)
+        # Free just before PREA and after the programmed tRFC.
+        free = ref - SPEC.trp_ps - 1
+        assert tl.host_blocked_until(free) == free
+        after = ref + SPEC.trfc_ps
+        assert tl.host_blocked_until(after) == after
+
+    def test_blocked_fraction(self):
+        tl = RefreshTimeline(SPEC)
+        expected = (SPEC.trfc_ps + SPEC.trp_ps) / SPEC.trefi_ps
+        assert tl.blocked_fraction == pytest.approx(expected)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_next_window_is_at_or_after(self, t):
+        tl = RefreshTimeline(SPEC)
+        w = tl.next_window(t)
+        assert w.start_ps >= t
+        # And it is the earliest such window.
+        if w.index > 0:
+            assert tl.window(w.index - 1).start_ps < t
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_host_blocked_until_fixed_point(self, t):
+        tl = RefreshTimeline(SPEC)
+        freed = tl.host_blocked_until(t)
+        assert freed >= t
+        assert tl.host_blocked_until(freed) == freed
+
+
+class TestWPQ:
+    def test_enqueue_drain(self):
+        wpq = WritePendingQueue(capacity=4)
+        for i in range(3):
+            wpq.enqueue(i * 64, b"x" * 64)
+        assert len(wpq) == 3
+        drained = wpq.drain()
+        assert len(drained) == 3
+        assert len(wpq) == 0
+
+    def test_capacity_forces_drain(self):
+        wpq = WritePendingQueue(capacity=2)
+        spilled = []
+        for i in range(4):
+            spilled.extend(wpq.enqueue(i, b""))
+        assert len(spilled) == 2
+        assert len(wpq) == 2
+
+
+class TestIMC:
+    def make(self, spec=SPEC):
+        engine = Engine()
+        device = DRAMDevice(spec, capacity_bytes=mb(64))
+        bus = SharedBus(spec, device)
+        imc = IntegratedMemoryController(engine, spec, bus)
+        return engine, device, bus, imc
+
+    def test_refresh_process_issues_on_schedule(self):
+        engine, device, _bus, imc = self.make()
+        imc.start_refresh_process()
+        engine.run(until=us(40))
+        # Refreshes at 7.8, 15.6, 23.4, 31.2, 39.0 us.
+        assert imc.refreshes_issued == 5
+        assert device.refreshes_done == 5
+
+    def test_host_read_stalls_through_refresh(self):
+        engine, _device, _bus, imc = self.make()
+        imc.start_refresh_process()
+        engine.run(until=SPEC.trefi_ps + 1)
+        ref = imc.timeline.refresh_time(0)
+        _, end = imc.host_read(0, 64, ref + 1)
+        assert end >= ref + SPEC.trfc_ps
+
+    def test_host_write_read_round_trip(self):
+        _engine, _device, _bus, imc = self.make()
+        data = bytes(range(64))
+        end = imc.host_write(4096, data, 0)
+        out, _ = imc.host_read(4096, 64, end)
+        assert out == data
+
+    def test_program_timing_before_start(self):
+        _engine, _device, _bus, imc = self.make(DDR4_1600)
+        imc.program_timing(trfc_ps=ns(1250), trefi_ps=us(3.9))
+        assert imc.spec.trfc_ps == ns(1250)
+        assert imc.timeline.trefi_ps == us(3.9)
+
+    def test_program_timing_after_start_rejected(self):
+        _engine, _device, _bus, imc = self.make()
+        imc.start_refresh_process()
+        with pytest.raises(ConfigError):
+            imc.program_timing(trefi_ps=us(3.9))
+
+    def test_refresh_and_host_traffic_interleave_without_collision(self):
+        engine, _device, bus, imc = self.make()
+        imc.start_refresh_process()
+        # Host reads scattered around the first three refresh windows.
+        t = 0
+        for i in range(30):
+            _, t = imc.host_read((i % 16) * 4096, 64, t + us(1))
+        engine.run(until=us(30))
+        assert bus.collision_count == 0

@@ -1,0 +1,94 @@
+"""Tests for DDR4 speed grades and timing parameters."""
+
+import pytest
+
+from repro.ddr.spec import (DDR4_1600, DDR4_2400, DDR4Spec, GRADE_1600,
+                            GRADE_2400, NVDIMMC_1600, TRFC_BY_DENSITY_NS)
+from repro.errors import ConfigError
+from repro.units import ns, us
+
+
+class TestSpeedGrades:
+    def test_clock_period_1600(self):
+        # 1600 MT/s DDR -> 800 MHz clock -> 1.25 ns period
+        assert GRADE_1600.clock_ps == 1250
+
+    def test_clock_period_2400(self):
+        # 2400 MT/s -> 1200 MHz -> 0.833 ns, rounded to ps
+        assert GRADE_2400.clock_ps == 833
+
+    def test_half_clock(self):
+        assert GRADE_1600.half_clock_ps == 625
+
+
+class TestTimingBudget:
+    def test_read_latency_budget_2400(self):
+        """§III-A: tRCD + tCL at DDR4-2400 is ~26.6 ns."""
+        budget_ns = DDR4_2400.read_latency_ps / 1000
+        assert budget_ns == pytest.approx(26.64, abs=0.2)
+
+    def test_max_programmable_latency_2400(self):
+        """§III-A: 5-bit registers cap each parameter at 31 clocks."""
+        max_spec = DDR4Spec(grade=GRADE_2400.__class__(
+            "DDR4-2400-max", 2400, cl_clk=31, trcd_clk=31, trp_clk=31))
+        # 31 clocks at 0.833 ns is ~25.8 ns per parameter; the paper's
+        # 51.615 ns quote is the tRCD+tCL sum.
+        assert max_spec.read_latency_ps / 1000 == pytest.approx(51.6, abs=0.4)
+
+    def test_trfc_by_density(self):
+        assert TRFC_BY_DENSITY_NS["4Gb"] == 260
+        assert TRFC_BY_DENSITY_NS["8Gb"] == 350
+
+
+class TestNvdimmcSpec:
+    def test_extended_trfc_is_1000_clocks(self):
+        """§IV-A: tRFC programmed to 1000 device clocks = 1.25 us."""
+        assert NVDIMMC_1600.trfc_ps == ns(1250)
+        assert NVDIMMC_1600.trfc_ps == 1000 * NVDIMMC_1600.clock_ps
+
+    def test_extra_window_is_900ns(self):
+        assert NVDIMMC_1600.extra_trfc_ps == ns(900)
+
+    def test_stock_spec_has_no_window(self):
+        assert DDR4_1600.extra_trfc_ps == 0
+
+    def test_device_trfc_is_jedec(self):
+        assert NVDIMMC_1600.trfc_device_ps == ns(350)
+
+
+class TestValidation:
+    def test_trfc_below_device_requirement_rejected(self):
+        with pytest.raises(ConfigError):
+            DDR4_1600.with_extended_trfc(ns(100))
+
+    def test_trefi_below_trfc_rejected(self):
+        with pytest.raises(ConfigError):
+            NVDIMMC_1600.with_trefi(ns(1000))
+
+    def test_unknown_density_rejected(self):
+        import dataclasses
+        bad = dataclasses.replace(DDR4_1600, density="3Gb")
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_with_trefi_produces_new_spec(self):
+        doubled = DDR4_1600.with_trefi(us(3.9))
+        assert doubled.trefi_ps == us(3.9)
+        assert DDR4_1600.trefi_ps == us(7.8)  # original untouched
+
+
+class TestDerivedQuantities:
+    def test_burst_bytes_x64(self):
+        # BL8 on a 64-bit DIMM moves 64 B
+        assert DDR4_1600.burst_bytes == 64
+
+    def test_burst_time_is_four_clocks(self):
+        assert DDR4_1600.burst_time_ps == 4 * DDR4_1600.clock_ps
+
+    def test_total_banks(self):
+        assert DDR4_1600.total_banks == 16
+
+    def test_trcd_tcl_trp_ps(self):
+        assert DDR4_1600.trcd_ps == 11 * 1250
+        assert DDR4_1600.tcl_ps == 11 * 1250
+        assert DDR4_1600.trp_ps == 11 * 1250

@@ -1,0 +1,87 @@
+"""Tests for tFAW enforcement and thermal refresh throttling."""
+
+import pytest
+
+from repro.ddr.bus import SharedBus
+from repro.ddr.commands import Command, CommandKind
+from repro.ddr.controller import DDR4Controller
+from repro.ddr.device import DRAMDevice
+from repro.ddr.spec import DDR4_1600, NVDIMMC_1600
+from repro.ddr.thermal import (EXTENDED_MAX_C, NORMAL_MAX_C,
+                               operating_point, trefi_for_temperature)
+from repro.errors import ConfigError, TimingViolationError
+from repro.units import mb, us
+
+SPEC = DDR4_1600
+
+
+class TestTFAW:
+    def make(self):
+        device = DRAMDevice(SPEC, capacity_bytes=mb(64))
+        bus = SharedBus(SPEC, device)
+        return device, bus
+
+    def test_four_fast_activates_allowed(self):
+        device, bus = self.make()
+        for bank in range(4):
+            bus.issue("imc", Command(CommandKind.ACT, bank=bank, row=0),
+                      bank * SPEC.trrd_ps)
+        assert sum(b.stats["activates"] for b in device.banks) == 4
+
+    def test_fifth_activate_within_tfaw_rejected(self):
+        device, _bus = self.make()
+        for bank in range(4):
+            device.execute(Command(CommandKind.ACT, bank=bank, row=0),
+                           bank * SPEC.trrd_ps)
+        with pytest.raises(TimingViolationError, match="tFAW"):
+            device.execute(Command(CommandKind.ACT, bank=4, row=0),
+                           3 * SPEC.trrd_ps + 1)
+
+    def test_fifth_activate_after_tfaw_allowed(self):
+        device, _bus = self.make()
+        for bank in range(4):
+            device.execute(Command(CommandKind.ACT, bank=bank, row=0),
+                           bank * SPEC.trrd_ps)
+        device.execute(Command(CommandKind.ACT, bank=4, row=0),
+                       SPEC.tfaw_ps)
+
+    def test_controller_paces_itself(self):
+        """The controller defers its fifth ACT instead of violating."""
+        device, bus = self.make()
+        ctrl = DDR4Controller("imc", SPEC, bus)
+        # Five row-miss reads to five banks back to back.
+        t = 0
+        same_row_stride = SPEC.row_size_bytes
+        for i in range(5):
+            _, t = ctrl.read(i * same_row_stride, 64, t)
+        acts = sum(b.stats["activates"] for b in device.banks)
+        assert acts == 5      # no exception: pacing handled it
+
+
+class TestThermal:
+    def test_normal_range_keeps_base_trefi(self):
+        assert trefi_for_temperature(40) == us(7.8)
+        assert trefi_for_temperature(NORMAL_MAX_C) == us(7.8)
+
+    def test_extended_range_halves_trefi(self):
+        """§II-B: tREFI adjusted to 3.9 us above 85°C."""
+        assert trefi_for_temperature(86) == us(3.9)
+        assert trefi_for_temperature(EXTENDED_MAX_C) == us(3.9)
+
+    def test_beyond_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            trefi_for_temperature(96)
+
+    def test_hot_module_doubles_device_windows(self):
+        cool = operating_point(40)
+        hot = operating_point(90)
+        assert hot.doubled and not cool.doubled
+        assert hot.device_windows_per_sec == pytest.approx(
+            2 * cool.device_windows_per_sec)
+        # The §V-A ceilings: 500.8 -> 1001.6 MiB/s.
+        assert cool.device_ceiling_mb_s == pytest.approx(500.8, abs=1)
+        assert hot.device_ceiling_mb_s == pytest.approx(1001.6, abs=2)
+
+    def test_custom_spec_base(self):
+        point = operating_point(90, spec=NVDIMMC_1600.with_trefi(us(15.6)))
+        assert point.trefi_ps == us(7.8)

@@ -1,0 +1,81 @@
+"""Tests for the power-failure drain and the §V-C persistence race."""
+
+from repro.ddr.imc import WritePendingQueue
+from repro.device.nvdimmc import NVDIMMCSystem
+from repro.device.power import PowerFailureModel
+from repro.nvmc.fsm import FirmwareModel
+from repro.units import PAGE_4K, mb
+
+
+def make_system():
+    return NVDIMMCSystem(cache_bytes=mb(2), device_bytes=mb(32),
+                         firmware=FirmwareModel(step_ps=0),
+                         with_cpu_cache=True)
+
+
+def page_of(tag):
+    return bytes([tag % 256]) * PAGE_4K
+
+
+class TestDrain:
+    def test_cached_pages_survive_power_loss(self):
+        system = make_system()
+        driver = system.driver
+        for page in range(5):
+            slot, _ = driver.fault(page, 0, True)
+            system.dram.poke(system.region.slot_paddr(slot), page_of(page))
+        power = PowerFailureModel(driver)
+        report = power.power_fail()
+        assert report.pages_drained == 5
+        recovered = power.recover()
+        for page in range(5):
+            assert recovered.read_page(page) == page_of(page)
+
+    def test_drain_covers_only_valid_mappings(self):
+        system = make_system()
+        driver = system.driver
+        driver.fault(0, 0, True)
+        power = PowerFailureModel(driver)
+        report = power.power_fail()
+        assert report.pages_drained == 1
+        assert report.drained_pages == [0]
+
+    def test_clean_recovery_of_nand_resident_pages(self):
+        """Pages already written back are readable regardless."""
+        system = make_system()
+        system.nand.preload(9, page_of(9))
+        power = PowerFailureModel(system.driver)
+        power.power_fail()
+        assert power.recover().read_page(9) == page_of(9)
+
+
+class TestWPQRace:
+    def test_wpq_lost_in_the_race(self):
+        """§V-C: WPQ contents may never reach the DRAM cache."""
+        system = make_system()
+        driver = system.driver
+        slot, _ = driver.fault(0, 0, True)
+        paddr = system.region.slot_paddr(slot)
+        system.dram.poke(paddr, page_of(1))
+        wpq = WritePendingQueue()
+        wpq.enqueue(paddr, page_of(99)[:64])   # newer data stuck in WPQ
+        power = PowerFailureModel(driver, wpq=wpq)
+        report = power.power_fail(flush_wpq_first=False)
+        assert report.wpq_entries_lost == 1
+        recovered = power.recover()
+        assert recovered.read_page(0) == page_of(1)   # old data won
+
+    def test_wpq_survives_when_adr_wins(self):
+        system = make_system()
+        driver = system.driver
+        slot, _ = driver.fault(0, 0, True)
+        paddr = system.region.slot_paddr(slot)
+        system.dram.poke(paddr, page_of(1))
+        wpq = WritePendingQueue()
+        wpq.enqueue(paddr, b"\x63" * 64)
+        power = PowerFailureModel(driver, wpq=wpq)
+        report = power.power_fail(flush_wpq_first=True)
+        assert report.wpq_entries_raced_in == 1
+        recovered = power.recover()
+        assert recovered.read_page(0)[:64] == b"\x63" * 64
+        assert recovered.read_page(0)[64:] == page_of(1)[64:]

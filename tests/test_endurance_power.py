@@ -1,0 +1,88 @@
+"""Tests for the endurance projection and refresh-power models."""
+
+import pytest
+
+from repro.ddr.power import (DramPowerParams, power_sweep,
+                             refresh_energy_per_ref_j, refresh_power_w)
+from repro.ddr.spec import DDR4_1600, NVDIMMC_1600
+from repro.nand.endurance import (paper_device_lifetime,
+                                  project_lifetime_years, report)
+from repro.nand.spec import ZNAND_64GB
+from repro.units import gb, us
+
+
+class TestEnduranceProjection:
+    def test_paper_device_lifetime_bounded_by_its_own_windows(self):
+        """The window mechanism throttles writes to 58.3 MB/s, which
+        stretches continuous-write life to years (decades at realistic
+        duty cycles)."""
+        years = paper_device_lifetime()
+        assert 2.5 <= years <= 5.0
+
+    def test_lifetime_scales_inversely_with_rate(self):
+        slow = project_lifetime_years(ZNAND_64GB, gb(128), 100.0)
+        fast = project_lifetime_years(ZNAND_64GB, gb(128), 200.0)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_waf_and_spread_discount(self):
+        base = project_lifetime_years(ZNAND_64GB, gb(128), 100.0)
+        worse = project_lifetime_years(ZNAND_64GB, gb(128), 100.0,
+                                       waf=2.0, wear_spread=2.0)
+        assert worse == pytest.approx(base / 4)
+
+    def test_zero_rate_is_infinite(self):
+        assert project_lifetime_years(ZNAND_64GB, gb(128), 0.0) == (
+            float("inf"))
+
+    def test_report_from_real_ftl(self):
+        from repro.nand.device import NANDDie
+        from repro.nand.ftl import FlashTranslationLayer
+        from repro.nand.spec import ZNANDSpec
+        from repro.units import kb
+        spec = ZNANDSpec(name="t", capacity_bytes=24 * 16 * kb(4),
+                         page_bytes=kb(4), pages_per_block=16,
+                         planes_per_die=1, dies=1,
+                         initial_bad_block_ppm=0)
+        ftl = FlashTranslationLayer([NANDDie(spec)], 8 * 16 * kb(4))
+        import random
+        rng = random.Random(1)
+        for i in range(ftl.logical_pages * 6):
+            ftl.write_page(rng.randrange(ftl.logical_pages),
+                           bytes([i % 256]) * kb(4))
+        rep = report(ftl)
+        assert rep.total_programs >= rep.host_programs
+        assert rep.write_amplification >= 1.0
+        assert rep.max_erase_count >= rep.mean_erase_count
+        assert 1.0 <= rep.wear_spread < 5.0
+        assert 0.0 < rep.life_consumed < 1.0
+
+
+class TestRefreshPower:
+    def test_energy_per_ref_magnitude(self):
+        """~(175-47) mA * 1.2 V * 350 ns ~ 54 nJ per die."""
+        energy = refresh_energy_per_ref_j(DDR4_1600)
+        assert energy == pytest.approx(53.8e-9, rel=0.05)
+
+    def test_power_scales_with_rate(self):
+        normal = refresh_power_w(NVDIMMC_1600)
+        doubled = refresh_power_w(NVDIMMC_1600.with_trefi(us(3.9)))
+        assert doubled == pytest.approx(2 * normal, rel=0.01)
+
+    def test_dimm_refresh_power_magnitude(self):
+        """An 18-die RDIMM burns on the order of 0.1 W on refresh."""
+        power = refresh_power_w(DDR4_1600)
+        assert 0.05 <= power <= 0.5
+
+    def test_sweep_rows(self):
+        rows = power_sweep(NVDIMMC_1600)
+        assert [r.trefi_us for r in rows] == [7.8, 3.9, 1.95]
+        # Power and device bandwidth rise together: the watt per MiB/s
+        # is constant (both linear in refresh rate).
+        ratio0 = rows[0].power_w / rows[0].device_window_mib_s
+        ratio2 = rows[2].power_w / rows[2].device_window_mib_s
+        assert ratio2 == pytest.approx(ratio0, rel=0.01)
+
+    def test_custom_params(self):
+        cheap = DramPowerParams(idd5b_ma=100.0, idd3n_ma=50.0)
+        assert refresh_power_w(DDR4_1600, params=cheap) < refresh_power_w(
+            DDR4_1600)

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them green.
+Each is run in-process via runpy with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples must not depend on argv or cwd.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script} produced almost no output"
+
+
+def test_all_expected_examples_present():
+    expected = {"quickstart.py", "refresh_window_tour.py",
+                "imdb_cache_study.py", "power_failure_drill.py",
+                "scm_design_space.py", "roadmap_ablation.py",
+                "design_sweeps.py"}
+    assert expected <= set(EXAMPLES)
+
+
+def test_quickstart_reports_all_three_tiers(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Baseline" in out
+    assert "NVDC-Cached" in out
+    assert "NVDC-Uncached" in out

@@ -1,0 +1,80 @@
+"""Tests for FIO job-file parsing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.fio_jobfile import (PAPER_FIG8_JOBFILE, parse_jobfile,
+                                         parse_size)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("4096", 4096),
+        ("4k", 4096),
+        ("4K", 4096),
+        ("32m", 32 << 20),
+        ("1g", 1 << 30),
+        ("1.5k", 1536),
+    ])
+    def test_sizes(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+
+class TestParseJobfile:
+    def test_paper_jobfile(self):
+        jobs = parse_jobfile(PAPER_FIG8_JOBFILE)
+        assert [j.name for j in jobs] == ["fig8-randread",
+                                          "fig8-randwrite"]
+        assert all(j.bs == 4096 for j in jobs)
+        assert jobs[0].rw == "randread"
+        assert jobs[1].rw == "randwrite"
+
+    def test_global_inheritance_and_override(self):
+        text = """
+        [global]
+        bs=4k
+        numjobs=2
+
+        [a]
+        rw=read
+
+        [b]
+        rw=randwrite
+        bs=64k
+        """
+        jobs = parse_jobfile(text)
+        assert jobs[0].bs == 4096 and jobs[0].numjobs == 2
+        assert jobs[1].bs == 65536 and jobs[1].numjobs == 2
+
+    def test_comments_ignored(self):
+        text = "[j]\nrw=randread # trailing\n; full-line comment\nbs=4k\n"
+        jobs = parse_jobfile(text)
+        assert jobs[0].rw == "randread"
+
+    def test_option_before_section_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_jobfile("bs=4k\n[j]\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_jobfile("[global]\nbs=4k\n")
+
+    def test_non_dax_engine_rejected(self):
+        with pytest.raises(ConfigError, match="ioengine"):
+            parse_jobfile("[j]\nioengine=libaio\n")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigError, match="unsupported"):
+            parse_jobfile("[j]\nzonemode=zbd\n")
+
+    def test_parsed_jobs_run(self):
+        from repro.device.nvdimmc import PmemSystem
+        from repro.units import mb
+        from repro.workloads.fio import FIORunner
+        jobs = parse_jobfile("[t]\nrw=randread\nbs=4k\nsize=8m\nnops=200\n")
+        result = FIORunner(PmemSystem(device_bytes=mb(16))).run(jobs[0])
+        assert result.total_ops == 200

@@ -1,0 +1,109 @@
+"""Tests for the DAX filesystem layer and the Fig. 6 fault flow."""
+
+import pytest
+
+from repro.cpu.cache import CPUCache
+from repro.cpu.core import CPUCore
+from repro.cpu.mmu import MMU
+from repro.device.nvdimmc import NVDIMMCSystem, _DramBackend
+from repro.errors import KernelError
+from repro.kernel.fs import DaxFilesystem
+from repro.nvmc.fsm import FirmwareModel
+from repro.units import PAGE_4K, mb
+
+
+def make_stack():
+    system = NVDIMMCSystem(cache_bytes=mb(2), device_bytes=mb(32),
+                           firmware=FirmwareModel(step_ps=0),
+                           with_cpu_cache=True)
+    fs = DaxFilesystem(system.driver)
+    mmu = MMU()
+    core = CPUCore(0, mmu, system.cpu_cache)
+    return system, fs, mmu, core
+
+
+class TestFiles:
+    def test_create_allocates_extents(self):
+        _sys, fs, _mmu, _core = make_stack()
+        a = fs.create("a", mb(1))
+        b = fs.create("b", mb(2))
+        assert a.num_pages == 256
+        assert b.start_page == a.start_page + a.num_pages
+
+    def test_duplicate_name_rejected(self):
+        _sys, fs, _mmu, _core = make_stack()
+        fs.create("a", mb(1))
+        with pytest.raises(KernelError):
+            fs.create("a", mb(1))
+
+    def test_filesystem_full(self):
+        _sys, fs, _mmu, _core = make_stack()
+        with pytest.raises(KernelError):
+            fs.create("huge", mb(64))
+
+    def test_device_page_arithmetic(self):
+        _sys, fs, _mmu, _core = make_stack()
+        f = fs.create("a", mb(1))
+        assert f.device_page(0) == f.start_page
+        assert f.device_page(PAGE_4K * 3 + 5) == f.start_page + 3
+        with pytest.raises(KernelError):
+            f.device_page(mb(1))
+
+
+class TestFaultFlow:
+    def test_first_touch_faults_and_maps(self):
+        """Fig. 6: load -> fault -> device_access -> PTE -> retry."""
+        system, fs, mmu, core = make_stack()
+        f = fs.create("data", mb(1))
+        fs.mmap(f, mmu, vaddr=0x100000)
+        system.nand.preload(f.start_page, b"\x42" * PAGE_4K)
+        value = core.load(0x100000, 8)
+        assert value == b"\x42" * 8
+        assert fs.fault_count == 1
+        assert mmu.stats.faults == 1
+
+    def test_second_touch_hits_tlb_no_fault(self):
+        system, fs, mmu, core = make_stack()
+        f = fs.create("data", mb(1))
+        fs.mmap(f, mmu, vaddr=0x100000)
+        core.load(0x100000, 8)
+        core.load(0x100040, 8)
+        assert fs.fault_count == 1
+
+    def test_store_then_load_through_mapping(self):
+        system, fs, mmu, core = make_stack()
+        f = fs.create("data", mb(1))
+        fs.mmap(f, mmu, vaddr=0x200000)
+        core.store(0x200000 + 100, b"persistent")
+        assert core.load(0x200000 + 100, 10) == b"persistent"
+
+    def test_faults_advance_driver_clock(self):
+        system, fs, mmu, core = make_stack()
+        f = fs.create("data", mb(1))
+        fs.mmap(f, mmu, vaddr=0x100000)
+        core.load(0x100000, 8)
+        assert fs.now_ps >= 3 * system.timeline.trefi_ps  # one cachefill
+
+    def test_unaligned_mmap_rejected(self):
+        _sys, fs, mmu, _core = make_stack()
+        f = fs.create("data", mb(1))
+        with pytest.raises(KernelError):
+            fs.mmap(f, mmu, vaddr=0x100001)
+
+
+class TestBlockIO:
+    def test_pwrite_pread_round_trip(self):
+        _sys, fs, _mmu, _core = make_stack()
+        f = fs.create("blob", mb(1))
+        payload = bytes(range(256)) * 32   # 8 KB
+        end = fs.pwrite(f, PAGE_4K * 2, payload, 0)
+        data, _ = fs.pread(f, PAGE_4K * 2, len(payload), end)
+        assert data == payload
+
+    def test_unaligned_block_io_rejected(self):
+        _sys, fs, _mmu, _core = make_stack()
+        f = fs.create("blob", mb(1))
+        with pytest.raises(KernelError):
+            fs.pwrite(f, 100, bytes(PAGE_4K), 0)
+        with pytest.raises(KernelError):
+            fs.pread(f, 0, 100, 0)

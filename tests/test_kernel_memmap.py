@@ -1,0 +1,77 @@
+"""Tests for the reserved region layout and block-device arithmetic."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.blockdev import (SECTOR_BYTES, SECTORS_PER_PAGE,
+                                   page_to_sector, sector_to_page)
+from repro.kernel.memmap import ReservedRegion, paper_region
+from repro.units import PAGE_4K, gb, mb
+
+
+class TestRegionLayout:
+    def test_fig5_ordering(self):
+        """CP page first, then metadata, then slots (Fig. 5)."""
+        region = ReservedRegion(base_paddr=0, size_bytes=mb(64))
+        layout = region.layout
+        assert layout.cp_offset == 0
+        assert layout.cp_bytes == PAGE_4K
+        assert layout.metadata_offset == PAGE_4K
+        assert layout.metadata_bytes == mb(64) // 1024
+        assert layout.slots_offset == PAGE_4K + layout.metadata_bytes
+
+    def test_paper_metadata_is_16mb(self):
+        """§V-C: 'the 16MB metadata area' for the 16 GB module."""
+        region = paper_region()
+        assert region.layout.metadata_bytes == mb(16)
+
+    def test_paper_region_yields_about_15gb_of_slots(self):
+        """§VII-B1: 'the nvdc driver internally allocates 15 GB for
+        cache slots' out of the 16 GB module."""
+        region = paper_region()
+        slots_gb = region.layout.slots_bytes / gb(1)
+        assert 14.5 <= slots_gb <= 15.1
+
+    def test_slot_addresses_are_page_aligned_and_disjoint(self):
+        region = ReservedRegion(base_paddr=gb(1), size_bytes=mb(64))
+        addrs = [region.slot_paddr(i) for i in range(region.num_slots)]
+        assert all(a % PAGE_4K == 0 for a in addrs)
+        assert len(set(addrs)) == len(addrs)
+        assert addrs[1] - addrs[0] == PAGE_4K
+
+    def test_slot_out_of_range(self):
+        region = ReservedRegion(base_paddr=0, size_bytes=mb(64))
+        with pytest.raises(KernelError):
+            region.slot_paddr(region.num_slots)
+
+    def test_contains(self):
+        region = ReservedRegion(base_paddr=gb(1), size_bytes=mb(64))
+        assert region.contains(gb(1))
+        assert region.contains(gb(1) + mb(64) - 1)
+        assert not region.contains(gb(1) - 1)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(KernelError):
+            ReservedRegion(base_paddr=0, size_bytes=PAGE_4K * 2)
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(KernelError):
+            ReservedRegion(base_paddr=5, size_bytes=mb(64))
+
+    def test_kernel_parameter_string(self):
+        """§IV-B: memmap=nn$ss."""
+        text = ReservedRegion.kernel_parameter(gb(4), gb(16))
+        assert text == f"memmap={gb(16)}$0x100000000"
+
+
+class TestSectorArithmetic:
+    def test_sectors_per_page(self):
+        assert SECTOR_BYTES == 512
+        assert SECTORS_PER_PAGE == 8
+
+    def test_direct_mapping(self):
+        """§IV-B: sector (512 B) -> NAND page (4 KB) direct mapping."""
+        assert sector_to_page(0) == 0
+        assert sector_to_page(7) == 0
+        assert sector_to_page(8) == 1
+        assert page_to_sector(3) == 24

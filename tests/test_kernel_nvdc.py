@@ -1,0 +1,178 @@
+"""Tests for the nvdc driver: slots, miss path, coherence, eviction."""
+
+import pytest
+
+from repro.device.nvdimmc import NVDIMMCSystem
+from repro.nvmc.fsm import FirmwareModel
+from repro.units import PAGE_4K, mb, us
+
+
+def small_system(**kwargs):
+    """A tiny system: few slots so eviction happens fast."""
+    defaults = dict(cache_bytes=mb(2),    # ~475 slots: eviction happens fast
+                    device_bytes=mb(32),
+                    firmware=FirmwareModel(step_ps=0),
+                    with_cpu_cache=True)
+    defaults.update(kwargs)
+    return NVDIMMCSystem(**defaults)
+
+
+def page_of(tag):
+    return bytes([tag % 256]) * PAGE_4K
+
+
+class TestFaultPath:
+    def test_fault_installs_mapping(self):
+        system = small_system()
+        driver = system.driver
+        slot, end = driver.fault(5, now_ps=0, for_write=False)
+        assert driver.lookup(5) == slot
+        assert end > 0
+        assert driver.stats.misses == 1
+        assert driver.stats.cachefills == 1
+
+    def test_fault_on_cached_page_rejected(self):
+        system = small_system()
+        system.driver.fault(5, 0, False)
+        with pytest.raises(Exception):
+            system.driver.fault(5, 0, False)
+
+    def test_cachefill_brings_nand_data(self):
+        system = small_system()
+        system.nand.preload(9, page_of(9))
+        slot, _ = system.driver.fault(9, 0, False)
+        paddr = system.region.slot_paddr(slot)
+        assert system.dram.peek(paddr, PAGE_4K) == page_of(9)
+
+    def test_miss_latency_is_at_least_three_windows(self):
+        """§V-A: a cachefill needs >= 3 tREFI even with instant FW."""
+        system = small_system()
+        _, end = system.driver.fault(0, 0, False)
+        assert end >= 3 * system.timeline.trefi_ps
+
+    def test_full_cache_miss_latency_doubles(self):
+        """§V-A: writeback + cachefill -> >= 6 tREFI."""
+        system = small_system()
+        driver = system.driver
+        for page in range(system.region.num_slots):   # fill every slot
+            driver.fault(page, 0, True)
+        assert driver.free_slot_count == 0
+        t0 = system.nvmc.ready_ps
+        _, end = driver.fault(6000, t0, False)
+        assert end - t0 >= 6 * system.timeline.trefi_ps
+        assert driver.stats.writebacks == 1
+
+
+class TestEviction:
+    def test_lrc_evicts_first_cached(self):
+        system = small_system()
+        driver = system.driver
+        nslots = system.region.num_slots
+        for page in range(nslots):
+            driver.fault(page, 0, False)
+        driver.fault(6000, system.nvmc.ready_ps, False)
+        assert driver.lookup(0) is None     # first-cached page gone
+        assert driver.lookup(6000) is not None
+        assert driver.stats.evictions == 1
+
+    def test_victim_writeback_persists_data(self):
+        system = small_system()
+        driver = system.driver
+        nslots = system.region.num_slots
+        # Dirty page 0 with known content via the DRAM slot.
+        slot0, t = driver.fault(0, 0, True)
+        system.dram.poke(system.region.slot_paddr(slot0), page_of(77))
+        for page in range(1, nslots):
+            t = max(t, system.nvmc.ready_ps)
+            driver.fault(page, t, False)
+        # Next miss evicts page 0 (LRC); its bytes must reach NAND.
+        driver.fault(6000, system.nvmc.ready_ps, False)
+        data, _ = system.nand.read_page(0, 0)
+        assert data == page_of(77)
+
+    def test_clean_victim_skips_writeback_with_precise_dirty(self):
+        system = small_system(conservative_dirty=False)
+        driver = system.driver
+        nslots = system.region.num_slots
+        for page in range(nslots):
+            driver.fault(page, 0, False)   # clean fills
+        driver.fault(6000, system.nvmc.ready_ps, False)
+        assert driver.stats.writebacks == 0
+
+    def test_conservative_dirty_always_writes_back(self):
+        system = small_system(conservative_dirty=True)
+        driver = system.driver
+        for page in range(system.region.num_slots):
+            driver.fault(page, 0, False)
+        driver.fault(6000, system.nvmc.ready_ps, False)
+        assert driver.stats.writebacks == 1
+
+
+class TestCoherence:
+    def test_writeback_flushes_cpu_cache(self):
+        """§V-B: without clflush the device would snapshot stale DRAM."""
+        system = small_system(conservative_dirty=False)
+        driver, cache = system.driver, system.cpu_cache
+        slot, _ = driver.fault(0, 0, True)
+        paddr = system.region.slot_paddr(slot)
+        # CPU writes through its cache; DRAM still stale.
+        cache.store(paddr, page_of(42))
+        assert system.dram.peek(paddr, 1) != page_of(42)[:1]
+        driver.mark_write(0)
+        # Fill the cache and force eviction of page 0.
+        for page in range(1, system.region.num_slots):
+            driver.fault(page, system.nvmc.ready_ps, False)
+        driver.fault(6000, system.nvmc.ready_ps, False)
+        data, _ = system.nand.read_page(0, 0)
+        assert data == page_of(42)
+
+    def test_broken_driver_loses_cpu_writes(self):
+        """The same flow with skip_coherence=True corrupts data —
+        reproducing the hazard the paper designs against."""
+        system = small_system(conservative_dirty=False)
+        system.driver.skip_coherence = True
+        driver, cache = system.driver, system.cpu_cache
+        slot, _ = driver.fault(0, 0, True)
+        paddr = system.region.slot_paddr(slot)
+        cache.store(paddr, page_of(42))
+        driver.mark_write(0)
+        for page in range(1, system.region.num_slots):
+            driver.fault(page, system.nvmc.ready_ps, False)
+        driver.fault(6000, system.nvmc.ready_ps, False)
+        data, _ = system.nand.read_page(0, 0)
+        assert data != page_of(42)   # stale bytes hit the media
+
+    def test_cachefill_invalidates_stale_lines(self):
+        """§V-B: CPU-cached lines from the slot's previous tenant must
+        not survive a cachefill."""
+        system = small_system()
+        driver, cache = system.driver, system.cpu_cache
+        system.nand.preload(3, page_of(3))
+        slot, _ = driver.fault(7, 0, False)
+        paddr = system.region.slot_paddr(slot)
+        cache.load(paddr, 64)                    # cache old tenant's line
+        # Evict page 7, then fault page 3 into (eventually) that slot.
+        for page in range(8, 8 + system.region.num_slots):
+            driver.fault(page, system.nvmc.ready_ps, False)
+        assert driver.lookup(7) is None
+        slot3, _ = driver.fault(3, system.nvmc.ready_ps, False)
+        paddr3 = system.region.slot_paddr(slot3)
+        assert cache.load(paddr3, 64) == page_of(3)[:64]
+
+
+class TestDeviceAccess:
+    def test_device_access_hit_is_instant(self):
+        system = small_system()
+        system.driver.device_access(0, 0, for_write=False)
+        mapping = system.driver.device_access(0, us(1000), for_write=False)
+        assert mapping.end_ps == us(1000)
+
+    def test_block_io_round_trip(self):
+        system = small_system()
+        end = system.driver.write_page(11, page_of(5), 0)
+        data, _ = system.driver.read_page(11, end)
+        assert data == page_of(5)
+
+    def test_capacity_is_device_bytes(self):
+        system = small_system()
+        assert system.driver.capacity_bytes == mb(32)

@@ -1,0 +1,124 @@
+"""Tests for the NAND channel controller: timing, channels, ECC overlay."""
+
+import pytest
+
+from repro.nand.controller import NANDController
+from repro.nand.spec import ZNANDSpec
+from repro.units import kb, us
+
+
+def make_controller(channels=2, dies_total=4, firmware_overhead_ps=0):
+    spec = ZNANDSpec(
+        name="test", capacity_bytes=64 * 16 * kb(4),
+        page_bytes=kb(4), pages_per_block=16, planes_per_die=1,
+        dies=1, initial_bad_block_ppm=0)
+    return NANDController(
+        spec, logical_capacity_bytes=24 * 16 * kb(4), channels=channels,
+        dies_total=dies_total, firmware_overhead_ps=firmware_overhead_ps)
+
+
+PAGE = bytes(range(256)) * 16
+
+
+class TestLogicalOps:
+    def test_program_then_read_round_trip(self):
+        ctrl = make_controller()
+        end = ctrl.program_page(5, PAGE, 0)
+        assert end > 0
+        data, _ = ctrl.read_page(5, end)
+        assert data == PAGE
+
+    def test_unwritten_page_reads_none_instantly(self):
+        ctrl = make_controller()
+        data, end = ctrl.read_page(9, 123)
+        assert data is None
+        assert end == 123
+
+    def test_trim(self):
+        ctrl = make_controller()
+        ctrl.program_page(2, PAGE, 0)
+        ctrl.trim(2)
+        data, _ = ctrl.read_page(2, 0)
+        assert data is None
+
+
+class TestTiming:
+    def test_read_takes_tr_plus_transfer(self):
+        ctrl = make_controller()
+        end_prog = ctrl.program_page(0, PAGE, 0)
+        data, end = ctrl.read_page(0, end_prog)
+        assert end - end_prog == ctrl.spec.read_ps
+
+    def test_program_takes_tprog_plus_transfer(self):
+        ctrl = make_controller()
+        end = ctrl.program_page(0, PAGE, 0)
+        assert end == ctrl.spec.program_ps
+
+    def test_same_die_programs_serialise_on_the_array(self):
+        """Two programs to one die: the second's array time queues
+        behind the first's (tPROG is per-die)."""
+        ctrl = make_controller(channels=1, dies_total=1)
+        end1 = ctrl.program_page(0, PAGE, 0)
+        end2 = ctrl.program_page(1, PAGE, 0)
+        assert end2 >= end1 + ctrl.spec.tprog_ps
+
+    def test_same_channel_bus_serialises_transfers_only(self):
+        """Different dies, one channel: transfers queue on the bus but
+        the array programs overlap (the bus is released during tPROG)."""
+        ctrl = make_controller(channels=1, dies_total=2)
+        end1 = ctrl.program_page(0, PAGE, 0)
+        end2 = ctrl.program_page(1, PAGE, 0)
+        assert end2 == end1 + ctrl.spec.transfer_ps_per_page
+
+    def test_channels_overlap(self):
+        """Programs striped over two channels overlap in time."""
+        ctrl = make_controller(channels=2, dies_total=2)
+        end1 = ctrl.program_page(0, PAGE, 0)
+        end2 = ctrl.program_page(1, PAGE, 0)
+        assert end2 == end1   # distinct channels, same duration
+
+    def test_read_suspends_program(self):
+        """Z-NAND program suspend: a read is not delayed by a program
+        in flight on the same die."""
+        ctrl = make_controller(channels=1, dies_total=1)
+        ctrl.preload(0, PAGE)
+        end_prog = ctrl.program_page(1, PAGE, 0)
+        _, end_read = ctrl.read_page(0, 0)
+        assert end_read < end_prog
+
+    def test_firmware_overhead_added(self):
+        base = make_controller()
+        slow = make_controller(firmware_overhead_ps=us(5))
+        end_base = base.program_page(0, PAGE, 0)
+        end_slow = slow.program_page(0, PAGE, 0)
+        assert end_slow - end_base == us(5)
+
+
+class TestECCIntegration:
+    def test_ecc_runs_on_every_read(self):
+        ctrl = make_controller()
+        end = ctrl.program_page(0, PAGE, 0)
+        ctrl.read_page(0, end)
+        ctrl.read_page(0, end)
+        assert ctrl.codec.stats.decoded == 2
+
+    def test_counters(self):
+        ctrl = make_controller()
+        end = ctrl.program_page(0, PAGE, 0)
+        ctrl.read_page(0, end)
+        assert ctrl.stats.page_programs == 1
+        assert ctrl.stats.page_reads == 1
+
+
+class TestCapacity:
+    def test_logical_capacity(self):
+        ctrl = make_controller()
+        assert ctrl.logical_capacity_bytes == 24 * 16 * kb(4)
+
+    def test_paper_configuration_is_buildable(self):
+        """Two 64 GB packages exposing 120 GB (§VI) — mapping only."""
+        from repro.nand.spec import ZNAND_64GB
+        # Don't allocate real data; just verify the geometry arithmetic.
+        raw = ZNAND_64GB.capacity_bytes * 2
+        logical = 120 << 30
+        assert logical < raw

@@ -1,0 +1,118 @@
+"""Tests for the NAND die model: program-in-order, erase, wear, bad blocks."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import MediaError
+from repro.nand.device import NANDDie, PageState
+from repro.nand.spec import ZNAND_TINY, ZNAND_64GB
+
+SPEC = ZNAND_TINY
+PAGE = b"\x5a" * SPEC.page_bytes
+
+
+@pytest.fixture
+def die():
+    return NANDDie(SPEC)
+
+
+class TestGeometry:
+    def test_tiny_geometry_consistent(self):
+        assert SPEC.blocks_per_plane > 0
+        assert SPEC.total_pages * SPEC.page_bytes == SPEC.capacity_bytes // (
+            1) or SPEC.total_pages > 0
+
+    def test_paper_part_capacity(self):
+        assert ZNAND_64GB.capacity_bytes == 64 << 30
+        assert ZNAND_64GB.page_bytes == 4096
+
+    def test_poc_phy_is_tenfold_slower(self):
+        """§VII-C: 50 MHz PHY vs the media's ~500 MHz capability."""
+        asic = ZNAND_64GB.with_phy_mhz(500)
+        assert ZNAND_64GB.transfer_ps_per_page == (
+            10 * asic.transfer_ps_per_page)
+
+
+class TestProgramRead:
+    def test_program_then_read(self, die):
+        die.program_page(0, 0, 0, PAGE)
+        assert die.read_page(0, 0, 0) == PAGE
+
+    def test_erased_page_reads_ff(self, die):
+        assert die.read_page(0, 0, 0) == b"\xff" * SPEC.page_bytes
+
+    def test_program_must_be_in_order(self, die):
+        die.program_page(0, 0, 0, PAGE)
+        with pytest.raises(MediaError, match="out-of-order"):
+            die.program_page(0, 0, 2, PAGE)
+        die.program_page(0, 0, 1, PAGE)
+
+    def test_program_wrong_size_rejected(self, die):
+        with pytest.raises(MediaError):
+            die.program_page(0, 0, 0, b"tiny")
+
+    def test_page_state(self, die):
+        assert die.page_state(0, 0, 0) is PageState.ERASED
+        die.program_page(0, 0, 0, PAGE)
+        assert die.page_state(0, 0, 0) is PageState.PROGRAMMED
+
+    def test_out_of_range_rejected(self, die):
+        with pytest.raises(MediaError):
+            die.read_page(0, SPEC.blocks_per_plane, 0)
+        with pytest.raises(MediaError):
+            die.read_page(SPEC.planes_per_die, 0, 0)
+        with pytest.raises(MediaError):
+            die.read_page(0, 0, SPEC.pages_per_block)
+
+
+class TestErase:
+    def test_erase_clears_block_and_resets_cursor(self, die):
+        die.program_page(0, 0, 0, PAGE)
+        die.erase_block(0, 0)
+        assert die.page_state(0, 0, 0) is PageState.ERASED
+        die.program_page(0, 0, 0, PAGE)  # cursor back at 0
+
+    def test_erase_counts_wear(self, die):
+        die.erase_block(0, 0)
+        die.erase_block(0, 0)
+        assert die.block_info(0, 0).erase_count == 2
+
+    def test_wearout_marks_bad(self):
+        spec = dataclasses.replace(SPEC, endurance_pe_cycles=3)
+        die = NANDDie(spec)
+        for _ in range(3):
+            die.erase_block(0, 0)
+        assert die.is_bad(0, 0)
+        with pytest.raises(MediaError):
+            die.erase_block(0, 0)
+
+
+class TestBadBlocks:
+    def test_mark_bad_blocks_all_ops(self, die):
+        die.mark_bad(0, 1)
+        with pytest.raises(MediaError):
+            die.read_page(0, 1, 0)
+        with pytest.raises(MediaError):
+            die.program_page(0, 1, 0, PAGE)
+        with pytest.raises(MediaError):
+            die.erase_block(0, 1)
+
+    def test_factory_bad_blocks_seeded(self):
+        spec = dataclasses.replace(SPEC, initial_bad_block_ppm=200_000)
+        die = NANDDie(spec, rng_seed=42)
+        total = SPEC.planes_per_die * SPEC.blocks_per_plane
+        bad = total - len(die.good_blocks())
+        assert bad > 0
+
+    def test_no_seed_means_no_factory_bad_blocks(self, die):
+        total = SPEC.planes_per_die * SPEC.blocks_per_plane
+        assert len(die.good_blocks()) == total
+
+
+class TestCounters:
+    def test_op_counters(self, die):
+        die.program_page(0, 0, 0, PAGE)
+        die.read_page(0, 0, 0)
+        die.erase_block(0, 0)
+        assert (die.programs, die.reads, die.erases) == (1, 1, 1)

@@ -1,0 +1,103 @@
+"""Tests for the ECC codec model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UncorrectableError
+from repro.nand.ecc import ECCCodec
+
+
+PAYLOAD = bytes(i % 256 for i in range(4096))
+
+
+class TestRoundTrip:
+    def test_clean_round_trip(self):
+        codec = ECCCodec()
+        assert codec.decode(codec.encode(PAYLOAD)) == PAYLOAD
+
+    def test_wrong_payload_size_rejected(self):
+        codec = ECCCodec()
+        with pytest.raises(UncorrectableError):
+            codec.encode(b"short")
+
+    def test_corrects_up_to_t_bits(self):
+        codec = ECCCodec(t_bits=8)
+        cw = codec.encode(PAYLOAD)
+        cw.flipped_bits.extend(range(8))
+        assert codec.decode(cw) == PAYLOAD
+        assert codec.stats.bits_corrected == 8
+
+    def test_uncorrectable_beyond_t(self):
+        codec = ECCCodec(t_bits=8)
+        cw = codec.encode(PAYLOAD)
+        cw.flipped_bits.extend(range(9))
+        with pytest.raises(UncorrectableError):
+            codec.decode(cw)
+        assert codec.stats.uncorrectable == 1
+
+    def test_even_flips_cancel(self):
+        """A bit flipped twice is back to its original value."""
+        codec = ECCCodec(t_bits=1)
+        cw = codec.encode(PAYLOAD)
+        cw.flipped_bits.extend([5, 5, 7])   # bit 5 cancels; only 7 counts
+        assert codec.decode(cw) == PAYLOAD
+
+    @given(st.integers(min_value=0, max_value=72))
+    @settings(max_examples=20, deadline=None)
+    def test_budget_boundary(self, nflips):
+        codec = ECCCodec(t_bits=72)
+        cw = codec.encode(PAYLOAD)
+        cw.flipped_bits.extend(range(nflips))
+        assert codec.decode(cw) == PAYLOAD
+
+
+class TestInjection:
+    def test_zero_rber_injects_nothing(self):
+        codec = ECCCodec()
+        cw = codec.encode(PAYLOAD)
+        assert codec.inject_errors(cw, 0.0) == 0
+
+    def test_injection_count_tracks_rber(self):
+        codec = ECCCodec(seed=1)
+        total = 0
+        trials = 200
+        for _ in range(trials):
+            cw = codec.encode(PAYLOAD)
+            total += codec.inject_errors(cw, 1e-4)
+        expected = trials * 4096 * 8 * 1e-4
+        assert total == pytest.approx(expected, rel=0.25)
+
+    def test_injection_is_deterministic_per_seed(self):
+        a = ECCCodec(seed=9)
+        b = ECCCodec(seed=9)
+        cwa, cwb = a.encode(PAYLOAD), b.encode(PAYLOAD)
+        a.inject_errors(cwa, 1e-5)
+        b.inject_errors(cwb, 1e-5)
+        assert cwa.flipped_bits == cwb.flipped_bits
+
+
+class TestRBERModel:
+    def test_fresh_block_at_floor(self):
+        assert ECCCodec.rber_for_wear(0, 50_000) == pytest.approx(1e-8)
+
+    def test_worn_block_at_ceiling(self):
+        assert ECCCodec.rber_for_wear(50_000, 50_000) == pytest.approx(1e-4)
+
+    def test_monotone_in_wear(self):
+        values = [ECCCodec.rber_for_wear(k, 1000) for k in range(0, 1001, 100)]
+        assert values == sorted(values)
+
+    def test_wear_beyond_endurance_clamps(self):
+        assert ECCCodec.rber_for_wear(10**9, 1000) == pytest.approx(1e-4)
+
+    def test_zero_endurance_is_ceiling(self):
+        assert ECCCodec.rber_for_wear(5, 0) == pytest.approx(1e-4)
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        codec = ECCCodec()
+        for _ in range(3):
+            codec.decode(codec.encode(PAYLOAD))
+        assert codec.stats.encoded == 3
+        assert codec.stats.decoded == 3

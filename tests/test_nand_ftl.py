@@ -1,0 +1,151 @@
+"""Tests for the flash translation layer: mapping, GC, wear levelling."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FTLError
+from repro.nand.device import NANDDie
+from repro.nand.ftl import FlashTranslationLayer
+from repro.nand.spec import ZNANDSpec
+from repro.units import kb
+
+
+def tiny_spec(pages_per_block=16, blocks=24):
+    """A deliberately small geometry so GC triggers quickly."""
+    return ZNANDSpec(
+        name="test", capacity_bytes=blocks * pages_per_block * kb(4),
+        page_bytes=kb(4), pages_per_block=pages_per_block,
+        planes_per_die=1, dies=1, initial_bad_block_ppm=0)
+
+
+def make_ftl(logical_blocks=8, pages_per_block=16, blocks=24, dies=1):
+    spec = tiny_spec(pages_per_block, blocks)
+    nand = [NANDDie(spec, die_index=i) for i in range(dies)]
+    logical = logical_blocks * pages_per_block * kb(4)
+    return FlashTranslationLayer(nand, logical)
+
+
+def page_of(tag: int) -> bytes:
+    return bytes([tag % 256]) * kb(4)
+
+
+class TestBasicMapping:
+    def test_unwritten_page_reads_none(self):
+        ftl = make_ftl()
+        data, ppa, ops = ftl.read_page(0)
+        assert data is None and ppa is None and ops == []
+
+    def test_write_then_read(self):
+        ftl = make_ftl()
+        ftl.write_page(3, page_of(7))
+        data, ppa, ops = ftl.read_page(3)
+        assert data == page_of(7)
+        assert ppa is not None
+        assert [op.kind for op in ops] == ["read"]
+
+    def test_overwrite_moves_page(self):
+        ftl = make_ftl()
+        ppa1, _ = ftl.write_page(0, page_of(1))
+        ppa2, _ = ftl.write_page(0, page_of(2))
+        assert ppa1 != ppa2
+        data, _, _ = ftl.read_page(0)
+        assert data == page_of(2)
+
+    def test_trim_unmaps(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        ftl.trim(0)
+        data, _, _ = ftl.read_page(0)
+        assert data is None
+
+    def test_lpn_out_of_range(self):
+        ftl = make_ftl(logical_blocks=1)
+        with pytest.raises(FTLError):
+            ftl.read_page(10**9)
+        with pytest.raises(FTLError):
+            ftl.write_page(-1, page_of(0))
+
+    def test_insufficient_capacity_rejected(self):
+        spec = tiny_spec(blocks=4)
+        nand = [NANDDie(spec)]
+        with pytest.raises(FTLError):
+            FlashTranslationLayer(nand, spec.capacity_bytes * 2)
+
+
+class TestGarbageCollection:
+    def test_sustained_overwrites_trigger_gc(self):
+        ftl = make_ftl(logical_blocks=8, blocks=24)
+        for i in range(ftl.logical_pages * 4):
+            ftl.write_page(i % ftl.logical_pages, page_of(i))
+        assert ftl.stats.gc_invocations > 0
+        assert ftl.stats.erases > 0
+        assert ftl.free_blocks > 0
+
+    def test_data_survives_gc(self):
+        ftl = make_ftl(logical_blocks=8, blocks=24)
+        # Fill the logical space, then hammer a hot subset to force GC.
+        for lpn in range(ftl.logical_pages):
+            ftl.write_page(lpn, page_of(lpn))
+        for i in range(ftl.logical_pages * 3):
+            ftl.write_page(i % 16, page_of(1000 + i))
+        # Cold pages must still read their original data.
+        for lpn in range(16, ftl.logical_pages):
+            data, _, _ = ftl.read_page(lpn)
+            assert data == page_of(lpn), lpn
+
+    def test_write_amplification_above_one_under_pressure(self):
+        """Random overwrites on tight over-provisioning leave victims
+        partially valid, so GC must relocate (WA > 1)."""
+        import random
+        rng = random.Random(0)
+        ftl = make_ftl(logical_blocks=10, blocks=20)
+        for lpn in range(ftl.logical_pages):
+            ftl.write_page(lpn, page_of(lpn))
+        for i in range(ftl.logical_pages * 5):
+            ftl.write_page(rng.randrange(ftl.logical_pages), page_of(i))
+        assert ftl.stats.write_amplification > 1.0
+        assert ftl.stats.gc_reads == ftl.stats.gc_programs
+
+    def test_write_amplification_one_without_gc(self):
+        ftl = make_ftl(logical_blocks=2, blocks=24)
+        for lpn in range(ftl.logical_pages):
+            ftl.write_page(lpn, page_of(lpn))
+        assert ftl.stats.write_amplification == 1.0
+
+
+class TestWearLevelling:
+    def test_erase_counts_stay_balanced(self):
+        ftl = make_ftl(logical_blocks=8, blocks=24)
+        for i in range(ftl.logical_pages * 8):
+            ftl.write_page(i % ftl.logical_pages, page_of(i))
+        counts = [ftl.dies[0].block_info(p, b).erase_count
+                  for (p, b) in ftl.dies[0].good_blocks()]
+        assert max(counts) - min(counts) <= max(3, max(counts) // 2 + 1)
+
+
+class TestMultiDie:
+    def test_writes_stripe_across_dies(self):
+        ftl = make_ftl(logical_blocks=8, blocks=24, dies=4)
+        dies_used = set()
+        for lpn in range(16):
+            ppa, _ = ftl.write_page(lpn, page_of(lpn))
+            dies_used.add(ppa.die)
+        assert dies_used == {0, 1, 2, 3}
+
+
+class TestPropertyBased:
+    @given(st.lists(st.tuples(st.integers(0, 31), st.integers(0, 255)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_ftl_matches_reference_dict(self, writes):
+        """The FTL must behave exactly like a dict under random writes."""
+        ftl = make_ftl(logical_blocks=2, blocks=24)   # 32 logical pages
+        reference = {}
+        for lpn, tag in writes:
+            ftl.write_page(lpn, page_of(tag))
+            reference[lpn] = page_of(tag)
+        for lpn, expected in reference.items():
+            data, _, _ = ftl.read_page(lpn)
+            assert data == expected

@@ -1,0 +1,75 @@
+"""Tests for the pipelined (queue depth > 1) NVMC model."""
+
+import pytest
+
+from repro.ddr.imc import RefreshTimeline
+from repro.ddr.spec import NVDIMMC_1600
+from repro.errors import ConfigError
+from repro.nand.spec import ZNAND_64GB
+from repro.nvmc.pipeline import PipelinedNVMC, queue_depth_sweep
+from repro.units import PAGE_4K, kb, us
+
+TIMELINE = RefreshTimeline(NVDIMMC_1600)
+
+
+def run(depth=1, **kwargs):
+    model = PipelinedNVMC(TIMELINE, ZNAND_64GB, queue_depth=depth,
+                          **kwargs)
+    return model.run_uncached(150)
+
+
+class TestPipeline:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            PipelinedNVMC(TIMELINE, ZNAND_64GB, queue_depth=0)
+
+    def test_depth_one_matches_three_window_floor(self):
+        """With batched poll/ack sharing data windows, a lone miss
+        cycles in ~3 windows (wb data, fill data, ack+poll overlap)."""
+        result = run(depth=1)
+        assert 2.5 <= result.windows_per_miss <= 4.5
+
+    def test_depth_two_reaches_the_data_window_bound(self):
+        """Steady state needs two 4 KB windows per miss: the ceiling is
+        4 KB / (2 * tREFI) = 262.6 MB/s, reached already at depth 2."""
+        result = run(depth=2)
+        assert result.bandwidth_mb_s == pytest.approx(262.6, rel=0.03)
+
+    def test_deeper_queues_add_nothing(self):
+        assert run(depth=8).bandwidth_mb_s == pytest.approx(
+            run(depth=2).bandwidth_mb_s, rel=0.02)
+
+    def test_firmware_lag_hurts_shallow_queues_most(self):
+        slow1 = run(depth=1, firmware_step_ps=us(4))
+        fast1 = run(depth=1)
+        slow4 = run(depth=4, firmware_step_ps=us(4))
+        fast4 = run(depth=4)
+        assert slow1.bandwidth_mb_s < fast1.bandwidth_mb_s
+        # Depth hides the lag almost entirely.
+        assert slow4.bandwidth_mb_s >= 0.95 * fast4.bandwidth_mb_s
+
+    def test_clean_victims_skip_the_writeback_window(self):
+        """Without writebacks, one data window per miss: the ceiling
+        doubles (enough commands in flight to cover the NAND reads)."""
+        dirty = run(depth=4, dirty_victims=True)
+        clean = run(depth=4, dirty_victims=False)
+        assert clean.bandwidth_mb_s > 1.7 * dirty.bandwidth_mb_s
+
+    def test_8kb_window_doubles_the_ceiling(self):
+        """§VII-C item (3): two pages per window."""
+        wide = PipelinedNVMC(TIMELINE, ZNAND_64GB, queue_depth=4,
+                             window_bytes=kb(8))
+        result = wide.run_uncached(150)
+        assert result.bandwidth_mb_s == pytest.approx(2 * 262.6, rel=0.05)
+
+    def test_sweep_is_monotone(self):
+        sweep = queue_depth_sweep(n_misses=100)
+        bandwidths = [bw for _, bw in sweep]
+        assert all(b2 >= b1 * 0.99 for b1, b2 in zip(bandwidths,
+                                                     bandwidths[1:]))
+
+    def test_result_arithmetic(self):
+        result = run(depth=1)
+        assert result.misses == 150
+        assert result.span_ps > 0
+        assert result.windows_per_miss > 0

@@ -1,0 +1,89 @@
+"""Tests for the page-cache model and the DAX-motivation comparison."""
+
+import pytest
+
+from repro.device.nvdimmc import PmemSystem
+from repro.errors import KernelError
+from repro.kernel.pagecache import PageCache
+from repro.units import PAGE_4K, mb
+
+
+def make_cache(capacity_pages=64):
+    system = PmemSystem(device_bytes=mb(16))
+    return system, PageCache(system.driver, capacity_pages=capacity_pages)
+
+
+class TestPageCache:
+    def test_read_after_device_write(self):
+        system, cache = make_cache()
+        system.driver.write_page(3, b"\x7c" * PAGE_4K, 0)
+        data, _ = cache.read(3 * PAGE_4K + 100, 16, 0)
+        assert data == b"\x7c" * 16
+
+    def test_write_read_round_trip(self):
+        _system, cache = make_cache()
+        t = cache.write(1000, b"page-cache!", 0)
+        data, _ = cache.read(1000, 11, t)
+        assert data == b"page-cache!"
+
+    def test_first_touch_is_a_miss_then_hits(self):
+        _system, cache = make_cache()
+        cache.read(0, 8, 0)
+        cache.read(64, 8, 0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_copies_a_whole_block(self):
+        """§II-A: a 64 B read moves 4 KB through the block layer."""
+        _system, cache = make_cache()
+        cache.read(0, 64, 0)
+        assert cache.stats.bytes_copied == PAGE_4K
+
+    def test_miss_costs_block_layer_time(self):
+        _system, cache = make_cache()
+        _, t_miss = cache.read(0, 8, 0)
+        start = t_miss
+        _, t_hit = cache.read(8, 8, start)
+        assert t_miss >= PageCache.BLOCK_LAYER_PS
+        assert t_hit == start            # hits are free at this level
+
+    def test_lru_eviction_writes_back_dirty(self):
+        system, cache = make_cache(capacity_pages=2)
+        t = cache.write(0, b"dirty0", 0)
+        t = cache.write(PAGE_4K, b"dirty1", t)
+        t = cache.write(2 * PAGE_4K, b"dirty2", t)   # evicts page 0
+        assert cache.cached_pages == 2
+        assert cache.stats.writebacks == 1
+        data, _ = system.driver.read_page(0, t)
+        assert data[:6] == b"dirty0"
+
+    def test_sync_flushes_all_dirty(self):
+        system, cache = make_cache()
+        t = 0
+        for page in range(4):
+            t = cache.write(page * PAGE_4K, bytes([page]) * 32, t)
+        t = cache.sync(t)
+        for page in range(4):
+            data, _ = system.driver.read_page(page, t)
+            assert data[:32] == bytes([page]) * 32
+
+    def test_capacity_validation(self):
+        system = PmemSystem(device_bytes=mb(16))
+        with pytest.raises(KernelError):
+            PageCache(system.driver, capacity_pages=0)
+
+    def test_spanning_access(self):
+        _system, cache = make_cache()
+        payload = bytes(range(256)) * 32   # 8 KB, crosses a boundary
+        t = cache.write(PAGE_4K - 100, payload, 0)
+        data, _ = cache.read(PAGE_4K - 100, len(payload), t)
+        assert data == payload
+
+
+class TestDaxMotivation:
+    def test_dax_wins(self):
+        from repro.experiments import dax_motivation
+        record = dax_motivation.run(nops=600)
+        measured = {c.label: c.measured for c in record.comparisons}
+        assert measured["DAX advantage"] > 1.5
+        assert measured["page-cache bytes copied per byte read"] > 10

@@ -1,0 +1,95 @@
+"""Why the mechanism needs *all-bank* refresh (§III-B, last paragraph).
+
+"The standard DDR4 specification does not support per-bank refresh ...
+DDR4 memory controllers are designed to precharge all opened banks
+(PREA) before issuing a REFRESH command.  This requirement ensures that
+all banks of the DRAM cache are deactivated/closed before the extra
+tRFC time, and enables the NVMC to access all the banks."
+
+These tests demonstrate both directions: with the DDR4 discipline the
+device may touch any bank in the window; in a hypothetical per-bank
+refresh world (LPDDR4/DDR5-style), host rows stay open across the
+"window" and the device's access pattern becomes illegal.
+"""
+
+import pytest
+
+from repro.ddr.bank import BankState
+from repro.ddr.bus import SharedBus
+from repro.ddr.commands import Command, CommandKind
+from repro.ddr.device import DRAMDevice
+from repro.ddr.spec import NVDIMMC_1600
+from repro.errors import ProtocolError
+from repro.units import mb
+
+SPEC = NVDIMMC_1600
+
+
+def make():
+    device = DRAMDevice(SPEC, capacity_bytes=mb(64))
+    bus = SharedBus(SPEC, device)
+    return device, bus
+
+
+class TestAllBankDiscipline:
+    def test_prea_plus_ref_closes_everything(self):
+        """After PREA+REF every bank is refreshing, then idle — the
+        whole cache is accessible to the NVMC."""
+        device, bus = make()
+        t = 0
+        bus.issue("imc", Command(CommandKind.ACT, bank=0, row=5), t)
+        bus.issue("imc", Command(CommandKind.ACT, bank=7, row=9),
+                  t + SPEC.trrd_ps)
+        t += SPEC.tras_ps + SPEC.trrd_ps
+        bus.issue("imc", Command(CommandKind.PREA), t)
+        bus.issue("imc", Command(CommandKind.REF), t + SPEC.trp_ps)
+        device.maybe_complete_refresh(t + SPEC.trp_ps
+                                      + SPEC.trfc_device_ps)
+        assert all(b.state is BankState.IDLE for b in device.banks)
+
+    def test_device_may_use_any_bank_in_the_window(self):
+        device, bus = make()
+        t = 0
+        bus.issue("imc", Command(CommandKind.PREA), t)
+        ref = t + SPEC.trp_ps
+        bus.issue("imc", Command(CommandKind.REF), ref)
+        window_start = ref + SPEC.trfc_device_ps
+        # The NVMC activates banks 0, 5 and 15 — any bank is fair game.
+        for i, bank in enumerate((0, 5, 15)):
+            bus.issue("nvmc", Command(CommandKind.ACT, bank=bank, row=1),
+                      window_start + i * SPEC.trrd_ps)
+        assert device.banks[15].state is BankState.ACTIVE
+
+
+class TestPerBankRefreshWorld:
+    def test_open_host_row_breaks_the_window_contract(self):
+        """Hypothetical per-bank refresh: the host refreshes bank 0
+        only, leaving its row in bank 3 open.  A device that assumes
+        the DDR4 all-bank contract and ACTs bank 3 commits a protocol
+        violation — the §III-B argument for why DDR4's limitation is
+        actually what makes the mechanism safe."""
+        device, bus = make()
+        t = 0
+        # Host opens a row in bank 3 and keeps it open.
+        bus.issue("imc", Command(CommandKind.ACT, bank=3, row=42), t)
+        # Hypothetical per-bank refresh of bank 0 (modelled directly on
+        # the bank, as DDR4 has no such command to issue).
+        t += SPEC.tras_ps
+        device.banks[0].begin_refresh(t)
+        device.banks[0].end_refresh(t + SPEC.trfc_device_ps)
+        # The device, believing a refresh implies "all banks closed",
+        # activates bank 3 -> illegal ACT on an active bank.
+        with pytest.raises(ProtocolError, match="ACT while row"):
+            bus.issue("nvmc", Command(CommandKind.ACT, bank=3, row=7),
+                      t + SPEC.trfc_device_ps + SPEC.clock_ps)
+
+    def test_device_read_of_host_row_is_data_corruption_risk(self):
+        """Worse: the device could *read the host's open row* believing
+        it owns the bank — Fig. 2a C2 in the per-bank world."""
+        device, bus = make()
+        bus.issue("imc", Command(CommandKind.ACT, bank=3, row=42), 0)
+        # Device reads bank 3 assuming its own row is open: the model
+        # catches the wrong-row access that silicon would not.
+        with pytest.raises(ProtocolError, match="row"):
+            bus.issue("nvmc", Command(CommandKind.RD, bank=3, row=7,
+                                      column=0), SPEC.trcd_ps)

@@ -1,0 +1,122 @@
+"""Tests for the calibrated host cost model and channel contention."""
+
+import pytest
+
+from repro.ddr.imc import RefreshTimeline
+from repro.ddr.spec import DDR4_1600, NVDIMMC_1600
+from repro.perf.calibration import DEFAULT_CALIBRATION
+from repro.perf.contention import MemoryChannel
+from repro.perf.model import HostCostModel
+from repro.units import kb, us
+
+
+NVDC_TL = RefreshTimeline(NVDIMMC_1600)
+PMEM_TL = RefreshTimeline(DDR4_1600)
+
+
+class TestCalibrationAnchors:
+    """The model must land on the paper measurements it was fit to."""
+
+    def test_baseline_4kb_read_iops(self):
+        model = HostCostModel(PMEM_TL, "pmem")
+        iops = model.cached_iops(kb(4), is_write=False)
+        assert iops == pytest.approx(646_000, rel=0.06)   # Fig. 8
+
+    def test_baseline_4kb_write_iops(self):
+        model = HostCostModel(PMEM_TL, "pmem")
+        iops = model.cached_iops(kb(4), is_write=True)
+        assert iops == pytest.approx(576_000, rel=0.06)   # Fig. 8
+
+    def test_nvdc_cached_4kb_read_bandwidth(self):
+        model = HostCostModel(NVDC_TL, "nvdc")
+        bw = model.cached_bandwidth_mb_s(kb(4), is_write=False)
+        assert bw == pytest.approx(1835, rel=0.06)        # Fig. 8
+
+    def test_nvdc_cached_4kb_write_bandwidth(self):
+        model = HostCostModel(NVDC_TL, "nvdc")
+        bw = model.cached_bandwidth_mb_s(kb(4), is_write=True)
+        assert bw == pytest.approx(1796, rel=0.06)        # Fig. 8
+
+    def test_cached_is_70_to_76_percent_of_baseline(self):
+        """§VII-B2: 24-30 % driver overhead."""
+        nvdc = HostCostModel(NVDC_TL, "nvdc")
+        pmem = HostCostModel(PMEM_TL, "pmem")
+        ratio = (nvdc.cached_iops(kb(4), False)
+                 / pmem.cached_iops(kb(4), False))
+        assert 0.64 <= ratio <= 0.80
+
+    def test_small_access_advantage(self):
+        """Fig. 10: NVDC-Cached beats baseline ~1.15x at 128 B."""
+        nvdc = HostCostModel(NVDC_TL, "nvdc")
+        pmem = HostCostModel(PMEM_TL, "pmem")
+        ratio = nvdc.cached_iops(128, False) / pmem.cached_iops(128, False)
+        assert 1.05 <= ratio <= 1.30
+
+
+class TestRefreshSensitivity:
+    """Fig. 13: cached bandwidth vs tREFI."""
+
+    def bw_at(self, trefi_us):
+        spec = NVDIMMC_1600.with_trefi(us(trefi_us))
+        model = HostCostModel(RefreshTimeline(spec), "nvdc")
+        return model.cached_bandwidth_mb_s(kb(4), is_write=False)
+
+    def test_trefi2_costs_about_8_percent(self):
+        drop = 1 - self.bw_at(3.9) / self.bw_at(7.8)
+        assert 0.04 <= drop <= 0.14   # paper: 8 %
+
+    def test_trefi4_costs_about_17_percent(self):
+        drop = 1 - self.bw_at(1.95) / self.bw_at(7.8)
+        assert 0.12 <= drop <= 0.24   # paper: 17 %
+
+    def test_trefi4_absolute(self):
+        assert self.bw_at(1.95) == pytest.approx(1530, rel=0.08)
+
+    def test_monotone_in_refresh_rate(self):
+        assert self.bw_at(7.8) > self.bw_at(3.9) > self.bw_at(1.95)
+
+
+class TestChannel:
+    def test_fifo_queueing(self):
+        channel = MemoryChannel()
+        assert channel.serve(0, 100) == 100
+        assert channel.serve(0, 100) == 200   # queued behind the first
+        assert channel.serve(500, 100) == 600  # idle gap, no queue
+
+    def test_serve_split_latency_vs_occupancy(self):
+        channel = MemoryChannel()
+        done = channel.serve_split(0, occupancy_ps=1000, latency_ps=300)
+        assert done == 300
+        assert channel.busy_until_ps == 1000
+        done2 = channel.serve_split(0, occupancy_ps=1000, latency_ps=300)
+        assert done2 == 1300    # queued behind first occupancy
+
+    def test_stats_and_reset(self):
+        channel = MemoryChannel()
+        channel.serve(0, 100)
+        channel.serve(0, 100)
+        assert channel.stats.requests == 2
+        assert channel.stats.waited_ps == 100
+        channel.reset()
+        assert channel.stats.requests == 0
+
+    def test_utilization(self):
+        channel = MemoryChannel()
+        channel.serve(0, 500)
+        assert channel.utilization(1000) == pytest.approx(0.5)
+
+
+class TestChannelSaturation:
+    def test_throughput_caps_at_calibrated_plateau(self):
+        """Serving 4 KB reads from many threads must plateau near the
+        Fig. 9 cap."""
+        model = HostCostModel(NVDC_TL, "nvdc")
+        channel = MemoryChannel()
+        occupancy = model.channel_service_ps(kb(4), is_write=False)
+        n_ops = 10_000
+        end = 0
+        for _ in range(n_ops):
+            end = channel.serve(0, occupancy)
+        bw = (n_ops * kb(4) / 1e6) / (end / 1e12)
+        assert bw == pytest.approx(
+            DEFAULT_CALIBRATION.nvdc_channel_read_mb_s, rel=0.05)

@@ -1,0 +1,62 @@
+"""Protocol-level self-refresh behaviour.
+
+SRE shares the REFRESH pin state with CKE falling; a detector that
+armed a transfer on SRE would drive the bus during an *unbounded*
+blackout — and conversely SRX must not look like anything actionable.
+These tests run the full bus + detector + agent chain through a
+self-refresh episode.
+"""
+
+from repro.ddr.bus import SharedBus
+from repro.ddr.commands import Command, CommandKind
+from repro.ddr.device import DRAMDevice
+from repro.ddr.spec import NVDIMMC_1600
+from repro.nvmc.agent import NVMCProtocolAgent
+from repro.units import mb, us
+
+SPEC = NVDIMMC_1600
+
+
+def make_bus_with_agent():
+    device = DRAMDevice(SPEC, capacity_bytes=mb(64))
+    bus = SharedBus(SPEC, device)
+    agent = NVMCProtocolAgent(SPEC, bus)
+    return device, bus, agent
+
+
+class TestSelfRefreshEpisode:
+    def test_sre_does_not_trigger_agent_transfer(self):
+        device, bus, agent = make_bus_with_agent()
+        agent.queue_write(0, bytes(4096))
+        t = 0
+        bus.issue("imc", Command(CommandKind.PREA), t)
+        bus.issue("imc", Command(CommandKind.SRE), t + SPEC.trp_ps)
+        # Long self-refresh: the agent must stay off the bus.
+        assert agent.backlog == 1
+        assert agent.detector.detections == []
+        assert device.in_self_refresh
+
+    def test_work_resumes_after_srx_and_a_real_refresh(self):
+        device, bus, agent = make_bus_with_agent()
+        agent.queue_write(0, b"\xaa" * 4096)
+        t = 0
+        bus.issue("imc", Command(CommandKind.PREA), t)
+        t += SPEC.trp_ps
+        bus.issue("imc", Command(CommandKind.SRE), t)
+        t += us(100)                       # park in self-refresh
+        bus.issue("imc", Command(CommandKind.SRX), t)
+        t += us(1)
+        bus.issue("imc", Command(CommandKind.REF), t)
+        # The real REF arms the window; the transfer lands inside it.
+        assert agent.backlog == 0
+        assert device.peek(0, 4) == b"\xaa" * 4
+        assert len(agent.detector.detections) == 1
+        assert agent.detector.false_positives == 0
+
+    def test_srx_alone_is_not_a_window(self):
+        _device, bus, agent = make_bus_with_agent()
+        agent.queue_write(0, bytes(4096))
+        bus.issue("imc", Command(CommandKind.PREA), 0)
+        bus.issue("imc", Command(CommandKind.SRE), SPEC.trp_ps)
+        bus.issue("imc", Command(CommandKind.SRX), us(50))
+        assert agent.backlog == 1          # still waiting for a REF

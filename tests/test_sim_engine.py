@@ -1,0 +1,129 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.call_at(300, lambda: order.append("c"))
+        eng.call_at(100, lambda: order.append("a"))
+        eng.call_at(200, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        eng = Engine()
+        order = []
+        for tag in "abcde":
+            eng.call_at(50, lambda t=tag: order.append(t))
+        eng.run()
+        assert order == list("abcde")
+
+    def test_now_advances_with_events(self):
+        eng = Engine()
+        seen = []
+        eng.call_at(42, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [42]
+        assert eng.now == 42
+
+    def test_call_after_is_relative(self):
+        eng = Engine()
+        seen = []
+        eng.call_at(10, lambda: eng.call_after(5, lambda: seen.append(eng.now)))
+        eng.run()
+        assert seen == [15]
+
+    def test_scheduling_into_past_raises(self):
+        eng = Engine()
+        eng.call_at(100, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at(50, lambda: None)
+
+    def test_negative_delay_raises(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.call_after(-1, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_and_advances_clock(self):
+        eng = Engine()
+        hits = []
+        eng.call_at(100, lambda: hits.append(1))
+        eng.call_at(900, lambda: hits.append(2))
+        eng.run(until=500)
+        assert hits == [1]
+        assert eng.now == 500
+        eng.run()
+        assert hits == [1, 2]
+
+    def test_run_max_events(self):
+        eng = Engine()
+        hits = []
+        for i in range(10):
+            eng.call_at(i, lambda i=i: hits.append(i))
+        eng.run(max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        eng = Engine()
+        assert eng.step() is False
+
+    def test_peek(self):
+        eng = Engine()
+        assert eng.peek() is None
+        eng.call_at(77, lambda: None)
+        assert eng.peek() == 77
+
+    def test_drain_discards(self):
+        eng = Engine()
+        eng.call_at(10, lambda: pytest.fail("should not run"))
+        eng.drain()
+        eng.run()
+        assert eng.pending == 0
+
+    def test_events_executed_counter(self):
+        eng = Engine()
+        for i in range(5):
+            eng.call_at(i, lambda: None)
+        eng.run()
+        assert eng.events_executed == 5
+
+    def test_reentrant_run_rejected(self):
+        eng = Engine()
+
+        def inner():
+            with pytest.raises(SimulationError):
+                eng.run()
+
+        eng.call_at(1, inner)
+        eng.run()
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(min_value=0, max_value=10**9),
+                    min_size=1, max_size=50))
+    def test_execution_order_is_sorted_stable(self, times):
+        eng = Engine()
+        executed = []
+        for i, t in enumerate(times):
+            eng.call_at(t, lambda t=t, i=i: executed.append((t, i)))
+        eng.run()
+        assert executed == sorted(executed)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=30))
+    def test_clock_monotonic(self, times):
+        eng = Engine()
+        stamps = []
+        for t in times:
+            eng.call_at(t, lambda: stamps.append(eng.now))
+        eng.run()
+        assert stamps == sorted(stamps)

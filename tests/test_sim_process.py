@@ -1,0 +1,173 @@
+"""Tests for generator processes, events, and joins."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Event, Timeout
+from repro.sim.process import spawn
+
+
+class TestTimeout:
+    def test_process_waits_for_timeouts(self):
+        eng = Engine()
+        trail = []
+
+        def proc():
+            trail.append(("start", eng.now))
+            yield Timeout(100)
+            trail.append(("mid", eng.now))
+            yield Timeout(50)
+            trail.append(("end", eng.now))
+
+        spawn(eng, proc())
+        eng.run()
+        assert trail == [("start", 0), ("mid", 100), ("end", 150)]
+
+    def test_timeout_value_is_sent_back(self):
+        eng = Engine()
+        got = []
+
+        def proc():
+            value = yield Timeout(10, value="payload")
+            got.append(value)
+
+        spawn(eng, proc())
+        eng.run()
+        assert got == ["payload"]
+
+    def test_negative_timeout_raises(self):
+        with pytest.raises(SimulationError):
+            Timeout(-5)
+
+    def test_two_processes_interleave(self):
+        eng = Engine()
+        trail = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield Timeout(period)
+                trail.append((name, eng.now))
+
+        spawn(eng, ticker("fast", 10))
+        spawn(eng, ticker("slow", 25))
+        eng.run()
+        assert trail == [("fast", 10), ("fast", 20), ("slow", 25),
+                         ("fast", 30), ("slow", 50), ("slow", 75)]
+
+
+class TestEvent:
+    def test_event_wakes_waiter_with_value(self):
+        eng = Engine()
+        got = []
+        ev = Event(eng)
+
+        def waiter():
+            value = yield ev
+            got.append((value, eng.now))
+
+        def trigger():
+            yield Timeout(200)
+            ev.succeed("done")
+
+        spawn(eng, waiter())
+        spawn(eng, trigger())
+        eng.run()
+        assert got == [("done", 200)]
+
+    def test_wait_on_already_triggered_event(self):
+        eng = Engine()
+        got = []
+        ev = Event(eng)
+        ev.succeed(7)
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        spawn(eng, waiter())
+        eng.run()
+        assert got == [7]
+
+    def test_double_trigger_raises(self):
+        eng = Engine()
+        ev = Event(eng)
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_event_wakes_all_waiters(self):
+        eng = Engine()
+        got = []
+        ev = Event(eng)
+
+        def waiter(i):
+            value = yield ev
+            got.append((i, value))
+
+        for i in range(3):
+            spawn(eng, waiter(i))
+        eng.call_at(10, lambda: ev.succeed("x"))
+        eng.run()
+        assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+
+class TestJoin:
+    def test_join_returns_result(self):
+        eng = Engine()
+        got = []
+
+        def child():
+            yield Timeout(30)
+            return 42
+
+        def parent():
+            result = yield spawn(eng, child())
+            got.append((result, eng.now))
+
+        spawn(eng, parent())
+        eng.run()
+        assert got == [(42, 30)]
+
+    def test_join_finished_process(self):
+        eng = Engine()
+        got = []
+
+        def child():
+            yield Timeout(1)
+            return "early"
+
+        handle = spawn(eng, child())
+
+        def parent():
+            yield Timeout(100)
+            result = yield handle
+            got.append(result)
+
+        spawn(eng, parent())
+        eng.run()
+        assert got == ["early"]
+
+    def test_interrupt_stops_process(self):
+        eng = Engine()
+        trail = []
+
+        def proc():
+            trail.append("a")
+            yield Timeout(100)
+            trail.append("b")  # never reached
+
+        handle = spawn(eng, proc())
+        eng.call_at(50, handle.interrupt)
+        eng.run()
+        assert trail == ["a"]
+        assert handle.finished
+
+    def test_yield_garbage_raises_inside_process(self):
+        eng = Engine()
+
+        def proc():
+            yield "not a waitable"
+
+        spawn(eng, proc())
+        with pytest.raises(SimulationError):
+            eng.run()

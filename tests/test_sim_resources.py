@@ -1,0 +1,166 @@
+"""Tests for Resource / Lock / Store queueing primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Lock, Resource, Store, Timeout
+from repro.sim.process import spawn
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self):
+        eng = Engine()
+        res = Resource(eng, capacity=2)
+        active = []
+        peak = []
+
+        def worker(i):
+            yield res.acquire()
+            active.append(i)
+            peak.append(len(active))
+            yield Timeout(10)
+            active.remove(i)
+            res.release()
+
+        for i in range(5):
+            spawn(eng, worker(i))
+        eng.run()
+        assert max(peak) == 2
+
+    def test_fifo_admission(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+        order = []
+
+        def worker(i):
+            yield res.acquire()
+            order.append(i)
+            yield Timeout(5)
+            res.release()
+
+        for i in range(4):
+            spawn(eng, worker(i))
+        eng.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_idle_raises(self):
+        eng = Engine()
+        res = Resource(eng)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            Resource(eng, capacity=0)
+
+    def test_queue_length(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield Timeout(100)
+            res.release()
+
+        def waiter():
+            yield res.acquire()
+            res.release()
+
+        spawn(eng, holder())
+        spawn(eng, waiter())
+        eng.run(until=50)
+        assert res.queue_length == 1
+        eng.run()
+        assert res.queue_length == 0
+
+    def test_utilization_tracks_busy_time(self):
+        eng = Engine()
+        res = Resource(eng, capacity=1)
+
+        def worker():
+            yield res.acquire()
+            yield Timeout(50)
+            res.release()
+            yield Timeout(50)
+
+        spawn(eng, worker())
+        eng.run()
+        assert res.utilization() == pytest.approx(0.5, abs=0.01)
+
+
+class TestLock:
+    def test_lock_is_capacity_one(self):
+        eng = Engine()
+        lock = Lock(eng)
+        assert lock.capacity == 1
+
+    def test_mutual_exclusion(self):
+        eng = Engine()
+        lock = Lock(eng)
+        inside = []
+
+        def critical(i):
+            yield lock.acquire()
+            assert not inside
+            inside.append(i)
+            yield Timeout(10)
+            inside.remove(i)
+            lock.release()
+
+        for i in range(3):
+            spawn(eng, critical(i))
+        eng.run()
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append(item)
+
+        spawn(eng, getter())
+        eng.run()
+        assert got == ["a"]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((item, eng.now))
+
+        spawn(eng, getter())
+        eng.call_at(30, lambda: store.put("late"))
+        eng.run()
+        assert got == [("late", 30)]
+
+    def test_fifo_items_and_getters(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def getter(i):
+            item = yield store.get()
+            got.append((i, item))
+
+        for i in range(3):
+            spawn(eng, getter(i))
+        for item in "xyz":
+            eng.call_at(10, lambda it=item: store.put(it))
+        eng.run()
+        assert got == [(0, "x"), (1, "y"), (2, "z")]
+
+    def test_len_counts_buffered(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

@@ -1,0 +1,84 @@
+"""Stateful property test: the nvdc driver vs a reference dict.
+
+Hypothesis drives random sequences of page writes, reads, block I/O and
+eviction pressure against a tiny NVDIMM-C system, checking after every
+step that the device's observable contents equal a plain dictionary —
+across cache hits, evictions, Z-NAND round trips and FTL relocations.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro.device.nvdimmc import NVDIMMCSystem
+from repro.nvmc.fsm import FirmwareModel
+from repro.units import PAGE_4K, mb
+
+NUM_PAGES = 600     # > the ~230 slots of a 1 MB cache
+
+
+def page_payload(tag: int) -> bytes:
+    return tag.to_bytes(4, "little") * (PAGE_4K // 4)
+
+
+class DriverMachine(RuleBasedStateMachine):
+    """Random walks over the driver's public surface."""
+
+    @initialize()
+    def setup(self):
+        self.system = NVDIMMCSystem(
+            cache_bytes=mb(1), device_bytes=mb(32),
+            firmware=FirmwareModel(step_ps=0))
+        self.driver = self.system.driver
+        self.reference: dict[int, bytes] = {}
+        self.clock = 0
+
+    def _now(self) -> int:
+        self.clock = max(self.clock, self.system.nvmc.ready_ps)
+        return self.clock
+
+    @rule(page=st.integers(0, NUM_PAGES - 1), tag=st.integers(0, 2**31))
+    def write_page(self, page, tag):
+        payload = page_payload(tag)
+        self.clock = self.driver.write_page(page, payload, self._now())
+        self.reference[page] = payload
+
+    @rule(page=st.integers(0, NUM_PAGES - 1))
+    def read_page(self, page):
+        data, self.clock = self.driver.read_page(page, self._now())
+        expected = self.reference.get(page, bytes(PAGE_4K))
+        assert data == expected
+
+    @rule(page=st.integers(0, NUM_PAGES - 1))
+    def fault_readonly(self, page):
+        if self.driver.lookup(page) is None:
+            _slot, self.clock = self.driver.fault(page, self._now(),
+                                                  for_write=False)
+
+    @invariant()
+    def mapping_is_consistent(self):
+        driver = getattr(self, "driver", None)
+        if driver is None:
+            return
+        # page_to_slot and slot_to_page are mutual inverses.
+        for page, slot in driver.page_to_slot.items():
+            assert driver.slot_to_page[slot] == page
+        # No slot is both free and mapped.
+        free = set(driver.free_slots)
+        assert free.isdisjoint(driver.slot_to_page)
+        # Dirty slots are always mapped.
+        assert set(driver.dirty_slots) <= set(driver.slot_to_page)
+
+    @invariant()
+    def cache_never_overflows(self):
+        driver = getattr(self, "driver", None)
+        if driver is None:
+            return
+        assert len(driver.page_to_slot) <= driver.region.num_slots
+
+
+TestDriverStateMachine = DriverMachine.TestCase
+TestDriverStateMachine.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None)

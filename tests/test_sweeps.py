@@ -1,0 +1,79 @@
+"""Tests for the parameter-sweep framework and the design-choice grids."""
+
+import pytest
+
+from repro.experiments.sweeps import (Sweep, cache_policy_sweep,
+                                      operating_map_sweep,
+                                      window_depth_sweep)
+
+
+class TestSweepFramework:
+    def make(self):
+        calls = []
+
+        def fn(r, c):
+            calls.append((r, c))
+            return r * 10 + c
+
+        sweep = Sweep(name="demo", row_label="r", col_label="c",
+                      rows=(1, 2), cols=(3, 4), fn=fn)
+        return sweep, calls
+
+    def test_full_grid(self):
+        sweep, calls = self.make()
+        grid = sweep.run()
+        assert grid == [[13.0, 14.0], [23.0, 24.0]]
+        assert len(calls) == 4
+
+    def test_memoised(self):
+        sweep, calls = self.make()
+        sweep.run()
+        sweep.run()
+        assert len(calls) == 4
+
+    def test_at(self):
+        sweep, _ = self.make()
+        assert sweep.at(2, 3) == 23.0
+
+    def test_best_cell(self):
+        sweep, _ = self.make()
+        assert sweep.best_cell() == (2, 4, 24.0)
+
+    def test_render(self):
+        sweep, _ = self.make()
+        text = sweep.render()
+        assert "# demo" in text
+        assert "r\\c" in text
+        assert "23" in text
+
+
+class TestDesignChoiceGrids:
+    def test_cache_policy_grid_shape(self):
+        sweep = cache_policy_sweep()
+        grid = sweep.run()
+        assert len(grid) == 5 and len(grid[0]) == 3
+        # Hit rate grows with cache size for every policy.
+        for j in range(3):
+            column = [grid[i][j] for i in range(5)]
+            assert column == sorted(column)
+        # LRU >= LRC at every size (the §IV-B point).
+        for i in range(5):
+            assert sweep.at(sweep.rows[i], "lru") >= sweep.at(
+                sweep.rows[i], "lrc")
+
+    def test_operating_map_monotone(self):
+        sweep = operating_map_sweep()
+        grid = sweep.run()
+        # Bandwidth falls with media latency at every refresh rate...
+        for row in grid:
+            assert row == sorted(row, reverse=True)
+        # ...and a faster refresh rate never hurts the device side.
+        for j in range(len(sweep.cols)):
+            assert grid[2][j] >= grid[0][j] * 0.99
+
+    def test_window_depth_grid(self):
+        sweep = window_depth_sweep()
+        # 8 KB windows double the saturated ceiling of 4 KB windows.
+        ratio = sweep.at(8, 4) / sweep.at(4, 4)
+        assert ratio == pytest.approx(2.0, rel=0.1)
+        assert sweep.best_cell()[2] == sweep.at(8, 8)

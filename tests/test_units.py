@@ -1,0 +1,69 @@
+"""Tests for time/size unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_nanoseconds_round_trip(self):
+        assert units.ns(350) == 350_000
+        assert units.to_ns(units.ns(350)) == pytest.approx(350)
+
+    def test_microseconds(self):
+        assert units.us(7.8) == 7_800_000
+
+    def test_milliseconds_and_seconds(self):
+        assert units.ms(64) == 64 * units.MS
+        assert units.sec(1) == units.SEC
+
+    def test_fractional_nanoseconds_round_to_ps(self):
+        # DDR4-2400 half clock: 0.416666... ns -> 417 ps
+        assert units.ns(0.4166667) == 417
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    def test_ns_monotone(self, value):
+        assert units.ns(value) <= units.ns(value + 1)
+
+    def test_format_time_selects_unit(self):
+        assert units.format_time(1_250_000) == "1.250 us"
+        assert units.format_time(350_000) == "350.000 ns"
+        assert units.format_time(units.sec(2)) == "2.000 s"
+        assert units.format_time(999) == "999 ps"
+
+
+class TestSizes:
+    def test_binary_sizes(self):
+        assert units.kb(4) == 4096
+        assert units.mb(1) == 1 << 20
+        assert units.gb(16) == 16 << 30
+
+    def test_constants(self):
+        assert units.CACHELINE == 64
+        assert units.PAGE_4K == 4096
+
+    def test_format_size(self):
+        assert units.format_size(4096) == "4.0 KiB"
+        assert units.format_size(16 << 30) == "16.0 GiB"
+        assert units.format_size(3) == "3 B"
+
+
+class TestRates:
+    def test_bandwidth_mb_s(self):
+        # 4 KB in 1 us -> 4096 bytes / 1e-6 s = 4096 MB/s (decimal)
+        assert units.bandwidth_mb_s(4096, units.us(1)) == pytest.approx(4096.0)
+
+    def test_bandwidth_zero_time(self):
+        assert units.bandwidth_mb_s(4096, 0) == 0.0
+
+    def test_iops(self):
+        assert units.iops(1000, units.ms(1)) == pytest.approx(1_000_000)
+
+    def test_iops_zero_time(self):
+        assert units.iops(5, 0) == 0.0
+
+    @given(st.integers(min_value=1, max_value=10**12),
+           st.integers(min_value=1, max_value=10**15))
+    def test_bandwidth_positive(self, nbytes, time_ps):
+        assert units.bandwidth_mb_s(nbytes, time_ps) > 0

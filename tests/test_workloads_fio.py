@@ -1,0 +1,120 @@
+"""Tests for the FIO-like job engine."""
+
+import pytest
+
+from repro.device.nvdimmc import NVDIMMCSystem, PmemSystem
+from repro.errors import ConfigError
+from repro.workloads.fio import FIOJob, FIORunner
+from repro.units import kb, mb
+
+
+def pmem():
+    return PmemSystem(device_bytes=mb(64))
+
+
+def nvdc():
+    return NVDIMMCSystem(cache_bytes=mb(64), device_bytes=mb(128))
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        job = FIOJob()
+        assert job.rw == "randread"
+        assert job.total_ops == 1000
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            FIOJob(rw="randomread")
+
+    def test_bad_bs_rejected(self):
+        with pytest.raises(ConfigError):
+            FIOJob(bs=0)
+        with pytest.raises(ConfigError):
+            FIOJob(bs=mb(1), size=kb(4))
+
+    def test_is_random(self):
+        assert FIOJob(rw="randwrite").is_random
+        assert not FIOJob(rw="read").is_random
+
+
+class TestRunner:
+    def test_result_units(self):
+        result = FIORunner(pmem()).run(
+            FIOJob(rw="randread", bs=kb(4), size=mb(8), nops=500))
+        assert result.total_ops == 500
+        assert result.total_bytes == 500 * kb(4)
+        assert result.iops > 0
+        assert result.bandwidth_mb_s > 0
+        assert result.latency.count == 500
+
+    def test_sequential_wraps_and_strides(self):
+        system = pmem()
+        result = FIORunner(system).run(
+            FIOJob(rw="read", bs=kb(4), size=kb(16), nops=10))
+        assert result.total_ops == 10
+
+    def test_multithread_throughput_exceeds_single(self):
+        r1 = FIORunner(pmem()).run(
+            FIOJob(rw="randread", bs=kb(4), size=mb(8), numjobs=1, nops=800))
+        r4 = FIORunner(pmem()).run(
+            FIOJob(rw="randread", bs=kb(4), size=mb(8), numjobs=4, nops=800))
+        assert r4.iops > 2 * r1.iops
+
+    def test_warmup_prefaults_footprint(self):
+        system = nvdc()
+        FIORunner(system).run(FIOJob(rw="randread", bs=kb(4), size=mb(8),
+                                     nops=200))
+        # All misses happened during warmup; measured ops all hit.
+        assert system.driver.stats.misses == mb(8) // kb(4)
+        assert system.driver.stats.hits >= 200
+
+    def test_no_warmup_measures_cold_misses(self):
+        system = nvdc()
+        result = FIORunner(system).run(
+            FIOJob(rw="randread", bs=kb(4), size=mb(8), nops=100),
+            warmup=False)
+        assert system.driver.stats.misses > 0
+        assert result.latency.max_ps > 5 * result.latency.min_ps
+
+    def test_deterministic_given_seed(self):
+        def once():
+            return FIORunner(pmem()).run(
+                FIOJob(rw="randrw", bs=kb(4), size=mb(8), nops=300,
+                       seed=99)).span_ps
+        assert once() == once()
+
+    def test_rwmix_respected_roughly(self):
+        system = nvdc()
+        FIORunner(system).run(
+            FIOJob(rw="randrw", bs=kb(4), size=mb(8), nops=2000,
+                   rwmixread=70))
+        # ~30 % writes dirty their pages.
+        dirty = len(system.driver.dirty_slots)
+        assert dirty > 0
+
+    def test_runs_reusing_a_system_stay_sane(self):
+        """Back-to-back runs must not inherit queueing delay."""
+        system = nvdc()
+        runner = FIORunner(system)
+        job = FIOJob(rw="randread", bs=kb(4), size=mb(8), nops=500)
+        bw1 = runner.run(job).bandwidth_mb_s
+        bw2 = runner.run(job).bandwidth_mb_s
+        assert bw2 == pytest.approx(bw1, rel=0.05)
+
+
+class TestPaperAnchors:
+    def test_fig8_baseline_read(self):
+        result = FIORunner(pmem()).run(
+            FIOJob(rw="randread", bs=kb(4), size=mb(32), nops=2000))
+        assert result.kiops == pytest.approx(646, rel=0.07)
+
+    def test_fig8_nvdc_cached_read(self):
+        result = FIORunner(nvdc()).run(
+            FIOJob(rw="randread", bs=kb(4), size=mb(32), nops=2000))
+        assert result.bandwidth_mb_s == pytest.approx(1835, rel=0.07)
+
+    def test_fig9_saturation_caps(self):
+        r = FIORunner(nvdc()).run(
+            FIOJob(rw="randread", bs=kb(4), size=mb(32), numjobs=8,
+                   nops=1000))
+        assert r.bandwidth_mb_s == pytest.approx(4341, rel=0.07)
