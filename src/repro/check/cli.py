@@ -1,0 +1,125 @@
+"""``python -m repro check``: lint and sanitized experiment runs.
+
+Subcommands:
+
+* ``lint [paths...]`` — run the AST invariant passes (default over
+  ``src/repro``, falling back to the installed ``repro`` package when
+  no source tree is present).  Exits 1 when findings exist.
+* ``run --sanitize <experiment> [...]`` — execute experiments with an
+  enabled ambient tracer and the full sanitizer suite attached; prints
+  the tracer retention summary (including dropped records) and exits
+  non-zero on any violation or on a drop-compromised trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _default_lint_paths() -> list[Path]:
+    import repro
+    package_dir = Path(repro.__file__).resolve().parent
+    src_tree = Path.cwd() / "src" / "repro"
+    return [src_tree if src_tree.is_dir() else package_dir]
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.check.lint import lint_paths
+    paths = [Path(p) for p in args.paths] or _default_lint_paths()
+    for path in paths:
+        if not path.exists():
+            print(f"repro check lint: no such path: {path}",
+                  file=sys.stderr)
+            return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"repro check lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("repro check lint: clean")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.check.sanitizer import default_suite
+    from repro.check.violations import SanitizerViolation
+    from repro.experiments.runner import ALL_EXPERIMENTS
+    from repro.sim.trace import Tracer, use_tracer
+
+    unknown = set(args.experiments) - set(ALL_EXPERIMENTS)
+    if unknown:
+        print(f"unknown experiment ids: {sorted(unknown)}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    tracer = Tracer(enabled=True, capacity=args.capacity)
+    suite = default_suite(strict=args.strict)
+    status = 0
+    with use_tracer(tracer):
+        try:
+            with suite.attach(tracer):
+                for exp_id in args.experiments:
+                    record = ALL_EXPERIMENTS[exp_id]()
+                    print(record)
+        except SanitizerViolation as violation:
+            # Strict mode raises at the emission site; report the
+            # violation with its trace window instead of a traceback.
+            print(violation.report(), file=sys.stderr)
+            return 1
+        print(tracer.summary())
+        violations = suite.violations
+        if violations:
+            print(f"\n{len(violations)} sanitizer violation(s):",
+                  file=sys.stderr)
+            print(suite.report(), file=sys.stderr)
+            status = 1
+        elif tracer.dropped:
+            print("trace incomplete (dropped records): run cannot be "
+                  "certified; raise --capacity", file=sys.stderr)
+            status = 1
+        else:
+            print("sanitizers clean: run certified")
+    return status
+
+
+def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
+                 ) -> argparse.ArgumentParser:
+    """Build the ``check`` parser, standalone or under a parent CLI."""
+    if sub_or_none is None:
+        parser = argparse.ArgumentParser(prog="repro check")
+        sub = parser.add_subparsers(dest="check_command", required=True)
+    else:
+        parser = sub_or_none.add_parser(
+            "check", help="sanitizers and static lint")
+        sub = parser.add_subparsers(dest="check_command", required=True)
+
+    p_lint = sub.add_parser("lint", help="AST invariant passes")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/repro)")
+    p_lint.set_defaults(fn=cmd_lint)
+
+    p_run = sub.add_parser("run", help="sanitized experiment run")
+    p_run.add_argument("--sanitize", dest="experiments", action="append",
+                       required=True, metavar="EXPERIMENT",
+                       help="experiment id to run (repeatable)")
+    p_run.add_argument("--capacity", type=int, default=2_000_000,
+                       help="tracer retention bound (records)")
+    p_run.add_argument("--strict", action="store_true",
+                       help="raise at the first violation instead of "
+                            "collecting a report")
+    p_run.set_defaults(fn=cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,334 @@
+"""AST invariant passes over ``src/repro`` (the ``repro.check.lint`` half).
+
+Rules (suppress a line with ``# noqa`` or ``# noqa: REPRO00x``):
+
+``REPRO001`` **determinism** — no wall-clock (``time.time()``,
+    ``datetime.now()``, ...) and no unseeded randomness (module-level
+    ``random.*`` calls; only explicitly seeded ``random.Random(seed)``
+    instances) inside the simulation packages.  The simulator's claim to
+    reproduce paper figures rests on bit-identical reruns.
+
+``REPRO002`` **unit hygiene** — no float arithmetic assigned into
+    ``*_ps``/``*_ns`` variables: true division, float literals or
+    ``float()`` calls poison integer-picosecond time.  Annotating the
+    target ``: float`` opts out (for deliberate rate/ratio fields).
+
+``REPRO003`` **calibration provenance** — every constant defined in a
+    ``calibration.py`` must be covered by a paper-source comment (one
+    citing a figure/section/table or a measurement).  A comment block
+    *with* a citation arms coverage for the fields that follow; a
+    comment block without one disarms it.
+
+``REPRO004`` **DES discipline** — process generators (those that yield
+    engine events such as ``Timeout``/``Event`` or resource requests)
+    must yield *only* such events: a bare ``yield``, a yielded literal
+    or arithmetic expression is a latent scheduling bug.
+
+``REPRO005`` **resource pairing** — a function that calls
+    ``x.acquire()`` must also call ``x.release()`` (or manage ``x`` with
+    a ``with`` block).
+
+Scope: REPRO001/2/4/5 apply to files under the simulation packages
+(``sim``, ``ddr``, ``nvmc``, ``nand``, ``kernel``); REPRO003 applies to
+any file named ``calibration.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Package directories whose modules must obey the simulation rules.
+SCOPE_DIRS = frozenset({"sim", "ddr", "nvmc", "nand", "kernel"})
+
+#: What counts as a paper-source citation for REPRO003.
+SOURCE_MARKER = re.compile(
+    r"Fig\.|§|Table|\bpaper\b|\bPoC\b|measur|JEDEC|KIOPS|MB/s|\bfit\b",
+    re.IGNORECASE)
+
+_WALLCLOCK_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time"})
+_WALLCLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+_EVENT_FACTORIES = frozenset({"Timeout", "Event"})
+_EVENT_METHODS = frozenset({"acquire", "release", "get", "put", "wait"})
+
+#: Calls that produce integers from float inputs; REPRO002 does not look
+#: inside their arguments (the conversion function owns the rounding).
+_INT_BOUNDARY_CALLS = frozenset({
+    "round", "int", "ns", "us", "ms", "sec", "kb", "mb", "gb", "len"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _suppressed(source_lines: list[str], line: int, code: str) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    text = source_lines[line - 1]
+    if "noqa" not in text:
+        return False
+    match = re.search(r"#\s*noqa(?::\s*([A-Z0-9, ]+))?", text)
+    if match is None:
+        return False
+    codes = match.group(1)
+    return codes is None or code in codes
+
+
+class _SimRulesVisitor(ast.NodeVisitor):
+    """REPRO001/2/4/5 over one module's AST."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[LintFinding] = []
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(LintFinding(
+            self.path, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0), code, message))
+
+    # -- REPRO001: determinism ---------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id == "time" and func.attr in _WALLCLOCK_TIME_ATTRS:
+                    self._flag(node, "REPRO001",
+                               f"wall-clock call time.{func.attr}() in a "
+                               "simulation module; simulated time must come "
+                               "from the engine")
+                elif (base.id in ("datetime", "date")
+                        and func.attr in _WALLCLOCK_DATETIME_ATTRS):
+                    self._flag(node, "REPRO001",
+                               f"wall-clock call {base.id}.{func.attr}() in "
+                               "a simulation module")
+                elif base.id == "random" and func.attr != "Random":
+                    self._flag(node, "REPRO001",
+                               f"unseeded randomness random.{func.attr}(); "
+                               "use a seeded random.Random(seed) instance")
+            elif (isinstance(base, ast.Attribute) and base.attr == "datetime"
+                    and func.attr in _WALLCLOCK_DATETIME_ATTRS):
+                self._flag(node, "REPRO001",
+                           f"wall-clock call datetime.{func.attr}() in a "
+                           "simulation module")
+        self.generic_visit(node)
+
+    # -- REPRO002: unit hygiene --------------------------------------------------
+
+    @staticmethod
+    def _target_time_name(target: ast.expr) -> str | None:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is not None and (name.endswith("_ps") or name.endswith("_ns")):
+            return name
+        return None
+
+    @classmethod
+    def _float_poison(cls, value: ast.expr) -> str | None:
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id in _INT_BOUNDARY_CALLS):
+            return None   # int-producing conversion owns its arguments
+        if isinstance(value, ast.Constant) and isinstance(value.value, float):
+            return f"float literal {value.value}"
+        if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Div):
+            return "true division (use // for integer picoseconds)"
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id == "float"):
+            return "float() conversion"
+        for child in ast.iter_child_nodes(value):
+            if isinstance(child, ast.expr):
+                poison = cls._float_poison(child)
+                if poison is not None:
+                    return poison
+        return None
+
+    def _check_time_assignment(self, node: ast.AST, targets: list[ast.expr],
+                               value: ast.expr | None) -> None:
+        if value is None:
+            return
+        for target in targets:
+            name = self._target_time_name(target)
+            if name is None:
+                continue
+            poison = self._float_poison(value)
+            if poison is not None:
+                self._flag(node, "REPRO002",
+                           f"{poison} assigned into time variable '{name}'; "
+                           "time is integer picoseconds (annotate ': float' "
+                           "if a ratio is intended)")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_time_assignment(node, node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        annotated_float = (isinstance(node.annotation, ast.Name)
+                          and node.annotation.id == "float")
+        if not annotated_float:
+            self._check_time_assignment(node, [node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name = self._target_time_name(node.target)
+        if name is not None:
+            if isinstance(node.op, ast.Div):
+                self._flag(node, "REPRO002",
+                           f"true division into time variable '{name}'")
+            else:
+                self._check_time_assignment(node, [node.target], node.value)
+        self.generic_visit(node)
+
+    # -- REPRO004/5: generators and resources ------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_generator(node)
+        self._check_resource_pairing(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    @staticmethod
+    def _own_yields(func: ast.FunctionDef) -> Iterator[ast.Yield]:
+        """Yields belonging to ``func`` itself, not nested functions."""
+        stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Yield):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _is_event_expr(value: ast.expr) -> bool:
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id in _EVENT_FACTORIES:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _EVENT_METHODS:
+                return True
+        return False
+
+    def _check_generator(self, func: ast.FunctionDef) -> None:
+        yields = list(self._own_yields(func))
+        if not any(y.value is not None and self._is_event_expr(y.value)
+                   for y in yields):
+            return   # not a DES process generator
+        for y in yields:
+            if y.value is None:
+                self._flag(y, "REPRO004",
+                           "bare yield in process generator "
+                           f"'{func.name}'; yield an engine event")
+            elif isinstance(y.value, (ast.Constant, ast.BinOp)):
+                self._flag(y, "REPRO004",
+                           f"process generator '{func.name}' yields a "
+                           "non-event expression; wrap delays in "
+                           "Timeout(...)")
+
+    def _check_resource_pairing(self, func: ast.FunctionDef) -> None:
+        acquired: dict[str, ast.Call] = {}
+        released: set[str] = set()
+        managed: set[str] = set()
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                receiver = ast.unparse(node.func.value)
+                if node.func.attr == "acquire":
+                    acquired.setdefault(receiver, node)
+                elif node.func.attr == "release":
+                    released.add(receiver)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    managed.add(ast.unparse(item.context_expr))
+        for receiver, call in acquired.items():
+            if receiver not in released and receiver not in managed:
+                self._flag(call, "REPRO005",
+                           f"'{receiver}.acquire()' in '{func.name}' has no "
+                           "matching release() (and no with-block)")
+
+
+def _lint_calibration(path: Path, source_lines: list[str]
+                      ) -> list[LintFinding]:
+    """REPRO003: field coverage by paper-source comments."""
+    findings: list[LintFinding] = []
+    field_re = re.compile(r"^\s+(\w+)\s*:\s*[\w\[\]\. |\"']+\s*=")
+    armed = False
+    in_block = False
+    block_has_marker = False
+    for lineno, raw in enumerate(source_lines, start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#"):
+            # A contiguous comment block arms (or disarms) coverage as a
+            # whole; a citation anywhere in the block covers the fields
+            # that follow it.
+            if not in_block:
+                in_block = True
+                block_has_marker = False
+            block_has_marker = (block_has_marker
+                                or bool(SOURCE_MARKER.search(stripped)))
+            continue
+        if in_block:
+            armed = block_has_marker
+            in_block = False
+        match = field_re.match(raw)
+        if match is None:
+            continue
+        covered = armed or ("#" in raw
+                            and bool(SOURCE_MARKER.search(
+                                raw.split("#", 1)[1])))
+        if not covered:
+            findings.append(LintFinding(
+                str(path), lineno, 0, "REPRO003",
+                f"calibration constant '{match.group(1)}' lacks a "
+                "paper-source comment (cite the figure/section/table "
+                "or measurement it is anchored to)"))
+    return findings
+
+
+def lint_file(path: str | Path) -> list[LintFinding]:
+    """Lint one Python file; returns findings (empty when clean)."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    source_lines = source.splitlines()
+    findings: list[LintFinding] = []
+    if any(part in SCOPE_DIRS for part in path.parts):
+        tree = ast.parse(source, filename=str(path))
+        visitor = _SimRulesVisitor(str(path))
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    if path.name == "calibration.py":
+        findings.extend(_lint_calibration(path, source_lines))
+    return [f for f in findings
+            if not _suppressed(source_lines, f.line, f.code)]
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[LintFinding]:
+    """Lint files and directory trees; findings sorted by location."""
+    findings: list[LintFinding] = []
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for file in files:
+            findings.extend(lint_file(file))
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+    return findings

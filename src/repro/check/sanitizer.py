@@ -1,0 +1,158 @@
+"""The sanitizer framework: online observers of the trace stream.
+
+A :class:`Sanitizer` is a stateful observer fed every
+:class:`~repro.sim.trace.TraceRecord` a tracer emits (including records
+the capacity bound drops from retention — subscription happens upstream
+of the drop).  A :class:`SanitizerSuite` owns a set of sanitizers,
+attaches them to a tracer, accumulates their violations, and decides
+whether a finished run can be *certified* clean.
+
+Per-owner sharding
+    Emitters tag records with an ``owner`` token
+    (:func:`repro.sim.trace.next_owner`), unique per model instance.
+    Sanitizers key their state by owner, so several independently built
+    systems sharing one ambient tracer (a pytest session, a sweep) do
+    not cross-contaminate each other's invariants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.check.violations import SanitizerViolation
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class Sanitizer:
+    """Base class: observe records, report violations.
+
+    Subclasses implement :meth:`observe` and call :meth:`violation`
+    when an invariant breaks; :meth:`finalize` runs at detach time for
+    end-of-run invariants ("every fill was eventually invalidated").
+    """
+
+    #: Size of the rolling context window attached to violations.
+    CONTEXT_DEPTH = 8
+
+    def __init__(self) -> None:
+        self.violations: list[SanitizerViolation] = []
+        self._context: deque[TraceRecord] = deque(maxlen=self.CONTEXT_DEPTH)
+        self._suite: "SanitizerSuite | None" = None
+
+    @property
+    def name(self) -> str:
+        name = type(self).__name__
+        return name.removesuffix("Sanitizer") or name
+
+    def feed(self, record: TraceRecord) -> None:
+        """Tracer-facing entry point: buffer context, then observe."""
+        self._context.append(record)
+        self.observe(record)
+
+    def observe(self, record: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> None:
+        """End-of-run invariants; default none."""
+
+    def violation(self, rule: str, message: str,
+                  record: TraceRecord | None = None,
+                  **details) -> None:
+        """Record (and in strict mode raise) a violation."""
+        v = SanitizerViolation(self.name, rule, message, record=record,
+                               context=tuple(self._context), **details)
+        self.violations.append(v)
+        if self._suite is not None and self._suite.strict:
+            raise v
+
+    @staticmethod
+    def owner_of(record: TraceRecord) -> str:
+        """The record's owner token ('?' for untagged emitters)."""
+        return str(record.fields.get("owner", "?"))
+
+
+class SanitizerSuite:
+    """A set of sanitizers attached to one tracer.
+
+    ``strict=True`` raises the first violation at its emission site
+    (stack trace points into the offending model code); ``strict=False``
+    collects violations for a post-run report — what the pytest fixture
+    uses so a test failure shows *all* broken invariants.
+    """
+
+    def __init__(self, sanitizers: Iterable[Sanitizer],
+                 strict: bool = False) -> None:
+        self.sanitizers = list(sanitizers)
+        self.strict = strict
+        self._tracer: Tracer | None = None
+        for sanitizer in self.sanitizers:
+            sanitizer._suite = self
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def attach(self, tracer: Tracer) -> "SanitizerSuite":
+        """Subscribe every sanitizer to ``tracer``; returns self."""
+        if self._tracer is not None:
+            raise RuntimeError("suite is already attached")
+        self._tracer = tracer
+        for sanitizer in self.sanitizers:
+            tracer.subscribe(sanitizer.feed)
+        return self
+
+    def detach(self) -> None:
+        """Run finalizers and unsubscribe from the tracer."""
+        for sanitizer in self.sanitizers:
+            sanitizer.finalize()
+        if self._tracer is not None:
+            for sanitizer in self.sanitizers:
+                self._tracer.unsubscribe(sanitizer.feed)
+            self._tracer = None
+
+    def __enter__(self) -> "SanitizerSuite":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def violations(self) -> list[SanitizerViolation]:
+        return [v for s in self.sanitizers for v in s.violations]
+
+    def __iter__(self) -> Iterator[SanitizerViolation]:
+        return iter(self.violations)
+
+    def report(self) -> str:
+        """Human-readable report of every violation (empty when clean)."""
+        return "\n".join(v.report() for v in self.violations)
+
+    def certify(self, tracer: Tracer | None = None) -> None:
+        """Assert the observed run is clean, raising otherwise.
+
+        Refuses to certify when the tracer dropped records from
+        retention: observation was still complete (subscribers run
+        before the drop), but the archived trace cannot substantiate
+        the certificate, so the run does not count as verified.
+        """
+        tracer = tracer if tracer is not None else self._tracer
+        violations = self.violations
+        if violations:
+            raise violations[0]
+        if tracer is not None and tracer.dropped:
+            raise SanitizerViolation(
+                "Suite", "dropped-records",
+                f"cannot certify: tracer dropped {tracer.dropped} records "
+                f"(capacity {tracer.capacity}); rerun with a larger "
+                "capacity for a verifiable trace",
+                dropped=tracer.dropped, capacity=tracer.capacity)
+
+
+def default_suite(strict: bool = False) -> SanitizerSuite:
+    """The standard four-sanitizer suite."""
+    from repro.check.sanitizers import (BusRaceSanitizer, CoherenceSanitizer,
+                                        ProtocolSanitizer, TimeSanitizer)
+    return SanitizerSuite([BusRaceSanitizer(), CoherenceSanitizer(),
+                           ProtocolSanitizer(), TimeSanitizer()],
+                          strict=strict)

@@ -1,0 +1,332 @@
+"""The concrete sanitizers: race, coherence, protocol, time.
+
+Each sanitizer consumes the self-describing structured records the
+models emit (``ddr.cmd`` carries its bus-occupancy intervals and — on
+REF — the extended-tRFC device window; ``nvmc.dma`` carries its window
+bounds and byte budget; the nvdc driver emits its §V-B coherence
+bracket), so no sanitizer needs a DDR4 spec or timeline of its own:
+what is checked is exactly what was observed.
+
+All state is sharded by the ``owner`` token on each record, so several
+systems sharing one ambient tracer are validated independently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.check.sanitizer import Sanitizer
+from repro.sim.trace import TraceRecord
+
+
+class BusRaceSanitizer(Sanitizer):
+    """No two masters in overlapping bus slots; the device only drives
+    inside the extended-tRFC window its REF opened (§III-B, Fig. 2).
+
+    Rules:
+        ``bus-collision``  — CA/DQ occupancy overlap between masters
+            (independent re-detection, plus any ``ddr.collision`` the
+            bus model itself flagged).
+        ``window-escape``  — a device-side master (name ``nvmc*``)
+            drove CA or DQ outside ``[REF + tRFC_device, REF + tRFC)``.
+    """
+
+    #: Reservations older than this per bus are pruned.
+    HORIZON_PS = 10_000_000
+    #: Commands that leave the bus electrically idle.
+    _IDLE_KINDS = ("DES", "NOP")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # owner -> lane name -> recent (master, start, end) intervals.
+        self._lanes: dict[str, dict[str, deque]] = {}
+        # owner -> (win_start, win_end) of the latest observed REF.
+        self._window: dict[str, tuple[int, int]] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        if record.category == "ddr.collision":
+            self.violation(
+                "bus-collision",
+                "bus model flagged a collision between "
+                f"{record.fields.get('first')} and "
+                f"{record.fields.get('second')} at {record.time_ps} ps",
+                record=record, time_ps=record.time_ps)
+            return
+        if record.category != "ddr.cmd":
+            return
+        owner = self.owner_of(record)
+        master = str(record.fields.get("master", "?"))
+        kind = str(record.fields.get("kind", "?"))
+        spans = [("CA", record.time_ps, int(record.fields["ca_end"]))]
+        if "dq_start" in record.fields:
+            spans.append(("DQ", int(record.fields["dq_start"]),
+                          int(record.fields["dq_end"])))
+        if kind == "REF":
+            self._window[owner] = (int(record.fields["win_start"]),
+                                   int(record.fields["win_end"]))
+        lanes = self._lanes.setdefault(
+            owner, {"CA": deque(maxlen=256), "DQ": deque(maxlen=256)})
+        for lane_name, start, end in spans:
+            lane = lanes[lane_name]
+            for other_master, other_start, other_end in lane:
+                if (other_master != master and other_start < end
+                        and start < other_end):
+                    self.violation(
+                        "bus-collision",
+                        f"{master} ({kind}) overlaps {other_master} on "
+                        f"{lane_name} in [{start}, {end}) ps",
+                        record=record, lane=lane_name, master=master,
+                        other=other_master, start_ps=start, end_ps=end)
+            while lane and lane[0][2] < start - self.HORIZON_PS:
+                lane.popleft()
+            lane.append((master, start, end))
+        if master.lower().startswith("nvmc") and kind not in self._IDLE_KINDS:
+            # Enforced only once a REF has opened a window on this bus:
+            # before that there is no tRFC contract to escape (synthetic
+            # bus unit tests drive without any refresh traffic).
+            window = self._window.get(owner)
+            if window is None:
+                return
+            for lane_name, start, end in spans:
+                if start < window[0] or end > window[1]:
+                    self.violation(
+                        "window-escape",
+                        f"device master {master} drove {lane_name} in "
+                        f"[{start}, {end}) ps outside the open device "
+                        f"window {window}",
+                        record=record, lane=lane_name, master=master,
+                        window=window, start_ps=start, end_ps=end)
+
+
+class CoherenceSanitizer(Sanitizer):
+    """The §V-B explicit-coherence bracket around every CP exchange.
+
+    Active per owner only after an ``nvdc.attach`` with
+    ``coherent=True`` (a driver with a CPU cache in front of it);
+    standalone NVMC models and cache-less drivers have no coherence
+    obligations and are not checked.
+
+    Rules:
+        ``dirty-evict``       — the device DMA-read a slot whose lines
+            were dirtied (``nvdc.dirty``) and never flushed since.
+        ``stale-fill``        — a cachefill DMA landed in a slot and no
+            cacheline invalidation followed before the next CP command
+            (or the end of the run): the CPU could serve stale lines.
+        ``unfenced-doorbell`` — a WRITEBACK/MERGED CP command was posted
+            without a preceding flush + sfence pair since the last post.
+    """
+
+    _WRITE_OPCODES = ("WRITEBACK", "MERGED")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._active: set[str] = set()
+        self._dirty_unflushed: dict[str, set[int]] = {}
+        self._pending_fills: dict[str, set[int]] = {}
+        self._flushed: dict[str, bool] = {}
+        self._fenced: dict[str, bool] = {}
+        self._last_fill_record: dict[str, TraceRecord] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        owner = self.owner_of(record)
+        category = record.category
+        if category == "nvdc.attach":
+            if record.fields.get("coherent"):
+                self._active.add(owner)
+            return
+        if owner not in self._active:
+            return
+        if category == "nvdc.dirty":
+            self._dirty_unflushed.setdefault(owner, set()).add(
+                int(record.fields["addr"]))
+        elif category == "nvdc.flush":
+            self._flushed[owner] = True
+            self._fenced[owner] = False
+            self._dirty_unflushed.get(owner, set()).discard(
+                int(record.fields["addr"]))
+        elif category == "nvdc.sfence":
+            if self._flushed.get(owner):
+                self._fenced[owner] = True
+        elif category == "nvdc.invalidate":
+            self._pending_fills.get(owner, set()).discard(
+                int(record.fields["addr"]))
+        elif category == "nvmc.dma":
+            kind = record.fields.get("kind")
+            addr = int(record.fields.get("addr", -1))
+            if kind == "evict":
+                if addr in self._dirty_unflushed.get(owner, set()):
+                    self.violation(
+                        "dirty-evict",
+                        f"device DMA-read slot paddr {addr:#x} while its "
+                        "lines were dirty and unflushed (missing "
+                        "clflush+sfence before writeback, §V-B)",
+                        record=record, addr=addr)
+            elif kind == "fill":
+                self._pending_fills.setdefault(owner, set()).add(addr)
+                self._last_fill_record[owner] = record
+        elif category == "cp.post":
+            self._check_pending_fills(owner)
+            if str(record.fields.get("opcode")) in self._WRITE_OPCODES:
+                if not self._fenced.get(owner):
+                    self.violation(
+                        "unfenced-doorbell",
+                        f"{record.fields.get('opcode')} posted without a "
+                        "flush+sfence bracket since the previous CP "
+                        "command (§V-B ordering)",
+                        record=record, opcode=record.fields.get("opcode"))
+            self._flushed[owner] = False
+            self._fenced[owner] = False
+
+    def _check_pending_fills(self, owner: str) -> None:
+        pending = self._pending_fills.get(owner)
+        if pending:
+            addrs = sorted(pending)
+            pending.clear()
+            self.violation(
+                "stale-fill",
+                f"cachefill landed at paddr {addrs[0]:#x} with no cacheline "
+                "invalidation before the next CP command: the CPU can "
+                "serve stale lines (§V-B)",
+                record=self._last_fill_record.get(owner), addrs=addrs)
+
+    def finalize(self) -> None:
+        for owner in list(self._active):
+            self._check_pending_fills(owner)
+
+
+class ProtocolSanitizer(Sanitizer):
+    """CP mailbox and window-budget discipline (§IV-C).
+
+    Rules:
+        ``queue-depth``    — more outstanding CP commands than the
+            configured queue depth (one on the PoC).
+        ``ack-without-post`` — a CP ack with no outstanding command.
+        ``window-budget``  — more DMA bytes scheduled into one refresh
+            window than the per-window budget the DMA engine reported.
+        ``window-sharing`` — transfers of more distinct CP commands in
+            one window than the queue depth allows (one command per
+            window on the PoC).
+        ``ref-open-banks`` — REF issued while banks were open (the
+            PREA-before-REF rule of Fig. 2b: all banks must be
+            precharged when refresh starts).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._outstanding: dict[str, int] = {}
+        self._depth: dict[str, int] = {}
+        self._window_bytes: dict[tuple[str, int], int] = {}
+        self._window_cmds: dict[tuple[str, int], set[int]] = {}
+        self._open_banks: dict[str, set[int]] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        owner = self.owner_of(record)
+        category = record.category
+        if category == "cp.post":
+            depth = int(record.fields.get("depth", 1))
+            self._depth[owner] = depth
+            outstanding = self._outstanding.get(owner, 0) + 1
+            self._outstanding[owner] = outstanding
+            if outstanding > depth:
+                self.violation(
+                    "queue-depth",
+                    f"{outstanding} CP commands outstanding exceeds the "
+                    f"configured queue depth {depth}",
+                    record=record, outstanding=outstanding, depth=depth)
+        elif category == "cp.ack":
+            outstanding = self._outstanding.get(owner, 0) - 1
+            self._outstanding[owner] = outstanding
+            if outstanding < 0:
+                self._outstanding[owner] = 0
+                self.violation(
+                    "ack-without-post",
+                    "CP ack observed with no outstanding command",
+                    record=record)
+        elif category == "nvmc.dma":
+            key = (owner, int(record.fields["window"]))
+            nbytes = int(record.fields["bytes"])
+            budget = int(record.fields["budget"])
+            total = self._window_bytes.get(key, 0) + nbytes
+            self._window_bytes[key] = total
+            if total > budget:
+                self.violation(
+                    "window-budget",
+                    f"{total} bytes scheduled into window {key[1]} "
+                    f"exceeds the {budget}-byte per-window budget",
+                    record=record, window=key[1], total=total,
+                    budget=budget)
+            cmds = self._window_cmds.setdefault(key, set())
+            cmds.add(int(record.fields.get("cmd", 0)))
+            depth = self._depth.get(owner, 1)
+            if len(cmds) > depth:
+                self.violation(
+                    "window-sharing",
+                    f"window {key[1]} served {len(cmds)} distinct CP "
+                    "commands; the PoC serves one per window "
+                    f"(queue depth {depth})",
+                    record=record, window=key[1], commands=sorted(cmds),
+                    depth=depth)
+        elif category == "ddr.cmd":
+            kind = str(record.fields.get("kind", "?"))
+            bank = record.fields.get("bank")
+            open_banks = self._open_banks.setdefault(owner, set())
+            if kind == "ACT" and bank is not None:
+                open_banks.add(int(bank))
+            elif kind in ("PRE", "RDA", "WRA") and bank is not None:
+                open_banks.discard(int(bank))
+            elif kind == "PREA":
+                open_banks.clear()
+            elif kind == "REF" and open_banks:
+                self.violation(
+                    "ref-open-banks",
+                    f"REF issued with banks {sorted(open_banks)} still "
+                    "open (PREA must precede REF, Fig. 2b)",
+                    record=record, banks=sorted(open_banks))
+                open_banks.clear()
+
+
+class TimeSanitizer(Sanitizer):
+    """Simulated time is integer picoseconds and moves forward.
+
+    Rules:
+        ``non-integer-time`` — a record carried a non-``int`` timestamp
+            (floats silently lose picosecond precision).
+        ``negative-time``    — time before the big bang.
+        ``time-regression``  — within one (owner, category) stream whose
+            emitter is serialised (bus traffic, refresh loop, CP acks,
+            windowed DMA), a record went backwards in time.
+    """
+
+    #: Streams whose emitters guarantee non-decreasing emission times.
+    MONOTONIC = ("ddr.cmd", "imc.refresh", "cp.ack", "nvmc.dma")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: dict[tuple[str, str], int] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        t = record.time_ps
+        if not isinstance(t, int) or isinstance(t, bool):
+            self.violation(
+                "non-integer-time",
+                f"record {record.category} carries non-integer time "
+                f"{t!r} ({type(t).__name__}); simulated time is integer "
+                "picoseconds",
+                record=record, time=t)
+            return
+        if t < 0:
+            self.violation(
+                "negative-time",
+                f"record {record.category} at negative time {t} ps",
+                record=record, time=t)
+            return
+        if record.category in self.MONOTONIC:
+            key = (self.owner_of(record), record.category)
+            last = self._last.get(key)
+            if last is not None and t < last:
+                self.violation(
+                    "time-regression",
+                    f"{record.category} stream of {key[0]} went backwards: "
+                    f"{t} ps after {last} ps",
+                    record=record, time=t, previous=last)
+            self._last[key] = t

@@ -9,6 +9,8 @@ Commands:
   arbitration and variant comparisons).
 * ``fio`` — an ad-hoc FIO run against a chosen device tier.
 * ``validate`` — the §VII-A aging test.
+* ``check`` — correctness tooling: ``check lint`` (AST invariant
+  passes) and ``check run --sanitize <experiment>`` (sanitized run).
 """
 
 from __future__ import annotations
@@ -113,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="§VII-A aging test")
     p_val.add_argument("--iterations", type=int, default=3)
     p_val.set_defaults(fn=_cmd_validate)
+
+    from repro.check.cli import build_parser as build_check_parser
+    build_check_parser(sub)
     return parser
 
 

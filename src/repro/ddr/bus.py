@@ -30,7 +30,7 @@ from repro.ddr.commands import CAState, Command, CommandKind, DATA_COMMANDS
 from repro.ddr.device import DRAMDevice
 from repro.ddr.spec import DDR4Spec
 from repro.errors import BusCollisionError, ProtocolError
-from repro.sim.trace import NULL_TRACER, Tracer
+from repro.sim.trace import Tracer, default_tracer, next_owner
 
 
 class BusMaster(Protocol):
@@ -74,11 +74,12 @@ class SharedBus:
 
     def __init__(self, spec: DDR4Spec, device: DRAMDevice,
                  raise_on_collision: bool = True,
-                 tracer: Tracer = NULL_TRACER) -> None:
+                 tracer: Tracer | None = None) -> None:
         self.spec = spec
         self.device = device
         self.raise_on_collision = raise_on_collision
-        self.tracer = tracer
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.trace_owner = next_owner(f"bus.{device.name}")
         self._ca: list[Reservation] = []
         self._dq: list[Reservation] = []
         self.collisions: list[Collision] = []
@@ -107,6 +108,7 @@ class SharedBus:
         ca_end = now_ps + self.spec.clock_ps
         self._reserve(self._ca, "CA", master, command, now_ps, ca_end)
 
+        dq_start = dq_end = None
         if command.kind in DATA_COMMANDS:
             if command.kind in (CommandKind.RD, CommandKind.RDA):
                 dq_start = now_ps + self.spec.tcl_ps
@@ -116,7 +118,9 @@ class SharedBus:
             self._reserve(self._dq, "DQ", master, command, dq_start, dq_end)
 
         self.commands_issued += 1
-        self.tracer.emit(now_ps, "ddr.cmd", str(command), master=master)
+        if self.tracer.enabled:
+            self._trace_command(master, command, now_ps, ca_end,
+                                dq_start, dq_end)
         self._prune(now_ps)
         result = self.device.execute(command, now_ps, data=data)
 
@@ -129,6 +133,31 @@ class SharedBus:
 
     # -- internals ------------------------------------------------------------------
 
+    def _trace_command(self, master: str, command: Command, now_ps: int,
+                       ca_end: int, dq_start: int | None,
+                       dq_end: int | None) -> None:
+        """Emit a structured ``ddr.cmd`` record.
+
+        The record is self-describing for the ``repro.check`` sanitizers:
+        the bus occupancy intervals it just reserved, and — on REF — the
+        extended-tRFC device window the refresh opens, so observers need
+        no spec of their own.
+        """
+        fields: dict[str, object] = {
+            "master": master,
+            "owner": self.trace_owner,
+            "kind": command.kind.name,
+            "bank": command.bank,
+            "ca_end": ca_end,
+        }
+        if dq_start is not None:
+            fields["dq_start"] = dq_start
+            fields["dq_end"] = dq_end
+        if command.kind is CommandKind.REF:
+            fields["win_start"] = now_ps + self.spec.trfc_device_ps
+            fields["win_end"] = now_ps + self.spec.trfc_ps
+        self.tracer.emit(now_ps, "ddr.cmd", str(command), **fields)
+
     def _reserve(self, lane: list[Reservation], bus_name: str, master: str,
                  command: Command, start_ps: int, end_ps: int) -> None:
         for existing in lane:
@@ -138,6 +167,7 @@ class SharedBus:
                 self.collisions.append(collision)
                 self.tracer.emit(start_ps, "ddr.collision",
                                  f"{bus_name} collision",
+                                 owner=self.trace_owner,
                                  first=existing.master, second=master)
                 if self.raise_on_collision:
                     raise BusCollisionError(

@@ -116,6 +116,10 @@ def classify(state: CAState) -> CommandKind:
     returns the non-auto-precharge member of each pair.  Raises
     :class:`ProtocolError` on an encoding that matches nothing.
     """
+    if state.cke is L and state.cke_prev is L:
+        # CKE held low: the device is in power-down/self-refresh and the
+        # command pins are don't-care — the slot registers as deselect.
+        return CommandKind.DES
     if state.cs_n is H:
         if state.cke is H and state.cke_prev is L:
             return CommandKind.SRX
@@ -124,6 +128,10 @@ def classify(state: CAState) -> CommandKind:
         if (state.act_n, state.ras_n, state.cas_n, state.we_n) == (H, L, L, H):
             return CommandKind.SRE
         raise ProtocolError(f"CKE fell with non-refresh pin state: {state}")
+    if state.cke is H and state.cke_prev is L:
+        # Power-down/self-refresh exit requires DESELECT (CS_n high) on
+        # the CKE rising edge; any selected command here is illegal.
+        raise ProtocolError(f"CKE rose without deselect: {state}")
     if state.act_n is L:
         return CommandKind.ACT
     key = (state.ras_n, state.cas_n, state.we_n)

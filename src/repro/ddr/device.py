@@ -12,7 +12,7 @@ footprint only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ddr.bank import Bank, BankState
 from repro.ddr.commands import Command, CommandKind

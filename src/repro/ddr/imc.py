@@ -30,7 +30,7 @@ from repro.ddr.spec import DDR4Spec
 from repro.errors import ConfigError
 from repro.sim.engine import Engine
 from repro.sim.process import Process, Timeout, spawn
-from repro.sim.trace import NULL_TRACER, Tracer
+from repro.sim.trace import Tracer, default_tracer, next_owner
 
 
 @dataclass(frozen=True)
@@ -182,12 +182,13 @@ class IntegratedMemoryController:
     """
 
     def __init__(self, engine: Engine, spec: DDR4Spec, bus: SharedBus,
-                 name: str = "iMC", tracer: Tracer = NULL_TRACER) -> None:
+                 name: str = "iMC", tracer: Tracer | None = None) -> None:
         self.engine = engine
         self.spec = spec
         self.bus = bus
         self.name = name
-        self.tracer = tracer
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.trace_owner = next_owner(name)
         self.controller = DDR4Controller(name, spec, bus)
         self.timeline = RefreshTimeline(spec)
         self.wpq = WritePendingQueue()
@@ -240,7 +241,8 @@ class IntegratedMemoryController:
         self.controller.refresh(ref_ps)
         self.controller.forget_open_rows()
         self.refreshes_issued += 1
-        self.tracer.emit(ref_ps, "imc.refresh", "REF issued", index=index)
+        self.tracer.emit(ref_ps, "imc.refresh", "REF issued",
+                         owner=self.trace_owner, index=index)
 
     # -- host transfers ---------------------------------------------------------------
 

@@ -34,6 +34,7 @@ from repro.nvmc.nvmc import NVMCModel
 from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
 from repro.perf.contention import MemoryChannel
 from repro.perf.model import HostCostModel
+from repro.sim.trace import Tracer
 from repro.units import PAGE_4K, gb, kb, mb
 
 
@@ -93,7 +94,8 @@ class NVDIMMCSystem(DaxSystem):
                  with_cpu_cache: bool = False,
                  nand_phy_mhz: int | None = None,
                  calibration: CalibrationConstants = DEFAULT_CALIBRATION,
-                 seed: int = 7) -> None:
+                 seed: int = 7,
+                 tracer: Tracer | None = None) -> None:
         if trefi_ps is not None:
             spec = spec.with_trefi(trefi_ps)
         timeline = RefreshTimeline(spec)
@@ -106,7 +108,8 @@ class NVDIMMCSystem(DaxSystem):
         nvmc = NVMCModel(timeline, nand, dram,
                          window_bytes=window_bytes,
                          firmware=firmware or FirmwareModel(),
-                         cp_queue_depth=cp_queue_depth)
+                         cp_queue_depth=cp_queue_depth,
+                         tracer=tracer)
         cpu_cache = CPUCache(_DramBackend(dram)) if with_cpu_cache else None
         driver = NvdcDriver(region, nvmc, dram, cpu_cache=cpu_cache,
                             policy=policy,
@@ -149,7 +152,7 @@ class NVDIMMCSystem(DaxSystem):
             _slot, end_ps = self.driver.fault(page, now_ps, is_write)
             return end_ps
         if is_write:
-            self.driver.mark_write(page)
+            self.driver.mark_write(page, now_ps)
         return now_ps
 
     @property
@@ -182,7 +185,8 @@ class NVDIMMCSystem(DaxSystem):
         nvmc = NVMCModel(self.timeline, self.nand, dram,
                          window_bytes=self.nvmc.dma.window_bytes,
                          firmware=self.nvmc.firmware,
-                         cp_queue_depth=self.nvmc.cp.queue_depth)
+                         cp_queue_depth=self.nvmc.cp.queue_depth,
+                         tracer=self.nvmc.tracer)
         cpu_cache = (CPUCache(_DramBackend(dram))
                      if self.cpu_cache is not None else None)
         driver = NvdcDriver(region, nvmc, dram, cpu_cache=cpu_cache,

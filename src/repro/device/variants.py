@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import gb, us
+from repro.units import gb
 
 
 @dataclass(frozen=True)

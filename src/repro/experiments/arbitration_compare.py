@@ -11,9 +11,7 @@ from __future__ import annotations
 from repro.analysis.results import ExperimentRecord
 from repro.analysis.tables import render_table
 from repro.ddr.spec import NVDIMMC_1600
-from repro.device.arbitration import (DummyAccessScheme,
-                                      PriorityPreemptScheme, TRFCScheme,
-                                      compare)
+from repro.device.arbitration import TRFCScheme, compare
 from repro.units import us
 
 

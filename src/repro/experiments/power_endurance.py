@@ -15,12 +15,12 @@ from __future__ import annotations
 
 from repro.analysis.results import ExperimentRecord
 from repro.analysis.tables import render_table
-from repro.ddr.power import power_sweep, refresh_power_w
+from repro.ddr.power import power_sweep
 from repro.ddr.spec import NVDIMMC_1600
 from repro.nand.endurance import paper_device_lifetime, \
     project_lifetime_years
 from repro.nand.spec import ZNAND_64GB
-from repro.units import gb, us
+from repro.units import gb
 
 
 def run() -> ExperimentRecord:

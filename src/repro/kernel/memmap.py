@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import KernelError
-from repro.units import PAGE_4K, gb, mb
+from repro.units import PAGE_4K, gb
 
 
 @dataclass(frozen=True)

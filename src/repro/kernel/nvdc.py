@@ -28,11 +28,11 @@ Precise dirty tracking is available for the ablation bench.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cpu.cache import CPUCache
 from repro.ddr.device import DRAMDevice
-from repro.errors import KernelError, OutOfSlotsError
+from repro.errors import KernelError
 from repro.kernel.blockdev import (BlockDevice, DaxMapping, sector_to_page)
 from repro.kernel.eviction import EvictionPolicy, make_policy
 from repro.kernel.memmap import ReservedRegion
@@ -97,6 +97,16 @@ class NvdcDriver(BlockDevice):
         self.stats = NvdcStats()
         # Point the NVMC's slot arithmetic at our slot area.
         nvmc.slot_base = region.base_paddr + region.layout.slots_offset
+        # The driver traces into its device's stream under the same owner
+        # token, so the coherence sanitizer can correlate CP commands with
+        # the flush/invalidate bracket that must surround them.
+        self.tracer = nvmc.tracer
+        self.trace_owner = nvmc.trace_owner
+        if self.tracer.enabled:
+            self.tracer.emit(0, "nvdc.attach", f"{name} attached",
+                             owner=self.trace_owner,
+                             coherent=cpu_cache is not None,
+                             skip_coherence=skip_coherence)
 
     # -- fast-path lookup (the post-fault mapped state) ---------------------------------
 
@@ -109,11 +119,18 @@ class NvdcDriver(BlockDevice):
             self.policy.on_access(slot)
         return slot
 
-    def mark_write(self, page: int) -> None:
+    def mark_write(self, page: int, now_ps: int = 0) -> None:
         """Record a store to a cached page (dirty bookkeeping)."""
         slot = self.page_to_slot.get(page)
         if slot is not None:
-            self.dirty_slots.add(slot)
+            self._mark_dirty(slot, page, now_ps)
+
+    def _mark_dirty(self, slot: int, page: int, now_ps: int) -> None:
+        self.dirty_slots.add(slot)
+        if self.tracer.enabled:
+            self.tracer.emit(now_ps, "nvdc.dirty", f"page {page} dirtied",
+                             owner=self.trace_owner, page=page, slot=slot,
+                             addr=self.region.slot_paddr(slot))
 
     # -- the miss path (Fig. 6) -----------------------------------------------------------
 
@@ -167,7 +184,11 @@ class NvdcDriver(BlockDevice):
         self.slot_to_page[slot] = page
         self.policy.on_cached(slot)
         if for_write or self.conservative_dirty:
-            self.dirty_slots.add(slot)
+            self._mark_dirty(slot, page, t)
+        if self.tracer.enabled:
+            self.tracer.emit(t, "nvdc.op", f"fault page {page} -> slot {slot}",
+                             owner=self.trace_owner, page=page, slot=slot,
+                             start_ps=now_ps)
         self.stats.fault_ns_total += (t - now_ps) / 1000.0
         return slot, t
 
@@ -179,6 +200,8 @@ class NvdcDriver(BlockDevice):
         if self.cpu_cache is not None and not self.skip_coherence:
             self.cpu_cache.flush_range(paddr, PAGE_4K)
             self.cpu_cache.sfence()
+            self._trace_coherence("nvdc.flush", now_ps, paddr, slot)
+            self._trace_coherence("nvdc.sfence", now_ps, paddr, slot)
         command = CPCommand(phase=self.nvmc.next_phase(),
                             opcode=Opcode.WRITEBACK,
                             dram_slot=slot, nand_page=page)
@@ -197,6 +220,7 @@ class NvdcDriver(BlockDevice):
         self.dram.poke(paddr, bytes(PAGE_4K))
         if self.cpu_cache is not None and not self.skip_coherence:
             self.cpu_cache.invalidate_range(paddr, PAGE_4K)
+            self._trace_coherence("nvdc.invalidate", now_ps, paddr, slot)
         self.stats.overwrite_claims += 1
         return now_ps
 
@@ -211,6 +235,8 @@ class NvdcDriver(BlockDevice):
         if self.cpu_cache is not None and not self.skip_coherence:
             paddr = self.region.slot_paddr(slot)
             self.cpu_cache.invalidate_range(paddr, PAGE_4K)
+            self._trace_coherence("nvdc.invalidate", result.completion_ps,
+                                  paddr, slot)
         return result.completion_ps + self.calibration.nvdc_ack_poll_ps
 
     def _merged(self, fill_slot: int, fill_page: int, wb_slot: int,
@@ -220,6 +246,8 @@ class NvdcDriver(BlockDevice):
         if self.cpu_cache is not None and not self.skip_coherence:
             self.cpu_cache.flush_range(paddr, PAGE_4K)
             self.cpu_cache.sfence()
+            self._trace_coherence("nvdc.flush", now_ps, paddr, wb_slot)
+            self._trace_coherence("nvdc.sfence", now_ps, paddr, wb_slot)
         command = CPCommand(phase=self.nvmc.next_phase(),
                             opcode=Opcode.MERGED,
                             dram_slot=fill_slot, nand_page=fill_page,
@@ -230,7 +258,17 @@ class NvdcDriver(BlockDevice):
         if self.cpu_cache is not None and not self.skip_coherence:
             fill_paddr = self.region.slot_paddr(fill_slot)
             self.cpu_cache.invalidate_range(fill_paddr, PAGE_4K)
+            self._trace_coherence("nvdc.invalidate", result.completion_ps,
+                                  fill_paddr, fill_slot)
         return result.completion_ps + self.calibration.nvdc_ack_poll_ps
+
+    def _trace_coherence(self, category: str, now_ps: int, addr: int,
+                         slot: int) -> None:
+        """Trace one §V-B coherence action against a slot's paddr."""
+        if self.tracer.enabled:
+            self.tracer.emit(now_ps, category, f"slot {slot}",
+                             owner=self.trace_owner, addr=addr,
+                             bytes=PAGE_4K, slot=slot)
 
     # -- BlockDevice interface -----------------------------------------------------------------
 
@@ -244,7 +282,7 @@ class NvdcDriver(BlockDevice):
             self.stats.hits += 1
             self.policy.on_access(slot)
             if for_write:
-                self.dirty_slots.add(slot)
+                self._mark_dirty(slot, page, now_ps)
             end_ps = now_ps
         else:
             slot, end_ps = self.fault(page, now_ps, for_write)
@@ -267,7 +305,7 @@ class NvdcDriver(BlockDevice):
         if slot is not None:
             self.stats.hits += 1
             self.policy.on_access(slot)
-            self.dirty_slots.add(slot)
+            self._mark_dirty(slot, page, now_ps)
             end_ps = now_ps
         else:
             slot, end_ps = self.fault(page, now_ps, for_write=True,

@@ -69,10 +69,10 @@ class CPCommand:
     def encode(self) -> int:
         """Pack into the 64-bit CP word."""
         if not 0 <= self.dram_slot <= _SLOT_MASK:
-            raise CPProtocolError(f"DRAM_Slot_ID out of field: "
+            raise CPProtocolError("DRAM_Slot_ID out of field: "
                                   f"{self.dram_slot}")
         if not 0 <= self.nand_page <= _PAGE_MASK:
-            raise CPProtocolError(f"NAND_Page_ID out of field: "
+            raise CPProtocolError("NAND_Page_ID out of field: "
                                   f"{self.nand_page}")
         return ((int(self.phase) << _PHASE_SHIFT)
                 | (int(self.opcode) << _OPCODE_SHIFT)

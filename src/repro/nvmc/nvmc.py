@@ -27,12 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.ddr.device import DRAMDevice
-from repro.ddr.imc import RefreshTimeline
+from repro.ddr.imc import RefreshTimeline, RefreshWindow
 from repro.errors import CPProtocolError
 from repro.nand.controller import NANDController
 from repro.nvmc.cp import CPAck, CPArea, CPCommand, Opcode, Phase
 from repro.nvmc.dma import DMAEngine
 from repro.nvmc.fsm import FirmwareModel, FSMTracker, NVMCState
+from repro.sim.trace import Tracer, default_tracer, next_owner
 from repro.units import CACHELINE, PAGE_4K
 
 
@@ -58,7 +59,8 @@ class NVMCModel:
                  dram: DRAMDevice, slot_base: int = PAGE_4K * 2,
                  window_bytes: int = PAGE_4K,
                  firmware: FirmwareModel | None = None,
-                 cp_queue_depth: int = 1) -> None:
+                 cp_queue_depth: int = 1,
+                 tracer: Tracer | None = None) -> None:
         self.timeline = timeline
         self.nand = nand
         self.dram = dram
@@ -67,11 +69,14 @@ class NVMCModel:
         self.firmware = firmware if firmware is not None else FirmwareModel()
         self.cp = CPArea(queue_depth=cp_queue_depth)
         self.fsm = FSMTracker()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.trace_owner = next_owner("nvmc")
         #: Device serialisation point: the FSM handles one command at a
         #: time (the PoC's queue depth is one).
         self.ready_ps = 0
         self.operations: list[OperationResult] = []
         self._phase = Phase.EVEN
+        self._cmd_seq = 0
 
     # -- driver-facing API -------------------------------------------------------------
 
@@ -89,6 +94,15 @@ class NVMCModel:
         coherent CP view.
         """
         self.cp.post(slot, command)
+        self._cmd_seq += 1
+        cmd_id = self._cmd_seq
+        if self.tracer.enabled:
+            self.tracer.emit(submit_ps, "cp.post",
+                             f"{command.opcode.name} posted",
+                             owner=self.trace_owner, cmd=cmd_id, slot=slot,
+                             opcode=command.opcode.name,
+                             phase=command.phase.name,
+                             depth=self.cp.queue_depth)
         start = max(submit_ps, self.ready_ps)
         if command.opcode is Opcode.CACHEFILL:
             result = self._run_cachefill(command, submit_ps, start)
@@ -101,6 +115,12 @@ class NVMCModel:
         else:
             raise CPProtocolError(f"unsupported opcode {command.opcode}")
         self.cp.ack(slot, CPAck(phase=command.phase, status=CPAck.OK))
+        if self.tracer.enabled:
+            self.tracer.emit(result.completion_ps, "cp.ack",
+                             f"{command.opcode.name} done",
+                             owner=self.trace_owner, cmd=cmd_id, slot=slot,
+                             opcode=command.opcode.name,
+                             phase=command.phase.name)
         self.ready_ps = result.completion_ps
         self.operations.append(result)
         return result
@@ -111,14 +131,14 @@ class NVMCModel:
         """The CP-poll step; returns (poll end, windows consumed)."""
         self._fsm_to(NVMCState.POLL_CP, start_ps)
         window = self.timeline.next_window(start_ps)
-        end = self.dma.schedule(CACHELINE, window)
+        end = self._dma_window(CACHELINE, window, "poll")
         return self.firmware.ready_after(end), 1
 
     def _ack(self, ready_ps: int) -> tuple[int, int]:
         """The ack-publish step; returns (ack end, windows consumed)."""
         self._fsm_to(NVMCState.ACK, ready_ps)
         window = self.timeline.next_window(ready_ps)
-        end = self.dma.schedule(CACHELINE, window)
+        end = self._dma_window(CACHELINE, window, "ack")
         self._fsm_to(NVMCState.IDLE, end)
         return end, 1
 
@@ -135,7 +155,8 @@ class NVMCModel:
         # DMA the page into the DRAM cache slot inside a window.
         self._fsm_to(NVMCState.DRAM_WRITE, ready)
         window = self.timeline.next_window(ready)
-        end = self.dma.schedule(PAGE_4K, window)
+        end = self._dma_window(PAGE_4K, window, "fill",
+                               addr=self._slot_addr(command.dram_slot))
         self.dram.poke(self._slot_addr(command.dram_slot), data)
         windows += 1
         ready = self.firmware.ready_after(end)
@@ -149,7 +170,8 @@ class NVMCModel:
         # DMA the victim page out of the DRAM cache inside a window.
         self._fsm_to(NVMCState.DRAM_READ, ready)
         window = self.timeline.next_window(ready)
-        end = self.dma.schedule(PAGE_4K, window)
+        end = self._dma_window(PAGE_4K, window, "evict",
+                               addr=self._slot_addr(command.dram_slot))
         data = self.dram.peek(self._slot_addr(command.dram_slot), PAGE_4K)
         windows += 1
         # Program NAND; the data sits in the battery-backed buffer, so
@@ -175,7 +197,8 @@ class NVMCModel:
         # Window A: victim out of DRAM; NAND read proceeds in parallel.
         self._fsm_to(NVMCState.DRAM_READ, ready)
         window = self.timeline.next_window(ready)
-        wb_end = self.dma.schedule(PAGE_4K, window)
+        wb_end = self._dma_window(PAGE_4K, window, "evict",
+                                  addr=self._slot_addr(command.wb_dram_slot))
         victim = self.dram.peek(self._slot_addr(command.wb_dram_slot),
                                 PAGE_4K)
         windows += 1
@@ -191,7 +214,8 @@ class NVMCModel:
         # Window B: fill data into the (just vacated) DRAM slot.
         self._fsm_to(NVMCState.DRAM_WRITE, ready)
         window = self.timeline.next_window(ready)
-        end = self.dma.schedule(PAGE_4K, window)
+        end = self._dma_window(PAGE_4K, window, "fill",
+                               addr=self._slot_addr(command.dram_slot))
         self.dram.poke(self._slot_addr(command.dram_slot), data)
         windows += 1
         ready = self.firmware.ready_after(end)
@@ -207,6 +231,26 @@ class NVMCModel:
                                windows + ack_windows, 0)
 
     # -- helpers ----------------------------------------------------------------------------
+
+    def _dma_window(self, nbytes: int, window: RefreshWindow,
+                    kind: str, addr: int = -1) -> int:
+        """Schedule a windowed DMA transfer and trace it.
+
+        The ``nvmc.dma`` record is self-describing for the sanitizers: it
+        carries the window bounds the transfer must respect and the
+        per-window byte budget, so observers need no timeline of their
+        own.
+        """
+        end = self.dma.schedule(nbytes, window)
+        if self.tracer.enabled:
+            self.tracer.emit(window.start_ps, "nvmc.dma",
+                             f"{kind} {nbytes}B in window {window.index}",
+                             owner=self.trace_owner, cmd=self._cmd_seq,
+                             kind=kind, window=window.index, bytes=nbytes,
+                             budget=self.dma.window_bytes, addr=addr,
+                             win_start=window.start_ps,
+                             win_end=window.end_ps, end_ps=end)
+        return end
 
     def _slot_addr(self, slot_id: int) -> int:
         """DRAM byte address of a cache slot."""

@@ -16,7 +16,7 @@ exact) used by the queue-depth ablation; the mainline
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ddr.imc import RefreshTimeline
 from repro.errors import ConfigError

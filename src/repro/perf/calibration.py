@@ -56,12 +56,12 @@ def _per_byte(ns_per_byte: float) -> float:
 class CalibrationConstants:
     """All tunables of the host-side cost model (times in ps)."""
 
-    # -- baseline emulated NVDIMM (/dev/pmem0) ---------------------------------
+    # -- baseline emulated NVDIMM (/dev/pmem0): Fig. 8 + Fig. 10 fit -----------
     pmem_fixed_read_ps: int = round(us(0.495))
     pmem_fixed_write_ps: int = round(us(0.683))
     pmem_sw_byte_ps: float = _per_byte(0.186)
 
-    # -- nvdc cached path -------------------------------------------------------
+    # -- nvdc cached path: Fig. 8 + Fig. 10 fit ---------------------------------
     nvdc_fixed_read_ps: int = round(us(0.311))
     nvdc_fixed_write_ps: int = round(us(0.362))
     nvdc_sw_byte_ps: float = _per_byte(0.3674)
@@ -70,10 +70,10 @@ class CalibrationConstants:
     #: per-page latency effects are amortised over a long copy).
     nvdc_stream_byte_ps: float = _per_byte(0.2367)
 
-    # -- raw DRAM service (stalls during refresh blackouts) ----------------------
+    # -- raw DRAM service (stalls during refresh blackouts): Fig. 13 fit ---------
     mem_byte_ps: float = _per_byte(0.066)
 
-    # -- channel caps for thread scaling (bytes/s, decimal MB) -------------------
+    # -- channel caps for thread scaling (Fig. 9 plateaus, decimal MB/s) ---------
     pmem_channel_mb_s: float = 8694.0
     nvdc_channel_read_mb_s: float = 4341.0
     nvdc_channel_write_mb_s: float = 4615.0
@@ -82,7 +82,7 @@ class CalibrationConstants:
     #: per-miss software beyond the CP round trips: victim selection,
     #: mapping updates, PTE install (the 18 % of Fig. 12's tD=0 point).
     nvdc_miss_sw_ps: int = round(us(1.0))
-    #: ack-polling granularity of the driver's busy-wait loop.
+    #: ack-polling granularity of the PoC driver's busy-wait loop (§IV-C).
     nvdc_ack_poll_ps: int = round(us(0.2))
 
     # -- hypothetical device (Fig. 12) ----------------------------------------------

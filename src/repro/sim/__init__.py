@@ -17,7 +17,8 @@ Public surface:
 from repro.sim.engine import Engine
 from repro.sim.process import Event, Process, Timeout
 from repro.sim.resources import Lock, Resource, Store
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace import (NULL_TRACER, TraceRecord, Tracer,
+                             default_tracer, set_default_tracer, use_tracer)
 
 __all__ = [
     "Engine",
@@ -29,4 +30,8 @@ __all__ = [
     "Store",
     "TraceRecord",
     "Tracer",
+    "NULL_TRACER",
+    "default_tracer",
+    "set_default_tracer",
+    "use_tracer",
 ]

@@ -4,12 +4,33 @@ Device models emit :class:`TraceRecord` entries through a shared
 :class:`Tracer`.  Tracing is off by default (the hot paths check a single
 boolean) and tests enable it to assert on protocol-level behaviour, e.g.
 "the NVMC only drove the bus inside extended-tRFC windows".
+
+Two consumers exist:
+
+* **retention** — records are stored in ``Tracer.records`` (optionally
+  capacity-bounded) for post-hoc inspection and audits;
+* **subscription** — online observers (the ``repro.check`` sanitizers)
+  registered with :meth:`Tracer.subscribe` see *every* record that passes
+  the enabled/category filters, even records the capacity bound drops
+  from storage.  Observation is therefore complete while the archived
+  trace may not be — which is why the sanitizers refuse to *certify* a
+  run whose tracer reports ``dropped > 0``.
+
+Models that accept a ``tracer`` argument treat ``None`` as "use the
+ambient default tracer" (:func:`default_tracer`), which is the disabled
+:data:`NULL_TRACER` unless a harness installed one via
+:func:`set_default_tracer` / :func:`use_tracer`.  This lets test
+fixtures and ``python -m repro check run`` turn on always-on sanitizing
+without threading a tracer through every constructor call site.
 """
 
 from __future__ import annotations
 
+import itertools
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.units import format_time
 
@@ -18,8 +39,11 @@ from repro.units import format_time
 class TraceRecord:
     """One traced occurrence.
 
-    ``category`` is a dotted namespace (``"ddr.cmd"``, ``"nvmc.window"``,
-    ``"nvdc.op"``, ...), ``fields`` carries structured payload.
+    ``category`` is a dotted namespace (``"ddr.cmd"``, ``"nvmc.dma"``,
+    ``"cp.post"``, ...), ``fields`` carries structured payload.  By
+    convention emitters include an ``owner`` field naming the subsystem
+    instance the record belongs to, so online observers can shard state
+    when several systems share one tracer.
     """
 
     time_ps: int
@@ -44,6 +68,8 @@ class Tracer:
         self.capacity = capacity
         self.records: list[TraceRecord] = []
         self.dropped = 0
+        self._warned_dropped = False
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
 
     def emit(self, time_ps: int, category: str, message: str,
              **fields: Any) -> None:
@@ -53,10 +79,43 @@ class Tracer:
         if self.categories is not None and not any(
                 category.startswith(prefix) for prefix in self.categories):
             return
+        record = TraceRecord(time_ps, category, message, fields)
         if self.capacity is not None and len(self.records) >= self.capacity:
             self.dropped += 1
-            return
-        self.records.append(TraceRecord(time_ps, category, message, fields))
+            if not self._warned_dropped:
+                self._warned_dropped = True
+                warnings.warn(
+                    f"Tracer capacity ({self.capacity} records) reached; "
+                    "further records are dropped from storage (subscribers "
+                    "still observe them).  The archived trace is incomplete "
+                    "and sanitizers will refuse to certify this run.",
+                    RuntimeWarning, stacklevel=2)
+        else:
+            self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    # -- online observation -----------------------------------------------------
+
+    def subscribe(self, observer: Callable[[TraceRecord], None]
+                  ) -> Callable[[TraceRecord], None]:
+        """Register an online observer of every emitted record.
+
+        Subscribers see records *before* any capacity-based drop, so
+        observation is complete even when retention is bounded.  Returns
+        the observer for symmetry with :meth:`unsubscribe`.
+        """
+        self._subscribers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        try:
+            self._subscribers.remove(observer)
+        except ValueError:
+            pass
+
+    # -- retention --------------------------------------------------------------
 
     def filter(self, prefix: str) -> list[TraceRecord]:
         """All records whose category starts with ``prefix``."""
@@ -66,6 +125,14 @@ class Tracer:
         """Drop all collected records."""
         self.records.clear()
         self.dropped = 0
+        self._warned_dropped = False
+
+    def summary(self) -> str:
+        """One-line retention summary (shown by the check CLI)."""
+        text = f"{len(self.records)} trace records retained"
+        if self.dropped:
+            text += f", {self.dropped} dropped (capacity {self.capacity})"
+        return text
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
@@ -77,3 +144,44 @@ class Tracer:
 #: A module-level tracer that is always disabled; models default to it so
 #: construction never requires threading a tracer through every layer.
 NULL_TRACER = Tracer(enabled=False)
+
+#: The ambient tracer adopted by models constructed with ``tracer=None``.
+_DEFAULT_TRACER: Tracer = NULL_TRACER
+
+_OWNER_COUNTER = itertools.count()
+
+
+def default_tracer() -> Tracer:
+    """The ambient tracer (``NULL_TRACER`` unless a harness set one)."""
+    return _DEFAULT_TRACER
+
+
+def set_default_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the ambient default; returns the previous one.
+
+    Passing ``None`` restores :data:`NULL_TRACER`.
+    """
+    global _DEFAULT_TRACER
+    previous = _DEFAULT_TRACER
+    _DEFAULT_TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Context manager: ambient default tracer for the enclosed block."""
+    previous = set_default_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_default_tracer(previous)
+
+
+def next_owner(prefix: str) -> str:
+    """A process-unique owner token for trace emissions (``"nvmc#3"``).
+
+    Deterministic within a run (a plain counter), unique across model
+    instances, so sanitizers can shard their per-system state even when
+    many systems share one ambient tracer.
+    """
+    return f"{prefix}#{next(_OWNER_COUNTER)}"

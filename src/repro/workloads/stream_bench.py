@@ -15,7 +15,7 @@ any bus collision raises, any corruption is reported.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,5 +1,7 @@
 """Tests for analysis (stats, results, tables) and the sim tracer."""
 
+import warnings
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -132,10 +134,31 @@ class TestTracer:
 
     def test_capacity_drops(self):
         tracer = Tracer(enabled=True, capacity=2)
-        for i in range(5):
-            tracer.emit(i, "c", "m")
+        tracer.emit(0, "c", "m")
+        tracer.emit(1, "c", "m")
+        # The first drop warns once; further drops stay silent.
+        with pytest.warns(RuntimeWarning, match="capacity"):
+            tracer.emit(2, "c", "m")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for i in (3, 4):
+                tracer.emit(i, "c", "m")
         assert len(tracer) == 2
         assert tracer.dropped == 3
+        assert "3 dropped" in tracer.summary()
+
+    def test_subscribers_observe_past_capacity(self):
+        tracer = Tracer(enabled=True, capacity=1)
+        seen = []
+        tracer.subscribe(seen.append)
+        with pytest.warns(RuntimeWarning):
+            for i in range(3):
+                tracer.emit(i, "c", "m")
+        assert len(tracer) == 1 and tracer.dropped == 2
+        assert [r.time_ps for r in seen] == [0, 1, 2]
+        tracer.unsubscribe(seen.append)
+        tracer.emit(3, "c", "m")
+        assert len(seen) == 3
 
     def test_clear(self):
         tracer = Tracer(enabled=True)

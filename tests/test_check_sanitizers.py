@@ -1,0 +1,289 @@
+"""Injection tests for the repro.check sanitizers.
+
+Each sanitizer gets violations injected — synthetically (records fed
+straight through a tracer) and, for the coherence rules, end-to-end
+through the real models — and must raise/collect a structured
+:class:`SanitizerViolation`.  The suite-level tests cover certification
+(refusing drop-compromised traces) and a sanitizer-clean Fig. 8 run.
+"""
+
+import pytest
+
+from repro.check import (BusRaceSanitizer, CoherenceSanitizer,
+                         ProtocolSanitizer, SanitizerSuite,
+                         SanitizerViolation, TimeSanitizer, default_suite)
+from repro.sim.trace import Tracer, use_tracer
+
+
+def strict(*sanitizers):
+    """An enabled tracer with a strict (raise-at-once) suite attached."""
+    tracer = Tracer(enabled=True)
+    suite = SanitizerSuite(sanitizers, strict=True).attach(tracer)
+    return tracer, suite
+
+
+class TestBusRaceSanitizer:
+    def test_ca_overlap_between_masters_raises(self):
+        tracer, _ = strict(BusRaceSanitizer())
+        tracer.emit(0, "ddr.cmd", "ACT", owner="bus#0", master="imc",
+                    kind="ACT", bank=0, ca_end=1250)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(600, "ddr.cmd", "ACT", owner="bus#0", master="nvmc",
+                        kind="ACT", bank=1, ca_end=1850)
+        assert exc.value.rule == "bus-collision"
+        assert exc.value.sanitizer == "BusRace"
+        assert exc.value.record is not None
+        assert exc.value.context   # offending trace window attached
+
+    def test_same_master_back_to_back_is_fine(self):
+        tracer, suite = strict(BusRaceSanitizer())
+        tracer.emit(0, "ddr.cmd", "ACT", owner="bus#0", master="imc",
+                    kind="ACT", bank=0, ca_end=1250)
+        tracer.emit(1250, "ddr.cmd", "RD", owner="bus#0", master="imc",
+                    kind="RD", bank=0, ca_end=2500,
+                    dq_start=13750, dq_end=18750)
+        assert not suite.violations
+
+    def test_device_outside_window_raises(self):
+        tracer, _ = strict(BusRaceSanitizer())
+        tracer.emit(0, "ddr.cmd", "REF", owner="bus#0", master="imc",
+                    kind="REF", bank=-1, ca_end=1250,
+                    win_start=350_000, win_end=1_250_000)
+        # Inside the window: fine.
+        tracer.emit(350_000, "ddr.cmd", "RD", owner="bus#0", master="nvmc",
+                    kind="RD", bank=0, ca_end=351_250,
+                    dq_start=363_750, dq_end=368_750)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(2_000_000, "ddr.cmd", "ACT", owner="bus#0",
+                        master="nvmc", kind="ACT", bank=0,
+                        ca_end=2_001_250)
+        assert exc.value.rule == "window-escape"
+
+    def test_bus_reported_collision_passthrough(self):
+        tracer, _ = strict(BusRaceSanitizer())
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(5, "ddr.collision", "CA collision", owner="bus#0",
+                        first="imc", second="nvmc")
+        assert exc.value.rule == "bus-collision"
+
+
+class TestCoherenceSanitizer:
+    @staticmethod
+    def attach(tracer, owner="nvmc#0", coherent=True):
+        tracer.emit(0, "nvdc.attach", "nvdc0", owner=owner,
+                    coherent=coherent, skip_coherence=False)
+
+    def test_dirty_evict_without_flush_raises(self):
+        tracer, _ = strict(CoherenceSanitizer())
+        self.attach(tracer)
+        tracer.emit(10, "nvdc.dirty", "page 3", owner="nvmc#0",
+                    page=3, slot=1, addr=4096)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(20, "nvmc.dma", "evict", owner="nvmc#0", cmd=1,
+                        kind="evict", window=0, bytes=4096, budget=4096,
+                        addr=4096, win_start=0, win_end=900_000, end_ps=20)
+        assert exc.value.rule == "dirty-evict"
+
+    def test_flushed_evict_is_fine(self):
+        tracer, suite = strict(CoherenceSanitizer())
+        self.attach(tracer)
+        tracer.emit(10, "nvdc.dirty", "page 3", owner="nvmc#0",
+                    page=3, slot=1, addr=4096)
+        tracer.emit(15, "nvdc.flush", "slot 1", owner="nvmc#0",
+                    addr=4096, bytes=4096, slot=1)
+        tracer.emit(16, "nvdc.sfence", "sfence", owner="nvmc#0",
+                    addr=4096, bytes=4096, slot=1)
+        tracer.emit(17, "cp.post", "WRITEBACK", owner="nvmc#0", cmd=1,
+                    slot=0, opcode="WRITEBACK", phase="ODD", depth=1)
+        tracer.emit(20, "nvmc.dma", "evict", owner="nvmc#0", cmd=1,
+                    kind="evict", window=0, bytes=4096, budget=4096,
+                    addr=4096, win_start=0, win_end=900_000, end_ps=20)
+        assert not suite.violations
+
+    def test_unfenced_doorbell_raises(self):
+        tracer, _ = strict(CoherenceSanitizer())
+        self.attach(tracer)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(10, "cp.post", "WRITEBACK", owner="nvmc#0", cmd=1,
+                        slot=0, opcode="WRITEBACK", phase="ODD", depth=1)
+        assert exc.value.rule == "unfenced-doorbell"
+
+    def test_stale_fill_without_invalidate_raises(self):
+        tracer, _ = strict(CoherenceSanitizer())
+        self.attach(tracer)
+        tracer.emit(10, "nvmc.dma", "fill", owner="nvmc#0", cmd=1,
+                    kind="fill", window=0, bytes=4096, budget=4096,
+                    addr=8192, win_start=0, win_end=900_000, end_ps=10)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(20, "cp.post", "NOP", owner="nvmc#0", cmd=2,
+                        slot=0, opcode="NOP", phase="EVEN", depth=1)
+        assert exc.value.rule == "stale-fill"
+
+    def test_stale_fill_caught_at_finalize(self):
+        tracer = Tracer(enabled=True)
+        suite = SanitizerSuite([CoherenceSanitizer()]).attach(tracer)
+        self.attach(tracer)
+        tracer.emit(10, "nvmc.dma", "fill", owner="nvmc#0", cmd=1,
+                    kind="fill", window=0, bytes=4096, budget=4096,
+                    addr=8192, win_start=0, win_end=900_000, end_ps=10)
+        suite.detach()
+        assert [v.rule for v in suite.violations] == ["stale-fill"]
+
+    def test_inactive_without_coherent_attach(self):
+        tracer, suite = strict(CoherenceSanitizer())
+        self.attach(tracer, coherent=False)
+        tracer.emit(10, "nvdc.dirty", "page 3", owner="nvmc#0",
+                    page=3, slot=1, addr=4096)
+        tracer.emit(20, "nvmc.dma", "evict", owner="nvmc#0", cmd=1,
+                    kind="evict", window=0, bytes=4096, budget=4096,
+                    addr=4096, win_start=0, win_end=900_000, end_ps=20)
+        assert not suite.violations
+
+
+class TestProtocolSanitizer:
+    def test_queue_depth_overflow_raises(self):
+        tracer, _ = strict(ProtocolSanitizer())
+        tracer.emit(0, "cp.post", "NOP", owner="nvmc#0", cmd=1, slot=0,
+                    opcode="NOP", phase="ODD", depth=1)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(5, "cp.post", "NOP", owner="nvmc#0", cmd=2, slot=1,
+                        opcode="NOP", phase="EVEN", depth=1)
+        assert exc.value.rule == "queue-depth"
+
+    def test_posted_then_acked_is_fine(self):
+        tracer, suite = strict(ProtocolSanitizer())
+        for cmd in (1, 2):
+            tracer.emit(cmd * 10, "cp.post", "NOP", owner="nvmc#0",
+                        cmd=cmd, slot=0, opcode="NOP", phase="ODD", depth=1)
+            tracer.emit(cmd * 10 + 5, "cp.ack", "NOP", owner="nvmc#0",
+                        cmd=cmd, slot=0, opcode="NOP", phase="ODD")
+        assert not suite.violations
+
+    def test_window_budget_overflow_raises(self):
+        tracer, _ = strict(ProtocolSanitizer())
+        tracer.emit(0, "nvmc.dma", "fill", owner="nvmc#0", cmd=1,
+                    kind="fill", window=7, bytes=4096, budget=4096,
+                    addr=0, win_start=0, win_end=900_000, end_ps=5)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(10, "nvmc.dma", "evict", owner="nvmc#0", cmd=1,
+                        kind="evict", window=7, bytes=4096, budget=4096,
+                        addr=4096, win_start=0, win_end=900_000, end_ps=15)
+        assert exc.value.rule == "window-budget"
+
+    def test_window_shared_by_two_commands_raises(self):
+        tracer, _ = strict(ProtocolSanitizer())
+        tracer.emit(0, "nvmc.dma", "poll", owner="nvmc#0", cmd=1,
+                    kind="poll", window=7, bytes=64, budget=4096,
+                    addr=-1, win_start=0, win_end=900_000, end_ps=5)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(10, "nvmc.dma", "poll", owner="nvmc#0", cmd=2,
+                        kind="poll", window=7, bytes=64, budget=4096,
+                        addr=-1, win_start=0, win_end=900_000, end_ps=15)
+        assert exc.value.rule == "window-sharing"
+
+    def test_refresh_with_open_bank_raises(self):
+        tracer, _ = strict(ProtocolSanitizer())
+        tracer.emit(0, "ddr.cmd", "ACT", owner="bus#0", master="imc",
+                    kind="ACT", bank=2, ca_end=1250)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(5000, "ddr.cmd", "REF", owner="bus#0", master="imc",
+                        kind="REF", bank=-1, ca_end=6250,
+                        win_start=355_000, win_end=1_255_000)
+        assert exc.value.rule == "ref-open-banks"
+
+    def test_prea_before_refresh_is_fine(self):
+        tracer, suite = strict(ProtocolSanitizer())
+        tracer.emit(0, "ddr.cmd", "ACT", owner="bus#0", master="imc",
+                    kind="ACT", bank=2, ca_end=1250)
+        tracer.emit(2500, "ddr.cmd", "PREA", owner="bus#0", master="imc",
+                    kind="PREA", bank=-1, ca_end=3750)
+        tracer.emit(5000, "ddr.cmd", "REF", owner="bus#0", master="imc",
+                    kind="REF", bank=-1, ca_end=6250,
+                    win_start=355_000, win_end=1_255_000)
+        assert not suite.violations
+
+
+class TestTimeSanitizer:
+    def test_float_time_raises(self):
+        tracer, _ = strict(TimeSanitizer())
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(1.5, "nvdc.op", "op", owner="nvmc#0")
+        assert exc.value.rule == "non-integer-time"
+
+    def test_negative_time_raises(self):
+        tracer, _ = strict(TimeSanitizer())
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(-5, "nvdc.op", "op", owner="nvmc#0")
+        assert exc.value.rule == "negative-time"
+
+    def test_time_regression_raises(self):
+        tracer, _ = strict(TimeSanitizer())
+        tracer.emit(100, "nvmc.dma", "fill", owner="nvmc#0")
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(50, "nvmc.dma", "ack", owner="nvmc#0")
+        assert exc.value.rule == "time-regression"
+
+    def test_independent_owners_do_not_interfere(self):
+        tracer, suite = strict(TimeSanitizer())
+        tracer.emit(100, "nvmc.dma", "fill", owner="nvmc#0")
+        tracer.emit(50, "nvmc.dma", "fill", owner="nvmc#1")
+        assert not suite.violations
+
+
+@pytest.mark.sanitizer_exempt
+class TestEndToEnd:
+    """Violations driven through the real models, and clean runs."""
+
+    def test_skip_coherence_driver_is_caught(self):
+        from repro.device.nvdimmc import NVDIMMCSystem
+        from repro.nvmc.fsm import FirmwareModel
+        from repro.units import mb
+        tracer = Tracer(enabled=True)
+        suite = default_suite(strict=True)
+        with use_tracer(tracer), suite.attach(tracer):
+            system = NVDIMMCSystem(cache_bytes=mb(2), device_bytes=mb(32),
+                                   firmware=FirmwareModel(step_ps=0),
+                                   with_cpu_cache=True)
+            system.driver.skip_coherence = True   # the §V-B bug
+            system.driver.fault(0, 0, for_write=True)
+            with pytest.raises(SanitizerViolation) as exc:
+                system.driver.fault(1, 0, for_write=True)
+            assert exc.value.sanitizer == "Coherence"
+
+    def test_coherent_driver_certifies_clean(self):
+        from repro.device.nvdimmc import NVDIMMCSystem
+        from repro.nvmc.fsm import FirmwareModel
+        from repro.units import mb
+        tracer = Tracer(enabled=True)
+        suite = default_suite()
+        with use_tracer(tracer), suite.attach(tracer):
+            system = NVDIMMCSystem(cache_bytes=mb(2), device_bytes=mb(32),
+                                   firmware=FirmwareModel(step_ps=0),
+                                   with_cpu_cache=True)
+            for page in (0, 1, 2):
+                system.driver.fault(page, 0, for_write=True)
+        suite.certify(tracer)
+
+    def test_certify_refuses_dropped_records(self):
+        tracer = Tracer(enabled=True, capacity=1)
+        suite = default_suite()
+        suite.attach(tracer)
+        with pytest.warns(RuntimeWarning):
+            tracer.emit(0, "nvdc.op", "a", owner="x#0")
+            tracer.emit(1, "nvdc.op", "b", owner="x#0")
+        suite.detach()
+        with pytest.raises(SanitizerViolation) as exc:
+            suite.certify(tracer)
+        assert exc.value.rule == "dropped-records"
+
+    def test_fig8_run_is_sanitizer_clean(self):
+        """Acceptance: the Fig. 8 randrw experiment (baseline + cached +
+        uncached systems) completes with zero violations and certifies."""
+        from repro.experiments.runner import ALL_EXPERIMENTS
+        tracer = Tracer(enabled=True)
+        suite = default_suite()
+        with use_tracer(tracer), suite.attach(tracer):
+            ALL_EXPERIMENTS["fig8"]()
+        assert len(tracer) > 0
+        assert not suite.violations, suite.report()
+        suite.certify(tracer)

@@ -1,0 +1,90 @@
+"""Property tests over the DDR4 CA encoding (hypothesis).
+
+The encode/classify pair is the contract between the bus model and the
+NVMC's pin-level refresh detector (§IV-A): every command kind must
+round-trip (modulo the A10 aliases the detector cannot see), and the
+RTL refresh predicate must agree with the full decoder on *every*
+reachable pin state.
+"""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.ddr.commands import (CAState, CommandKind, classify, encode,
+                                is_refresh_state)
+from repro.errors import ProtocolError
+
+#: A10-aliased pairs: the detector does not monitor A10, so the
+#: auto-precharge member decodes to its plain sibling.
+ALIASES = {
+    CommandKind.RDA: CommandKind.RD,
+    CommandKind.WRA: CommandKind.WR,
+    CommandKind.PREA: CommandKind.PRE,
+}
+
+kinds = st.sampled_from(list(CommandKind))
+bits = st.booleans()
+pin_states = st.builds(CAState, cke=bits, cs_n=bits, act_n=bits,
+                       ras_n=bits, cas_n=bits, we_n=bits, cke_prev=bits)
+
+
+@given(kinds)
+def test_encode_classify_roundtrip(kind):
+    assert classify(encode(kind)) == ALIASES.get(kind, kind)
+
+
+@given(kinds)
+def test_refresh_detector_matches_decoder_on_commands(kind):
+    """The RTL predicate fires exactly on the decoded-REF encodings."""
+    state = encode(kind)
+    assert is_refresh_state(state) == (classify(state) is CommandKind.REF)
+
+
+@given(pin_states)
+def test_refresh_detector_matches_decoder_on_all_pin_states(state):
+    """Against arbitrary pin soup: whenever the full decoder can decode
+    a state at all, the six-pin refresh match agrees with it — and a
+    refresh match implies the state is decodable (no false triggers on
+    illegal encodings, §IV-A)."""
+    try:
+        kind = classify(state)
+    except ProtocolError:
+        assert not is_refresh_state(state)
+        return
+    assert is_refresh_state(state) == (kind is CommandKind.REF)
+
+
+@given(pin_states)
+def test_classify_total_or_protocol_error(state):
+    """classify() never raises anything but ProtocolError."""
+    try:
+        kind = classify(state)
+    except ProtocolError:
+        return
+    assert isinstance(kind, CommandKind)
+
+
+@given(kinds)
+def test_encodings_keep_cke_history_consistent(kind):
+    """Only the CKE-transition commands may differ from steady-CKE."""
+    state = encode(kind)
+    if kind is CommandKind.SRE:
+        assert state.cke_prev and not state.cke
+    elif kind is CommandKind.SRX:
+        assert state.cke and not state.cke_prev
+    else:
+        assert state.cke and state.cke_prev
+
+
+def test_pins_order_is_board_routing_order():
+    state = encode(CommandKind.REF)
+    assert state.pins() == (state.cke, state.cs_n, state.act_n,
+                            state.ras_n, state.cas_n, state.we_n)
+
+
+@pytest.mark.parametrize("kind", [CommandKind.SRE, CommandKind.SRX,
+                                  CommandKind.DES, CommandKind.MRS])
+def test_near_miss_encodings_do_not_trigger_detector(kind):
+    """SRE shares REF's pin levels (CKE falling) and must not match."""
+    assert not is_refresh_state(encode(kind))

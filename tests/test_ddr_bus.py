@@ -22,6 +22,7 @@ def make_bus(raise_on_collision=True, spec=SPEC):
 
 
 class TestCACollisions:
+    @pytest.mark.sanitizer_exempt
     def test_same_slot_two_masters_collides(self):
         """Fig. 2a C1: NVMC ACT while iMC issues a command."""
         bus = make_bus()
@@ -43,6 +44,7 @@ class TestCACollisions:
             bus.issue("imc", Command(CommandKind.ACT, bank=1, row=2),
                       SPEC.clock_ps // 2)
 
+    @pytest.mark.sanitizer_exempt
     def test_record_mode_counts_instead_of_raising(self):
         bus = make_bus(raise_on_collision=False)
         bus.issue("imc", Command(CommandKind.ACT, bank=0, row=1), 0)
@@ -52,6 +54,7 @@ class TestCACollisions:
 
 
 class TestDQCollisions:
+    @pytest.mark.sanitizer_exempt
     def test_read_data_windows_collide(self):
         """Two masters' read bursts landing together on DQ."""
         bus = make_bus(raise_on_collision=False)

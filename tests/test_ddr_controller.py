@@ -90,6 +90,7 @@ class TestRefreshSequence:
         ctrl.precharge_all(SPEC.trcd_ps + SPEC.tccd_ps)
         assert device.banks[0].stats["precharges"] == 1
 
+    @pytest.mark.sanitizer_exempt
     def test_refresh_without_prea_raises_via_device(self, setup):
         _device, _bus, ctrl = setup
         _, end = ctrl.read(0, 64, 0)

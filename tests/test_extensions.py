@@ -15,10 +15,10 @@ from repro.device.variants import (all_variants,
 from repro.errors import KernelError
 from repro.experiments.design_space import (max_programmable_budget_ps,
                                             TECHNOLOGIES)
-from repro.ddr.spec import GRADE_2400, NVDIMMC_1600
+from repro.ddr.spec import GRADE_2400
 from repro.kernel.devdax import DevDaxDevice
 from repro.nvmc.fsm import FirmwareModel
-from repro.units import PAGE_4K, mb, us
+from repro.units import PAGE_4K, mb
 
 
 def make_devdax():

@@ -6,7 +6,6 @@ collision-free and the final DRAM contents must match a flat reference
 model.  This is the §VII-A aging argument turned into a property.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ddr.bus import SharedBus

@@ -7,7 +7,6 @@ with eviction pressure, timing, and power failure in the loop.
 
 import random
 
-import pytest
 
 from repro.cpu.core import CPUCore
 from repro.cpu.mmu import MMU

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.cpu.cache import CPUCache
 from repro.cpu.core import CPUCore
 from repro.cpu.mmu import MMU
-from repro.device.nvdimmc import NVDIMMCSystem, _DramBackend
+from repro.device.nvdimmc import NVDIMMCSystem
 from repro.errors import KernelError
 from repro.kernel.fs import DaxFilesystem
 from repro.nvmc.fsm import FirmwareModel

@@ -126,6 +126,7 @@ class TestCoherence:
         data, _ = system.nand.read_page(0, 0)
         assert data == page_of(42)
 
+    @pytest.mark.sanitizer_exempt
     def test_broken_driver_loses_cpu_writes(self):
         """The same flow with skip_coherence=True corrupts data —
         reproducing the hazard the paper designs against."""

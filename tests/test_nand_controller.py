@@ -1,6 +1,5 @@
 """Tests for the NAND channel controller: timing, channels, ECC overlay."""
 
-import pytest
 
 from repro.nand.controller import NANDController
 from repro.nand.spec import ZNANDSpec

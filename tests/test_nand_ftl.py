@@ -1,6 +1,5 @@
 """Tests for the flash translation layer: mapping, GC, wear levelling."""
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -89,6 +89,7 @@ class TestCollisionFreedom:
         for i in range(40):
             assert device.peek(i * 4096, 1) == bytes([i])
 
+    @pytest.mark.sanitizer_exempt
     def test_rogue_agent_collides(self):
         """Without the rule, driving after REF collides with... the
         refresh blackout itself or host traffic."""

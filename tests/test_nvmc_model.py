@@ -1,6 +1,5 @@
 """Tests for the transaction-level NVMC: window scheduling + data flow."""
 
-import pytest
 
 from repro.ddr.device import DRAMDevice
 from repro.ddr.imc import RefreshTimeline

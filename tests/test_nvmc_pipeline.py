@@ -7,7 +7,7 @@ from repro.ddr.spec import NVDIMMC_1600
 from repro.errors import ConfigError
 from repro.nand.spec import ZNAND_64GB
 from repro.nvmc.pipeline import PipelinedNVMC, queue_depth_sweep
-from repro.units import PAGE_4K, kb, us
+from repro.units import kb, us
 
 TIMELINE = RefreshTimeline(NVDIMMC_1600)
 

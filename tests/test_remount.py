@@ -1,6 +1,5 @@
 """Tests for the §V-C recovery story end to end: fail, drain, remount."""
 
-import pytest
 
 from repro.device.nvdimmc import NVDIMMCSystem
 from repro.device.power import PowerFailureModel

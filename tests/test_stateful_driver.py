@@ -6,9 +6,8 @@ step that the device's observable contents equal a plain dictionary —
 across cache hits, evictions, Z-NAND round trips and FTL relocations.
 """
 
-import pytest
 from hypothesis import settings
-from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
                                  invariant, rule)
 from hypothesis import strategies as st
 

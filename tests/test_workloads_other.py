@@ -112,6 +112,7 @@ class TestMixedLoad:
         assert system.driver.stats.evictions > 0   # pressure was real
         assert result.transactions == 360
 
+    @pytest.mark.sanitizer_exempt
     def test_mixed_load_broken_coherence_corrupts(self):
         """With the §V-B bracket removed, validation catches corruption."""
         system = NVDIMMCSystem(cache_bytes=mb(1), device_bytes=mb(32),
