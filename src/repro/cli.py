@@ -3,8 +3,12 @@
 Commands:
 
 * ``experiments [ids...]`` — run experiment modules (default: all) and
-  print their paper-vs-measured records.
+  print their paper-vs-measured records; ``--jobs N|auto`` fans them
+  out over worker processes.
 * ``report`` — regenerate EXPERIMENTS.md.
+* ``bench`` — time each experiment and write ``BENCH_<timestamp>.json``
+  (wall-clock, engine events, events/sec), comparing against the
+  previous BENCH file or a ``--baseline``.
 * ``tables`` — render the static tables (Table I/II, design space,
   arbitration and variant comparisons).
 * ``fio`` — an ad-hoc FIO run against a chosen device tier.
@@ -20,21 +24,24 @@ import sys
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import ALL_EXPERIMENTS, run_all
-    only = args.ids or None
-    unknown = set(only or []) - set(ALL_EXPERIMENTS)
-    if unknown:
-        print(f"unknown experiment ids: {sorted(unknown)}; "
-              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+    from repro.experiments.runner import run_all
+    try:
+        run_all(only=args.ids or None, jobs=args.jobs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    run_all(only=only)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as report_main
-    report_main()
+    report_main(["--jobs", str(args.jobs)])
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import main as bench_main
+    return bench_main(args)
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -92,10 +99,31 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run experiment modules")
     p_exp.add_argument("ids", nargs="*",
                        help="experiment ids (default: all)")
+    p_exp.add_argument("--jobs", default="1",
+                       help="worker processes: an integer or 'auto'")
     p_exp.set_defaults(fn=_cmd_experiments)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("--jobs", default="1",
+                       help="worker processes: an integer or 'auto'")
     p_rep.set_defaults(fn=_cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the experiments and write a BENCH json")
+    p_bench.add_argument("ids", nargs="*",
+                         help="experiment ids (default: all)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="run the 3-experiment smoke subset")
+    p_bench.add_argument("--out", default=".",
+                         help="directory for BENCH_<timestamp>.json")
+    p_bench.add_argument("--baseline", default=None,
+                         help="baseline BENCH json to compare against "
+                              "(overrides the most recent BENCH file)")
+    p_bench.add_argument("--max-regression", type=float, default=None,
+                         metavar="RATIO",
+                         help="fail (exit 1) if any experiment's "
+                              "wall-clock exceeds baseline * RATIO")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_tab = sub.add_parser("tables", help="render the static tables")
     p_tab.set_defaults(fn=_cmd_tables)

@@ -91,10 +91,13 @@ class RefreshTimeline:
         """
         index = self.index_at_or_after(
             time_ps - self.trfc_device_ps)
-        window = self.window(index)
-        if window.start_ps < time_ps:
-            window = self.window(index + 1)
-        return window
+        ref = self.offset_ps + index * self.trefi_ps
+        if ref + self.trfc_device_ps < time_ps:
+            index += 1
+            ref += self.trefi_ps
+        return RefreshWindow(index, ref,
+                             ref + self.trfc_device_ps,
+                             ref + self.trfc_programmed_ps)
 
     def window_containing(self, time_ps: int) -> RefreshWindow | None:
         """The window whose usable interval contains ``time_ps``, if any."""
@@ -215,6 +218,11 @@ class IntegratedMemoryController:
 
     # -- refresh loop ------------------------------------------------------------------
 
+    #: Refreshes armed per batch by the scheduler.  One wakeup per batch
+    #: instead of one per tREFI; REF times are distinct (tREFI apart), so
+    #: heap order — and therefore the simulation — is unchanged.
+    REFRESH_BATCH = 64
+
     def start_refresh_process(self) -> Process:
         """Spawn the periodic refresh loop on the engine."""
         if self._refresh_process is not None:
@@ -224,15 +232,28 @@ class IntegratedMemoryController:
         return self._refresh_process
 
     def _refresh_loop(self):
+        """Arm refreshes a batch at a time via ``Engine.call_at_many``.
+
+        Each iteration schedules the next ``REFRESH_BATCH`` PREA+REF
+        slots directly as engine callbacks, then sleeps until the last
+        one has fired before arming the next batch.  ``issue_refresh``
+        derives all command times from the timeline (not from the
+        callback's wakeup time), so a late start simply issues the
+        overdue refresh immediately — the same behaviour the one-wakeup-
+        per-tREFI loop had.
+        """
         index = 0
         while True:
-            ref_ps = self.timeline.refresh_time(index)
-            prea_ps = ref_ps - self.spec.trp_ps
-            delay = prea_ps - self.engine.now
-            if delay > 0:
-                yield Timeout(delay)
-            self.issue_refresh(index)
-            index += 1
+            now = self.engine.now
+            items = []
+            for i in range(index, index + self.REFRESH_BATCH):
+                prea_ps = self.timeline.refresh_time(i) - self.spec.trp_ps
+                items.append((max(prea_ps, now),
+                              lambda i=i: self.issue_refresh(i)))
+            self.engine.call_at_many(items)
+            index += self.REFRESH_BATCH
+            last_ps = items[-1][0]
+            yield Timeout(max(0, last_ps - now))
 
     def issue_refresh(self, index: int) -> None:
         """PREA then REF at the timeline's scheduled instant (Fig. 2b)."""

@@ -18,6 +18,7 @@ The two parameters at the centre of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 from repro.errors import ConfigError
 from repro.units import ns, us
@@ -33,12 +34,12 @@ class SpeedGrade:
     trcd_clk: int            # ACT-to-RD/WR, clocks
     trp_clk: int             # PRE-to-ACT, clocks
 
-    @property
+    @cached_property
     def clock_ps(self) -> int:
         """Device clock period in picoseconds (clock = data rate / 2)."""
         return round(2_000_000 / self.data_rate_mtps) * 1  # ps
 
-    @property
+    @cached_property
     def half_clock_ps(self) -> int:
         """Half clock period: one DDR transfer slot on the CA/DQ pins."""
         return self.clock_ps // 2
@@ -68,6 +69,13 @@ class DDR4Spec:
     extended 1250 ns, while ``trfc_device_ps`` remains the JEDEC value the
     DRAM actually needs (350 ns for 8 Gb).  The difference is the paper's
     device-access window.
+
+    Derived timings are ``cached_property``s: the dataclass is frozen, so
+    each value is computed once per instance and then read from the
+    instance ``__dict__`` — these accessors sit under every per-command
+    and per-transfer hot path in the simulator.  ``replace``-based
+    copies (``with_extended_trfc`` / ``with_trefi``) start with a fresh
+    cache.
     """
 
     grade: SpeedGrade
@@ -88,54 +96,54 @@ class DDR4Spec:
     tfaw_clk: int = 28                  # four-activate window
     cwl_clk: int = 9                    # CAS write latency
 
-    @property
+    @cached_property
     def clock_ps(self) -> int:
         return self.grade.clock_ps
 
-    @property
+    @cached_property
     def trcd_ps(self) -> int:
         return self.grade.trcd_clk * self.clock_ps
 
-    @property
+    @cached_property
     def tcl_ps(self) -> int:
         return self.grade.cl_clk * self.clock_ps
 
-    @property
+    @cached_property
     def trp_ps(self) -> int:
         return self.grade.trp_clk * self.clock_ps
 
-    @property
+    @cached_property
     def tras_ps(self) -> int:
         return self.tras_clk * self.clock_ps
 
-    @property
+    @cached_property
     def twr_ps(self) -> int:
         return self.twr_clk * self.clock_ps
 
-    @property
+    @cached_property
     def tccd_ps(self) -> int:
         return self.tccd_clk * self.clock_ps
 
-    @property
+    @cached_property
     def cwl_ps(self) -> int:
         return self.cwl_clk * self.clock_ps
 
-    @property
+    @cached_property
     def trrd_ps(self) -> int:
         """ACT-to-ACT spacing across banks."""
         return self.trrd_clk * self.clock_ps
 
-    @property
+    @cached_property
     def tfaw_ps(self) -> int:
         """Four-activate window: at most 4 ACTs per rank within it."""
         return self.tfaw_clk * self.clock_ps
 
-    @property
+    @cached_property
     def trfc_device_ps(self) -> int:
         """The JEDEC tRFC the DRAM die actually requires (by density)."""
         return ns(TRFC_BY_DENSITY_NS[self.density])
 
-    @property
+    @cached_property
     def extra_trfc_ps(self) -> int:
         """Device-access window: programmed tRFC minus the JEDEC tRFC.
 
@@ -144,21 +152,21 @@ class DDR4Spec:
         """
         return max(0, self.trfc_ps - self.trfc_device_ps)
 
-    @property
+    @cached_property
     def burst_time_ps(self) -> int:
         """Data-bus occupancy of one BL8 burst: BL/2 clocks."""
         return (self.burst_length // 2) * self.clock_ps
 
-    @property
+    @cached_property
     def burst_bytes(self) -> int:
         """Bytes moved per column burst on a x64 DIMM (8 B * BL)."""
         return 8 * self.burst_length
 
-    @property
+    @cached_property
     def total_banks(self) -> int:
         return self.ranks * self.bank_groups * self.banks_per_group
 
-    @property
+    @cached_property
     def read_latency_ps(self) -> int:
         """Closed-row read latency: tRCD + tCL (the §III-A budget)."""
         return self.trcd_ps + self.tcl_ps

@@ -1,4 +1,10 @@
-"""Run every experiment and regenerate the EXPERIMENTS.md report."""
+"""Run every experiment and regenerate the EXPERIMENTS.md report.
+
+Experiments are independent and deterministic, so ``run_all`` can fan
+them out over worker processes (``jobs > 1``); records are merged back
+in declaration order, which makes the exported ``results.json`` /
+``results.csv`` byte-identical between serial and parallel executions.
+"""
 
 from __future__ import annotations
 
@@ -50,19 +56,70 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
 }
 
 
+def resolve_jobs(jobs: int | str | None) -> int:
+    """Normalise a ``--jobs`` value: int, ``"auto"`` or None (=1)."""
+    if jobs is None:
+        return 1
+    if jobs == "auto":
+        import os
+        return max(1, os.cpu_count() or 1)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_one(exp_id: str) -> ExperimentRecord:
+    """Worker entry point: run one experiment by id (picklable)."""
+    return ALL_EXPERIMENTS[exp_id]()
+
+
 def run_all(only: list[str] | None = None,
-            verbose: bool = True) -> list[ExperimentRecord]:
-    """Execute experiments (all, or the ids in ``only``)."""
+            verbose: bool = True,
+            jobs: int | str | None = 1) -> list[ExperimentRecord]:
+    """Execute experiments (all, or the ids in ``only``).
+
+    ``jobs`` > 1 fans experiments out over a process pool (they are
+    independent and deterministic); records come back in declaration
+    order regardless of completion order, so serial and parallel runs
+    produce identical output.  Unknown ids in ``only`` raise
+    :class:`ValueError` naming the valid ids.
+    """
+    if only is not None:
+        unknown = sorted(set(only) - set(ALL_EXPERIMENTS))
+        if unknown:
+            raise ValueError(
+                f"unknown experiment ids: {unknown}; "
+                f"valid ids: {sorted(ALL_EXPERIMENTS)}")
+    ids = [exp_id for exp_id in ALL_EXPERIMENTS
+           if only is None or exp_id in only]
+    jobs = min(resolve_jobs(jobs), max(1, len(ids)))
+
     records = []
-    for exp_id, fn in ALL_EXPERIMENTS.items():
-        if only is not None and exp_id not in only:
-            continue
-        started = time.time()
-        record = fn()
-        if verbose:
-            print(record)
-            print(f"  [{time.time() - started:.1f}s]\n")
-        records.append(record)
+    if jobs == 1:
+        for exp_id in ids:
+            started = time.time()
+            record = ALL_EXPERIMENTS[exp_id]()
+            if verbose:
+                print(record)
+                print(f"  [{time.time() - started:.1f}s]\n")
+            records.append(record)
+        return records
+
+    from concurrent.futures import ProcessPoolExecutor
+    started = time.time()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {exp_id: pool.submit(_run_one, exp_id) for exp_id in ids}
+        # Collect in declaration order, not completion order.
+        for exp_id in ids:
+            record = futures[exp_id].result()
+            if verbose:
+                print(record)
+                print()
+            records.append(record)
+    if verbose:
+        print(f"  [{len(ids)} experiments on {jobs} workers in "
+              f"{time.time() - started:.1f}s]\n")
     return records
 
 
@@ -107,8 +164,16 @@ def to_markdown(records: list[ExperimentRecord]) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    records = run_all()
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run all experiments and regenerate the report files")
+    parser.add_argument("--jobs", default="1",
+                        help="worker processes: an integer or 'auto' "
+                             "(one per CPU); default 1 (serial)")
+    args = parser.parse_args(argv)
+    records = run_all(jobs=args.jobs)
     path = "EXPERIMENTS.md"
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(to_markdown(records))

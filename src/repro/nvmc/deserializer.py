@@ -9,9 +9,16 @@ the deserializer is eight-bit wide."
 The model pushes one sampled logic level per half-clock and emits an
 8-bit parallel word every eight samples; the refresh detector consumes
 the aligned words of all six signals.
+
+The shift register is kept as an integer accumulator plus a fill count
+(rather than a list of bools): assembling the parallel word is then free
+— the accumulator *is* the word — which matters because the sample-level
+path runs once per observed command slot per pin.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 
 class Deserializer:
@@ -21,7 +28,8 @@ class Deserializer:
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._shift: list[bool] = []
+        self._word = 0
+        self._count = 0
         self.words_emitted = 0
 
     def push(self, level: bool) -> int | None:
@@ -30,25 +38,49 @@ class Deserializer:
         Bit 0 of the word is the oldest sample, matching how the RTL
         presents time-ordered captures to the detector.
         """
-        self._shift.append(bool(level))
-        if len(self._shift) < self.WIDTH:
+        if level:
+            self._word |= 1 << self._count
+        self._count += 1
+        if self._count < self.WIDTH:
             return None
-        word = 0
-        for i, bit in enumerate(self._shift):
-            if bit:
-                word |= 1 << i
-        self._shift.clear()
+        word = self._word
+        self._word = 0
+        self._count = 0
         self.words_emitted += 1
         return word
+
+    def push_many(self, levels: Iterable[bool]) -> list[int]:
+        """Shift in a batch of samples; returns every word emitted.
+
+        Equivalent to calling :meth:`push` per sample and collecting the
+        non-``None`` returns, without the per-sample call overhead.
+        """
+        word = self._word
+        count = self._count
+        width = self.WIDTH
+        emitted: list[int] = []
+        for level in levels:
+            if level:
+                word |= 1 << count
+            count += 1
+            if count == width:
+                emitted.append(word)
+                word = 0
+                count = 0
+        self._word = word
+        self._count = count
+        self.words_emitted += len(emitted)
+        return emitted
 
     @property
     def pending_samples(self) -> int:
         """Samples captured since the last emitted word."""
-        return len(self._shift)
+        return self._count
 
     def reset(self) -> None:
         """Drop partial captures (e.g. on relock after clock loss)."""
-        self._shift.clear()
+        self._word = 0
+        self._count = 0
 
 
 def word_bits(word: int, width: int = Deserializer.WIDTH) -> list[bool]:

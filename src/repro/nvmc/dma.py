@@ -41,6 +41,10 @@ class DMAEngine:
         self.window_bytes = window_bytes
         self.setup_ps = setup_ps
         self.stats = DMAStats()
+        #: Per-size memo — spec/setup are fixed for the engine's
+        #: lifetime and real traffic uses a handful of sizes (64 B CP
+        #: lines, 4 KB pages), so the arithmetic runs once per size.
+        self._time_cache: dict[int, int] = {}
 
     def transfer_time_ps(self, nbytes: int) -> int:
         """Bus time for ``nbytes``: burst-granular, open-page transfers.
@@ -48,9 +52,14 @@ class DMAEngine:
         Each 64 B burst occupies tCCD on the channel; the first adds the
         ACT + tRCD + CAS lead-in.
         """
+        cached = self._time_cache.get(nbytes)
+        if cached is not None:
+            return cached
         bursts = -(-nbytes // self.spec.burst_bytes)
         lead_in = self.spec.trcd_ps + self.spec.tcl_ps
-        return self.setup_ps + lead_in + bursts * self.spec.tccd_ps
+        time_ps = self.setup_ps + lead_in + bursts * self.spec.tccd_ps
+        self._time_cache[nbytes] = time_ps
+        return time_ps
 
     def fits_in_window(self, nbytes: int, window: RefreshWindow) -> bool:
         """Whether a transfer both respects the byte budget and the time."""

@@ -1,0 +1,215 @@
+"""Performance benchmarking of the simulator itself.
+
+The experiment suite measures the *paper's* numbers; this module
+measures *our* numbers — how long each experiment takes to simulate and
+how hard the event engine worked — so that performance PRs land with
+evidence and regressions are caught in CI.
+
+``run_bench`` times each experiment (wall-clock seconds, engine events
+executed, events/sec, peak tracer records retained) and ``repro bench``
+writes the result as ``BENCH_<timestamp>.json``, printing a comparison
+table against the most recent prior BENCH file (or an explicit
+``--baseline``, which is how the CI bench-smoke job gates >2x
+wall-clock regressions against ``benchmarks/baseline.json``).
+
+Wall-clock numbers are machine-dependent; ``events_executed`` is not —
+a changed event count between two runs of the same tree means behaviour
+changed, not just speed.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass
+
+#: BENCH file schema version (bump when the payload shape changes).
+SCHEMA_VERSION = 1
+
+#: The ``--quick`` subset: one detector-heavy run (validation), one
+#: transaction-model run (fig8) and one command-accurate run
+#: (crosscheck) — small but covering every hot layer.
+QUICK_SUBSET = ("validation", "fig8", "crosscheck")
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """Timing of one experiment."""
+
+    experiment_id: str
+    wall_s: float
+    events_executed: int
+    events_per_s: float
+    peak_trace_records: int
+
+
+def run_bench(only: list[str] | None = None,
+              verbose: bool = True) -> dict:
+    """Time experiments and return the BENCH payload (a JSON-able dict).
+
+    Experiments run serially on purpose: bench numbers are per-experiment
+    wall-clock, and co-scheduling workers would pollute them.
+    """
+    from repro.experiments.runner import ALL_EXPERIMENTS
+    from repro.sim.engine import Engine
+    from repro.sim.trace import TraceMeter
+
+    if only is not None:
+        unknown = sorted(set(only) - set(ALL_EXPERIMENTS))
+        if unknown:
+            raise ValueError(
+                f"unknown experiment ids: {unknown}; "
+                f"valid ids: {sorted(ALL_EXPERIMENTS)}")
+    ids = [exp_id for exp_id in ALL_EXPERIMENTS
+           if only is None or exp_id in only]
+
+    entries: list[BenchEntry] = []
+    total_started = time.perf_counter()
+    for exp_id in ids:
+        TraceMeter.reset()
+        events_before = Engine.total_events_executed
+        started = time.perf_counter()
+        ALL_EXPERIMENTS[exp_id]()
+        wall_s = time.perf_counter() - started
+        events = Engine.total_events_executed - events_before
+        entry = BenchEntry(
+            experiment_id=exp_id,
+            wall_s=round(wall_s, 4),
+            events_executed=events,
+            events_per_s=round(events / wall_s, 1) if wall_s > 0 else 0.0,
+            peak_trace_records=TraceMeter.peak_retained,
+        )
+        entries.append(entry)
+        if verbose:
+            print(f"  {exp_id:16s} {entry.wall_s:8.3f}s "
+                  f"{entry.events_executed:>10d} ev "
+                  f"{entry.events_per_s:>12.0f} ev/s")
+    total_wall = time.perf_counter() - total_started
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "total_wall_s": round(total_wall, 4),
+        "experiments": [asdict(entry) for entry in entries],
+    }
+
+
+def write_bench(payload: dict, out_dir: str = ".") -> str:
+    """Write ``payload`` as ``BENCH_<timestamp>.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    stamp = time.strftime("%Y%m%d_%H%M%S", time.gmtime())
+    path = os.path.join(out_dir, f"BENCH_{stamp}.json")
+    # Never clobber an existing file (two benches in one second).
+    counter = 1
+    while os.path.exists(path):
+        path = os.path.join(out_dir, f"BENCH_{stamp}_{counter}.json")
+        counter += 1
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict:
+    """Load a BENCH json, validating the schema version."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported BENCH schema "
+            f"{payload.get('schema')!r} (expected {SCHEMA_VERSION})")
+    return payload
+
+
+def latest_bench(out_dir: str = ".",
+                 exclude: str | None = None) -> str | None:
+    """Most recent ``BENCH_*.json`` under ``out_dir`` (by filename)."""
+    paths = sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json")))
+    if exclude is not None:
+        exclude_abs = os.path.abspath(exclude)
+        paths = [p for p in paths if os.path.abspath(p) != exclude_abs]
+    return paths[-1] if paths else None
+
+
+def compare_table(baseline: dict, current: dict) -> list[str]:
+    """Human-readable per-experiment comparison lines (current/baseline)."""
+    base_index = {e["experiment_id"]: e for e in baseline["experiments"]}
+    lines = [f"{'experiment':16s} {'wall_s':>8s} {'baseline':>9s} "
+             f"{'ratio':>6s} {'events':>11s}"]
+    for entry in current["experiments"]:
+        exp_id = entry["experiment_id"]
+        base = base_index.get(exp_id)
+        if base is None or base["wall_s"] <= 0:
+            ratio = "new"
+            base_wall = "—"
+        else:
+            ratio = f"{entry['wall_s'] / base['wall_s']:.2f}x"
+            base_wall = f"{base['wall_s']:.3f}"
+        lines.append(f"{exp_id:16s} {entry['wall_s']:8.3f} {base_wall:>9s} "
+                     f"{ratio:>6s} {entry['events_executed']:>11d}")
+    return lines
+
+
+def find_regressions(baseline: dict, current: dict,
+                     max_ratio: float) -> list[str]:
+    """Experiments whose wall-clock regressed beyond ``max_ratio``.
+
+    Only ids present in both payloads are compared; returns one line per
+    offender (empty list = gate passes).
+    """
+    base_index = {e["experiment_id"]: e for e in baseline["experiments"]}
+    failures = []
+    for entry in current["experiments"]:
+        base = base_index.get(entry["experiment_id"])
+        if base is None or base["wall_s"] <= 0:
+            continue
+        ratio = entry["wall_s"] / base["wall_s"]
+        if ratio > max_ratio:
+            failures.append(
+                f"{entry['experiment_id']}: {entry['wall_s']:.3f}s vs "
+                f"baseline {base['wall_s']:.3f}s "
+                f"({ratio:.2f}x > {max_ratio:.2f}x)")
+    return failures
+
+
+def main(args) -> int:
+    """Entry point for ``repro bench`` (argparse namespace from the CLI)."""
+    only: list[str] | None = list(args.ids) if args.ids else None
+    if args.quick:
+        only = list(QUICK_SUBSET) + [i for i in (only or [])
+                                     if i not in QUICK_SUBSET]
+    try:
+        payload = run_bench(only=only)
+    except ValueError as exc:
+        print(str(exc))
+        return 2
+    path = write_bench(payload, out_dir=args.out)
+    print(f"wrote {path} ({len(payload['experiments'])} experiments, "
+          f"total {payload['total_wall_s']:.2f}s)")
+
+    baseline_path = args.baseline or latest_bench(args.out, exclude=path)
+    if baseline_path is None:
+        print("no prior BENCH file or --baseline to compare against")
+        return 0
+    baseline = load_bench(baseline_path)
+    print(f"\ncomparison vs {baseline_path}:")
+    for line in compare_table(baseline, payload):
+        print(f"  {line}")
+    if args.max_regression is not None:
+        failures = find_regressions(baseline, payload, args.max_regression)
+        if failures:
+            print("\nPERF REGRESSION:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(f"\nno experiment regressed beyond "
+              f"{args.max_regression:.2f}x — gate passes")
+    return 0

@@ -59,11 +59,20 @@ class HostCostModel:
         self.timeline = timeline
         self.flavour = flavour
         self.calibration = calibration
+        # Per-(size, op) memos.  Everything the formulas read — timeline,
+        # flavour, calibration — is fixed at construction (a new timeline
+        # means a new model), and workloads hit the same few size classes
+        # millions of times.
+        self._cost_cache: dict[tuple[int, bool], OpCost] = {}
+        self._service_cache: dict[tuple[int, bool], int] = {}
 
     # -- per-op costs -----------------------------------------------------------
 
     def cached_cost(self, nbytes: int, is_write: bool) -> OpCost:
-        """Cost of an access served entirely from DRAM."""
+        """Cost of an access served entirely from DRAM (memoized)."""
+        cost = self._cost_cache.get((nbytes, is_write))
+        if cost is not None:
+            return cost
         cal = self.calibration
         if self.flavour == "pmem":
             fixed = (cal.pmem_fixed_write_ps if is_write
@@ -88,8 +97,10 @@ class HostCostModel:
         mem_raw = nbytes * cal.mem_byte_ps
         blk = self.timeline.trfc_programmed_ps + self.timeline.spec.trp_ps
         stall = (mem_raw * blk + blk * blk / 2) / self.timeline.trefi_ps
-        return OpCost(fixed_ps=fixed, sw_ps=round(sw),
+        cost = OpCost(fixed_ps=fixed, sw_ps=round(sw),
                       mem_ps=round(mem_raw + stall))
+        self._cost_cache[(nbytes, is_write)] = cost
+        return cost
 
     #: Blocked fraction at which the Fig. 9 channel caps were measured
     #: (stock 7.8 us tREFI; tRFC 350 ns for the pmem channel, 1250 ns
@@ -108,6 +119,9 @@ class HostCostModel:
         Fig. 13 latency points show; a ``1/(1-blocked)`` inflation
         overshoots the paper's measured 16-thread tREFI4 point badly).
         """
+        service = self._service_cache.get((nbytes, is_write))
+        if service is not None:
+            return service
         cal = self.calibration
         if self.flavour == "pmem":
             cap = cal.pmem_channel_mb_s
@@ -117,7 +131,9 @@ class HostCostModel:
         cap_bytes_per_ps = cap * 1e6 / 1e12
         reference = self._CAP_REFERENCE_BLOCKED[self.flavour]
         raw = (nbytes / cap_bytes_per_ps) / (1 + reference)
-        return round(raw * (1.0 + self.blocked_fraction))
+        service = round(raw * (1.0 + self.blocked_fraction))
+        self._service_cache[(nbytes, is_write)] = service
+        return service
 
     @property
     def blocked_fraction(self) -> float:

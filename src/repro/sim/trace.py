@@ -57,14 +57,47 @@ class TraceRecord:
         return f"{text} {extra}".rstrip()
 
 
+class TraceMeter:
+    """Process-wide trace counters for the perf bench harness.
+
+    ``records_emitted`` counts every record that passed the enabled /
+    category filters (whether or not retention kept it);
+    ``peak_retained`` is the high-water mark of any single tracer's
+    retained record list.  Disabled tracers never touch these, so the
+    normal (tracing-off) hot path is unaffected.
+    """
+
+    records_emitted: int = 0
+    peak_retained: int = 0
+
+    @classmethod
+    def reset(cls) -> None:
+        cls.records_emitted = 0
+        cls.peak_retained = 0
+
+
 class Tracer:
-    """Collects trace records, optionally filtered by category prefix."""
+    """Collects trace records, optionally filtered by category prefix.
+
+    Drop semantics under a ``capacity`` bound are intentionally
+    retention-only: a record past capacity is still *constructed* and
+    still *delivered to every subscriber* — only its archival in
+    ``records`` is skipped (counted in ``dropped``).  Certification in
+    ``repro.check`` keys off ``dropped`` because the archived trace is
+    incomplete, but online observation (the sanitizers themselves)
+    remains complete.  The disabled / category-filtered early-outs in
+    :meth:`emit` happen *before* record construction and before
+    subscriber delivery — a filtered-out record does not exist for
+    either consumer.
+    """
 
     def __init__(self, enabled: bool = False,
                  categories: tuple[str, ...] | None = None,
                  capacity: int | None = None) -> None:
         self.enabled = enabled
-        self.categories = categories
+        # Normalised to a real tuple so ``emit`` can hand it straight to
+        # ``str.startswith`` (which accepts a tuple of prefixes).
+        self.categories = tuple(categories) if categories is not None else None
         self.capacity = capacity
         self.records: list[TraceRecord] = []
         self.dropped = 0
@@ -73,14 +106,21 @@ class Tracer:
 
     def emit(self, time_ps: int, category: str, message: str,
              **fields: Any) -> None:
-        """Record an event if tracing is on and the category is selected."""
+        """Record an event if tracing is on and the category is selected.
+
+        The early-outs are ordered cheapest-first and fire before the
+        :class:`TraceRecord` is built: a disabled or filtered ``emit`` is
+        one or two branches, no allocation, no subscriber calls.
+        """
         if not self.enabled:
             return
-        if self.categories is not None and not any(
-                category.startswith(prefix) for prefix in self.categories):
+        categories = self.categories
+        if categories is not None and not category.startswith(categories):
             return
         record = TraceRecord(time_ps, category, message, fields)
-        if self.capacity is not None and len(self.records) >= self.capacity:
+        TraceMeter.records_emitted += 1
+        records = self.records
+        if self.capacity is not None and len(records) >= self.capacity:
             self.dropped += 1
             if not self._warned_dropped:
                 self._warned_dropped = True
@@ -91,7 +131,9 @@ class Tracer:
                     "and sanitizers will refuse to certify this run.",
                     RuntimeWarning, stacklevel=2)
         else:
-            self.records.append(record)
+            records.append(record)
+            if len(records) > TraceMeter.peak_retained:
+                TraceMeter.peak_retained = len(records)
         for subscriber in self._subscribers:
             subscriber(record)
 

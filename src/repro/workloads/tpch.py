@@ -28,6 +28,7 @@ a slot cache with the chosen policy (hits/misses counted), and time is
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 
 from repro.kernel.eviction import make_policy
@@ -113,10 +114,14 @@ def generate_query_trace(spec: QuerySpec, db_pages: int,
     sizes).  Trace length scales with the footprint but is capped so a
     full 22-query run stays fast at any scale.
     """
-    rng = random.Random(seed ^ hash(spec.name))
+    # CRC32, not hash(): str hashing is randomised per process
+    # (PYTHONHASHSEED), which made traces differ between processes and
+    # broke serial-vs-parallel runner equivalence.
+    name_key = zlib.crc32(spec.name.encode("utf-8"))
+    rng = random.Random(seed ^ name_key)
     footprint = max(16, int(db_pages * spec.footprint_frac))
     # Deterministic anchor: queries over the same table ranges overlap.
-    base = (hash(spec.name) % 7) * max(1, (db_pages - footprint) // 7)
+    base = (name_key % 7) * max(1, (db_pages - footprint) // 7)
     length = min(max_accesses, int(footprint * spec.accesses_per_page))
     trace: list[int] = []
     seq_cursor = 0

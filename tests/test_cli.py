@@ -19,6 +19,26 @@ class TestParser:
     def test_unknown_experiment_id_fails(self):
         assert main(["experiments", "fig99"]) == 2
 
+    def test_unknown_experiment_id_names_valid_ids(self, capsys):
+        main(["experiments", "fig99"])
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "valid ids" in err
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["experiments", "--jobs", "auto"])
+        assert args.jobs == "auto"
+        args = build_parser().parse_args(["report", "--jobs", "4"])
+        assert args.jobs == "4"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.ids == []
+        assert args.quick is False
+        assert args.out == "."
+        assert args.baseline is None
+        assert args.max_regression is None
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -45,3 +65,48 @@ class TestCommands:
         assert main(["experiments", "fig12"]) == 0
         out = capsys.readouterr().out
         assert "Hypothetical" in out
+
+    def test_experiments_parallel_jobs(self, capsys):
+        assert main(["experiments", "fig12", "crosscheck",
+                     "--jobs", "2"]) == 0
+        assert "2 workers" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_writes_file_and_compares(self, tmp_path, capsys):
+        out_dir = str(tmp_path)
+        assert main(["bench", "fig12", "--out", out_dir]) == 0
+        first = capsys.readouterr().out
+        assert "wrote" in first
+        assert "no prior BENCH file" in first
+        # Second run finds the first as implicit baseline and gates on it.
+        assert main(["bench", "fig12", "--out", out_dir,
+                     "--max-regression", "1000"]) == 0
+        second = capsys.readouterr().out
+        assert "comparison vs" in second
+        assert "gate passes" in second
+        benches = list(tmp_path.glob("BENCH_*.json"))
+        assert len(benches) == 2
+
+    def test_bench_unknown_id_fails(self, tmp_path):
+        assert main(["bench", "fig99", "--out", str(tmp_path)]) == 2
+
+    def test_bench_regression_gate_fails(self, tmp_path, capsys):
+        # crosscheck, not fig12: the gate needs a measurably nonzero
+        # wall-clock on the current run to trip against the forged
+        # impossibly-fast baseline.
+        import json
+
+        from repro.perf.bench import load_bench
+        out_dir = str(tmp_path)
+        assert main(["bench", "crosscheck", "--out", out_dir]) == 0
+        capsys.readouterr()
+        real = load_bench(next(iter(tmp_path.glob("BENCH_*.json"))).as_posix())
+        for entry in real["experiments"]:
+            entry["wall_s"] = 1e-9
+        forged = tmp_path / "forged.json"
+        forged.write_text(json.dumps(real))
+        assert main(["bench", "crosscheck", "--out", out_dir,
+                     "--baseline", str(forged),
+                     "--max-regression", "2.0"]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out

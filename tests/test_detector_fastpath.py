@@ -1,0 +1,99 @@
+"""Equivalence of the detector's LUT fast path and the sample-level path.
+
+The fast path (precomputed whole-slot lookup keyed on the six pin
+levels) is only legal at ``noise_ber = 0``; these tests drive both
+implementations over randomized command streams and require *identical*
+observable state: detections, TP/FP/FN counters, accuracy, and the
+deserializer word counters — including around the CKE-falling
+self-refresh guard, which sits on top of the per-slot match.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ddr.commands import CAState, CommandKind, encode
+from repro.nvmc.refresh_detector import (IDLE_LEVELS, PIN_NAMES,
+                                         REF_PATTERN, RefreshDetector,
+                                         _build_slot_lut)
+
+ALL_KINDS = list(CommandKind)
+
+command_streams = st.lists(st.sampled_from(ALL_KINDS), min_size=0,
+                           max_size=60)
+
+#: Arbitrary pin soup: not all combinations decode to a legal DDR4
+#: command, but the detector is a passive tap and must classify *any*
+#: pin state identically on both paths.
+pin_states = st.tuples(*[st.booleans() for _ in PIN_NAMES])
+
+
+def _drive(detector: RefreshDetector, states: list[CAState]) -> tuple:
+    for i, state in enumerate(states):
+        detector.observe(i * 100, state)
+    return (detector.detections, detector.true_positives,
+            detector.false_positives, detector.false_negatives,
+            detector.commands_observed, detector.accuracy,
+            [d.words_emitted for d in detector._deserializers])
+
+
+@given(command_streams)
+def test_fast_and_slow_paths_agree_on_command_streams(kinds):
+    states = [encode(kind) for kind in kinds]
+    fast = RefreshDetector(noise_ber=0.0)
+    slow = RefreshDetector(noise_ber=0.0, force_slow=True)
+    assert _drive(fast, states) == _drive(slow, states)
+
+
+@given(st.lists(pin_states, min_size=0, max_size=60))
+def test_fast_and_slow_paths_agree_on_arbitrary_pin_states(pins):
+    # Chain cke_prev from the previous slot's CKE so the CKE-falling
+    # self-refresh guard is exercised the way the bus drives it.
+    states = []
+    prev_cke = True
+    for levels in pins:
+        states.append(CAState(*levels, cke_prev=prev_cke))
+        prev_cke = levels[0]
+    fast = RefreshDetector(noise_ber=0.0)
+    slow = RefreshDetector(noise_ber=0.0, force_slow=True)
+    assert _drive(fast, states) == _drive(slow, states)
+
+
+@settings(max_examples=25)
+@given(command_streams)
+def test_cke_falling_guard_suppresses_sre_on_both_paths(kinds):
+    """SRE (REF pins, falling CKE) must never detect on either path."""
+    kinds = list(kinds) + [CommandKind.SRE, CommandKind.SRX]
+    states = [encode(kind) for kind in kinds]
+    for force_slow in (False, True):
+        det = RefreshDetector(noise_ber=0.0, force_slow=force_slow)
+        _drive(det, states)
+        assert det.false_positives == 0
+        refs = sum(1 for kind in kinds if kind is CommandKind.REF)
+        assert det.true_positives == refs
+
+
+def test_slot_lut_matches_ref_pattern_exactly():
+    """Exhaustive 64-entry check: the LUT detects REF pins and only them."""
+    lut = _build_slot_lut()
+    assert len(lut) == 2 ** len(PIN_NAMES)
+    for levels in itertools.product((False, True), repeat=len(PIN_NAMES)):
+        assert lut[levels] == (levels == REF_PATTERN)
+    assert lut[IDLE_LEVELS] is False
+
+
+def test_noisy_detector_never_takes_the_fast_path():
+    """With noise_ber > 0 the sample-level model must run (RNG consumed)."""
+    det = RefreshDetector(noise_ber=0.5, seed=1)
+    state = det._rng.getstate()
+    det.observe(0, encode(CommandKind.REF))
+    assert det._rng.getstate() != state
+
+
+def test_fast_path_leaves_rng_untouched():
+    det = RefreshDetector(noise_ber=0.0, seed=1)
+    state = det._rng.getstate()
+    for i in range(10):
+        det.observe(i, encode(CommandKind.REF))
+    assert det._rng.getstate() == state
+    assert det.true_positives == 10

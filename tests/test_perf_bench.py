@@ -1,0 +1,123 @@
+"""The ``repro bench`` harness: BENCH file schema and comparison gate.
+
+The BENCH json schema is an interface — CI parses it for the regression
+gate, and humans diff the files across PRs — so its shape is pinned
+here.  To keep the tests fast they bench ``fig12`` (the cheapest
+experiment, pure arithmetic); schema checks are independent of which
+experiment ran.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import ALL_EXPERIMENTS
+from repro.perf.bench import (QUICK_SUBSET, SCHEMA_VERSION, compare_table,
+                              find_regressions, latest_bench, load_bench,
+                              run_bench, write_bench)
+
+#: Every key a BENCH payload must carry, and the per-experiment keys.
+TOP_KEYS = {"schema", "created_utc", "host", "total_wall_s", "experiments"}
+ENTRY_KEYS = {"experiment_id", "wall_s", "events_executed", "events_per_s",
+              "peak_trace_records"}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(only=["fig12"], verbose=False)
+
+
+class TestSchema:
+    def test_top_level_shape(self, payload):
+        assert set(payload) == TOP_KEYS
+        assert payload["schema"] == SCHEMA_VERSION
+        assert isinstance(payload["total_wall_s"], float)
+        # ISO-8601 UTC stamp.
+        assert payload["created_utc"].endswith("Z")
+        assert set(payload["host"]) == {"python", "platform", "cpus"}
+        assert payload["host"]["cpus"] >= 1
+
+    def test_entry_shape(self, payload):
+        (entry,) = payload["experiments"]
+        assert set(entry) == ENTRY_KEYS
+        assert entry["experiment_id"] == "fig12"
+        assert entry["wall_s"] >= 0
+        assert entry["events_executed"] >= 0
+        assert entry["events_per_s"] >= 0
+        assert entry["peak_trace_records"] >= 0
+
+    def test_payload_is_json_round_trippable(self, payload):
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_quick_subset_ids_exist(self):
+        assert set(QUICK_SUBSET) <= set(ALL_EXPERIMENTS)
+
+    def test_unknown_id_raises_with_valid_ids(self):
+        with pytest.raises(ValueError, match="fig99"):
+            run_bench(only=["fig99"])
+        with pytest.raises(ValueError, match="valid ids"):
+            run_bench(only=["fig99"])
+
+
+class TestFiles:
+    def test_write_load_round_trip(self, payload, tmp_path):
+        path = write_bench(payload, out_dir=str(tmp_path))
+        assert path.endswith(".json")
+        assert "BENCH_" in path
+        assert load_bench(path) == payload
+
+    def test_write_never_clobbers(self, payload, tmp_path):
+        first = write_bench(payload, out_dir=str(tmp_path))
+        second = write_bench(payload, out_dir=str(tmp_path))
+        assert first != second
+        assert load_bench(second) == payload
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": 999, "experiments": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(str(bad))
+
+    def test_latest_bench_picks_newest_and_honours_exclude(self, payload,
+                                                           tmp_path):
+        assert latest_bench(str(tmp_path)) is None
+        first = write_bench(payload, out_dir=str(tmp_path))
+        second = write_bench(payload, out_dir=str(tmp_path))
+        assert latest_bench(str(tmp_path)) == second
+        assert latest_bench(str(tmp_path), exclude=second) == first
+
+
+def _payload_with(wall_s):
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiments": [{"experiment_id": "fig12", "wall_s": wall_s,
+                         "events_executed": 10, "events_per_s": 1.0,
+                         "peak_trace_records": 0}],
+    }
+
+
+class TestComparison:
+    def test_compare_table_reports_ratio(self):
+        lines = compare_table(_payload_with(1.0), _payload_with(2.0))
+        assert any("2.00x" in line for line in lines)
+
+    def test_compare_table_flags_new_experiments(self):
+        lines = compare_table({"schema": SCHEMA_VERSION, "experiments": []},
+                              _payload_with(1.0))
+        assert any("new" in line for line in lines)
+
+    def test_gate_passes_within_ratio(self):
+        assert find_regressions(_payload_with(1.0), _payload_with(1.5),
+                                max_ratio=2.0) == []
+
+    def test_gate_fails_beyond_ratio(self):
+        failures = find_regressions(_payload_with(1.0), _payload_with(3.0),
+                                    max_ratio=2.0)
+        assert len(failures) == 1
+        assert "fig12" in failures[0]
+        assert "3.00x" in failures[0]
+
+    def test_gate_ignores_ids_missing_from_baseline(self):
+        empty = {"schema": SCHEMA_VERSION, "experiments": []}
+        assert find_regressions(empty, _payload_with(9.0),
+                                max_ratio=1.0) == []

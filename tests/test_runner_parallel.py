@@ -1,0 +1,71 @@
+"""The parallel experiment runner: determinism and id validation.
+
+The byte-identity guarantee (serial ``results.json`` == parallel
+``results.json``) is the contract that makes ``--jobs`` safe to use for
+the committed report files; it is checked here on a cheap experiment
+subset so the test stays fast.  The subset spans an analytic model (fig12) and a
+command-accurate event-driven simulation (crosscheck), the two ways an
+experiment can compute — both sanitizer-clean, so the suite-wide
+ambient sanitizers stay attached (``validation`` is avoided here: its
+noisy-detector scenarios deliberately mis-time device bus mastering).
+"""
+
+import pytest
+
+from repro.analysis.export import to_csv, to_json
+from repro.experiments.runner import ALL_EXPERIMENTS, resolve_jobs, run_all
+
+CHEAP_SUBSET = ["fig12", "crosscheck"]
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_accepts_strings_from_argparse(self):
+        assert resolve_jobs("3") == 3
+
+    def test_auto_uses_cpu_count(self):
+        assert resolve_jobs("auto") >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs("-2")
+
+
+class TestUnknownIds:
+    def test_unknown_id_raises_and_names_valid_ids(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_all(only=["fig12", "fig99"], verbose=False)
+        message = str(excinfo.value)
+        assert "fig99" in message
+        assert "fig12" not in message.split(";")[0]  # only the bad id
+        for exp_id in ALL_EXPERIMENTS:
+            assert exp_id in message  # valid ids are listed
+
+    def test_unknown_id_raises_before_any_work(self):
+        # A pool must not be spun up for a doomed request either.
+        with pytest.raises(ValueError):
+            run_all(only=["nope"], verbose=False, jobs=4)
+
+
+class TestParallelDeterminism:
+    def test_serial_and_parallel_exports_are_byte_identical(self):
+        serial = run_all(only=CHEAP_SUBSET, verbose=False, jobs=1)
+        parallel = run_all(only=CHEAP_SUBSET, verbose=False, jobs=2)
+        assert to_json(serial) == to_json(parallel)
+        assert to_csv(serial) == to_csv(parallel)
+
+    def test_parallel_preserves_declaration_order(self):
+        # Ask in reverse: order must follow ALL_EXPERIMENTS declaration,
+        # not the `only` list and not worker completion.
+        records = run_all(only=list(reversed(CHEAP_SUBSET)), verbose=False,
+                          jobs=2)
+        assert [r.experiment_id for r in records] == CHEAP_SUBSET
+
+    def test_jobs_capped_at_experiment_count(self):
+        records = run_all(only=["fig12"], verbose=False, jobs=8)
+        assert [r.experiment_id for r in records] == ["fig12"]

@@ -108,6 +108,85 @@ class TestRunControl:
         eng.run()
 
 
+class TestCallAtMany:
+    def test_batch_matches_individual_calls(self):
+        batched, individual = Engine(), Engine()
+        out_b, out_i = [], []
+        items = [(30, lambda: out_b.append(30)),
+                 (10, lambda: out_b.append(10)),
+                 (20, lambda: out_b.append(20))]
+        batched.call_at_many(items)
+        for t in (30, 10, 20):
+            individual.call_at(t, lambda t=t: out_i.append(t))
+        batched.run()
+        individual.run()
+        assert out_b == out_i == [10, 20, 30]
+
+    def test_batch_ties_preserve_iteration_order(self):
+        eng = Engine()
+        order = []
+        eng.call_at_many((5, lambda t=tag: order.append(t)) for tag in "abc")
+        eng.run()
+        assert order == list("abc")
+
+    def test_batch_interleaves_with_singles(self):
+        eng = Engine()
+        order = []
+        eng.call_at(15, lambda: order.append("single"))
+        eng.call_at_many([(10, lambda: order.append("b10")),
+                          (20, lambda: order.append("b20"))])
+        eng.run()
+        assert order == ["b10", "single", "b20"]
+
+    def test_batch_scheduling_into_past_raises(self):
+        eng = Engine()
+        eng.call_at(100, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at_many([(200, lambda: None), (50, lambda: None)])
+        # Items before the offender were accepted and stay runnable.
+        assert eng.pending == 1
+        eng.run()
+        assert eng.now == 200
+
+    def test_empty_batch_is_noop(self):
+        eng = Engine()
+        eng.call_at_many([])
+        assert eng.pending == 0
+
+
+class TestTotalEventsExecuted:
+    def test_counts_across_engines(self):
+        before = Engine.total_events_executed
+        for n in (3, 4):
+            eng = Engine()
+            for i in range(n):
+                eng.call_at(i, lambda: None)
+            eng.run()
+        assert Engine.total_events_executed - before == 7
+
+    def test_step_counts_too(self):
+        before = Engine.total_events_executed
+        eng = Engine()
+        eng.call_at(1, lambda: None)
+        assert eng.step() is True
+        assert Engine.total_events_executed - before == 1
+
+    def test_counter_settles_even_if_callback_raises(self):
+        before = Engine.total_events_executed
+        eng = Engine()
+        eng.call_at(1, lambda: None)
+        eng.call_at(2, self._boom)
+        with pytest.raises(RuntimeError):
+            eng.run()
+        assert eng.events_executed == 2
+        assert Engine.total_events_executed - before == 2
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("boom")
+
+
 class TestDeterminism:
     @given(st.lists(st.integers(min_value=0, max_value=10**9),
                     min_size=1, max_size=50))
