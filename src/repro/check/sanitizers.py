@@ -29,6 +29,14 @@ class BusRaceSanitizer(Sanitizer):
             bus model itself flagged).
         ``window-escape``  — a device-side master (name ``nvmc*``)
             drove CA or DQ outside ``[REF + tRFC_device, REF + tRFC)``.
+
+    **Drain exemption (§V-C).**  A ``power.drain`` record with
+    ``active=True`` marks the battery-backed power-loss drain, which
+    legitimately ignores the tRFC serialisation rule: window-escape
+    checking is suspended for that owner until the matching
+    ``active=False`` marker.  Collision detection stays on — even a
+    drain must not overlap another master.  A device transfer outside a
+    window with *no* drain declared is still a violation.
     """
 
     #: Reservations older than this per bus are pruned.
@@ -42,8 +50,17 @@ class BusRaceSanitizer(Sanitizer):
         self._lanes: dict[str, dict[str, deque]] = {}
         # owner -> (win_start, win_end) of the latest observed REF.
         self._window: dict[str, tuple[int, int]] = {}
+        # owners currently inside a declared power-loss drain.
+        self._draining: set[str] = set()
 
     def observe(self, record: TraceRecord) -> None:
+        if record.category == "power.drain":
+            owner = self.owner_of(record)
+            if record.fields.get("active"):
+                self._draining.add(owner)
+            else:
+                self._draining.discard(owner)
+            return
         if record.category == "ddr.collision":
             self.violation(
                 "bus-collision",
@@ -81,6 +98,8 @@ class BusRaceSanitizer(Sanitizer):
                 lane.popleft()
             lane.append((master, start, end))
         if master.lower().startswith("nvmc") and kind not in self._IDLE_KINDS:
+            if owner in self._draining:
+                return   # §V-C battery drain: tRFC rule suspended
             # Enforced only once a REF has opened a window on this bus:
             # before that there is no tRFC contract to escape (synthetic
             # bus unit tests drive without any refresh traffic).
@@ -242,6 +261,12 @@ class ProtocolSanitizer(Sanitizer):
                     "ack-without-post",
                     "CP ack observed with no outstanding command",
                     record=record)
+        elif category == "cp.abandon":
+            # The driver gave up on an exchange whose ack never arrived
+            # (fault injection); the command is no longer outstanding.
+            outstanding = self._outstanding.get(owner, 0)
+            if outstanding > 0:
+                self._outstanding[owner] = outstanding - 1
         elif category == "nvmc.dma":
             key = (owner, int(record.fields["window"]))
             nbytes = int(record.fields["bytes"])

@@ -15,6 +15,10 @@ Commands:
 * ``validate`` — the §VII-A aging test.
 * ``check`` — correctness tooling: ``check lint`` (AST invariant
   passes) and ``check run --sanitize <experiment>`` (sanitized run).
+* ``faults`` — deterministic fault-injection campaigns:
+  ``faults run [--quick]`` executes the (fault x workload) matrix and
+  writes ``FAULTS_<timestamp>.json``; ``faults list`` prints the
+  injector registry.
 """
 
 from __future__ import annotations
@@ -146,6 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.check.cli import build_parser as build_check_parser
     build_check_parser(sub)
+    from repro.faults.cli import build_parser as build_faults_parser
+    build_faults_parser(sub)
     return parser
 
 

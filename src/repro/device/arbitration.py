@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.ddr.imc import RefreshTimeline
 from repro.ddr.spec import DDR4Spec, NVDIMMC_1600
 from repro.units import PAGE_4K
@@ -84,7 +85,7 @@ class DummyAccessScheme:
     def __init__(self, dummy_write_mb_s: float,
                  channel_mb_s: float = 12_800.0) -> None:
         if dummy_write_mb_s < 0 or dummy_write_mb_s > channel_mb_s:
-            raise ValueError("dummy-write rate must fit the channel")
+            raise ConfigError("dummy-write rate must fit the channel")
         self.dummy_write_mb_s = dummy_write_mb_s
         self.channel_mb_s = channel_mb_s
 
@@ -107,7 +108,7 @@ class PriorityPreemptScheme:
     def __init__(self, host_utilization: float,
                  channel_mb_s: float = 12_800.0) -> None:
         if not 0.0 <= host_utilization <= 1.0:
-            raise ValueError("utilization must be in [0, 1]")
+            raise ConfigError("utilization must be in [0, 1]")
         self.host_utilization = host_utilization
         self.channel_mb_s = channel_mb_s
 

@@ -22,6 +22,7 @@ of this fit per point.
 
 from __future__ import annotations
 
+from repro.errors import ConfigError
 from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
 from repro.units import PAGE_4K
 
@@ -33,7 +34,7 @@ class HypotheticalSystem:
                  calibration: CalibrationConstants = DEFAULT_CALIBRATION
                  ) -> None:
         if td_ps < 0:
-            raise ValueError("tD must be non-negative")
+            raise ConfigError("tD must be non-negative")
         self.td_ps = td_ps
         self.calibration = calibration
         self.ops = 0

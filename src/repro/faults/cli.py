@@ -1,0 +1,105 @@
+"""``python -m repro faults``: fault-injection campaigns.
+
+Subcommands:
+
+* ``run [--quick] [--seed N] [--out DIR]`` — execute the campaign
+  matrix and write a schema-pinned ``FAULTS_<timestamp>.json`` report.
+  Exits non-zero when any cell fails (a recoverable cell lost data, or
+  any cell tripped a sanitizer).
+* ``list`` — print the injector registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import CellResult, run_campaign
+    from repro.faults.report import render_report, validate_report
+
+    def progress(cell: CellResult) -> None:
+        flag = "ok" if cell.ok else "FAIL"
+        print(f"  [{flag:>4}] {cell.fault:<28} x {cell.workload:<12} "
+              f"injected={cell.injected} detected={cell.detected} "
+              f"recovered={cell.recovered} lost={cell.lost} "
+              f"violations={cell.violations}")
+
+    mode = "quick" if args.quick else "full"
+    print(f"repro faults run: {mode} matrix, seed {args.seed}")
+    result = run_campaign(seed=args.seed, quick=args.quick,
+                          capacity=args.capacity, progress=progress)
+    timestamp = time.strftime("%Y%m%d-%H%M%S")
+    payload = render_report(result, timestamp=timestamp)
+    problems = validate_report(json.loads(payload))
+    if problems:    # a schema bug is a tooling failure, not a cell failure
+        for problem in problems:
+            print(f"report schema problem: {problem}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"FAULTS_{timestamp}.json"
+    path.write_text(payload)
+    totals = result.totals()
+    print(f"wrote {path}")
+    print(f"cells={totals['cells']} injected={totals['injected']} "
+          f"detected={totals['detected']} recovered={totals['recovered']} "
+          f"lost={totals['lost']} violations={totals['violations']} "
+          f"failed={totals['failed_cells']}")
+    if not result.ok:
+        print("campaign FAILED: see cells above", file=sys.stderr)
+        return 1
+    print("campaign clean: every recoverable cell recovered, "
+          "all sanitizers quiet")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.faults.injectors import INJECTORS
+
+    for injector in INJECTORS.values():
+        kind = "stream" if injector.kind == "stream" else "dax"
+        tag = "recoverable" if injector.recoverable else "lossy"
+        print(f"{injector.name:<28} [{kind}, {tag}] {injector.description}")
+    return 0
+
+
+def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
+                 ) -> argparse.ArgumentParser:
+    """Build the ``faults`` parser, standalone or under a parent CLI."""
+    if sub_or_none is None:
+        parser = argparse.ArgumentParser(prog="repro faults")
+        sub = parser.add_subparsers(dest="faults_command", required=True)
+    else:
+        parser = sub_or_none.add_parser(
+            "faults", help="fault-injection campaigns")
+        sub = parser.add_subparsers(dest="faults_command", required=True)
+
+    p_run = sub.add_parser("run", help="execute the campaign matrix")
+    p_run.add_argument("--quick", action="store_true",
+                       help="3x2 smoke matrix instead of the full one")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (default 0)")
+    p_run.add_argument("--out", default="results",
+                       help="directory for FAULTS_<timestamp>.json")
+    p_run.add_argument("--capacity", type=int, default=400_000,
+                       help="per-cell tracer retention bound (records)")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_list = sub.add_parser("list", help="print the injector registry")
+    p_list.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""The fault clock: scheduled power loss shared across model layers.
+
+A :class:`FaultClock` is armed with cut points and handed to the layers
+that have injection hook sites:
+
+* :class:`~repro.sim.engine.Engine` checks it before dispatching each
+  event (site ``"engine"``);
+* :class:`~repro.nvmc.nvmc.NVMCModel` checks it at DMA-window and
+  NAND-operation boundaries (sites ``"nvmc.dma.fill"``,
+  ``"nvmc.dma.evict"``, ``"nvmc.writeback.program"``,
+  ``"nvmc.cachefill.read"``, ...);
+* :class:`~repro.nand.ftl.FlashTranslationLayer` ticks it per GC
+  relocation (site ``"ftl.gc"`` — the FTL is timeless, so GC cuts are
+  count-scheduled).
+
+When a cut matches, the clock raises
+:class:`~repro.errors.PowerLossInterrupt` exactly once per armed cut:
+in-flight work is abandoned mid-call the way a real power cut abandons
+it, and the campaign layer catches the interrupt and runs the §V-C
+battery-backed drain.
+
+Two scheduling modes:
+
+* **time** — fire the first moment simulated time at a matching site
+  reaches ``time_ps``;
+* **count** — fire on the N-th ``check``/``tick`` at a matching site
+  (for timeless layers such as the FTL's GC loop).
+
+The clock is deterministic by construction: it holds no randomness, and
+sites are visited in simulation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjectionError, PowerLossInterrupt
+
+
+@dataclass
+class _Cut:
+    """One armed power cut."""
+
+    site: str | None          # site prefix filter; None = any site
+    time_ps: int | None       # fire when now_ps >= time_ps (time mode)
+    count: int | None         # fire on the count-th matching visit
+    fired: bool = False
+    seen: int = 0             # matching visits so far (count mode)
+
+    def matches_site(self, site: str) -> bool:
+        return self.site is None or site.startswith(self.site)
+
+
+@dataclass
+class FaultClock:
+    """Armed cut points consulted by the model layers' hook sites."""
+
+    _cuts: list[_Cut] = field(default_factory=list)
+    #: Every (site, time_ps) visit, for post-mortem debugging of a
+    #: campaign cell ("which hook sites did this run actually cross?").
+    visits: list[tuple[str, int]] = field(default_factory=list)
+    record_visits: bool = False
+
+    # -- arming ---------------------------------------------------------------
+
+    def cut_at(self, time_ps: int, site: str | None = None) -> "FaultClock":
+        """Arm a power cut at simulated time ``time_ps`` (>= 0)."""
+        if time_ps < 0:
+            raise FaultInjectionError(f"cut time must be >= 0: {time_ps}")
+        self._cuts.append(_Cut(site=site, time_ps=time_ps, count=None))
+        return self
+
+    def cut_on_visit(self, count: int,
+                     site: str | None = None) -> "FaultClock":
+        """Arm a power cut on the ``count``-th visit to a matching site."""
+        if count < 1:
+            raise FaultInjectionError(f"visit count must be >= 1: {count}")
+        self._cuts.append(_Cut(site=site, time_ps=None, count=count))
+        return self
+
+    # -- firing ---------------------------------------------------------------
+
+    def check(self, now_ps: int, site: str) -> None:
+        """Hook-site entry point for layers that carry simulated time."""
+        if self.record_visits:
+            self.visits.append((site, now_ps))
+        for cut in self._cuts:
+            if cut.fired or not cut.matches_site(site):
+                continue
+            if cut.time_ps is not None:
+                if now_ps >= cut.time_ps:
+                    cut.fired = True
+                    raise PowerLossInterrupt(
+                        f"power loss at {now_ps} ps ({site})",
+                        time_ps=now_ps, site=site)
+            else:
+                cut.seen += 1
+                if cut.count is not None and cut.seen >= cut.count:
+                    cut.fired = True
+                    raise PowerLossInterrupt(
+                        f"power loss on visit {cut.seen} to {site}",
+                        time_ps=now_ps, site=site)
+
+    def tick(self, site: str) -> None:
+        """Hook-site entry point for timeless layers (count cuts only)."""
+        self.check(-1, site)
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        """True while at least one cut has not fired yet."""
+        return any(not cut.fired for cut in self._cuts)
+
+    @property
+    def fired(self) -> int:
+        """Number of cuts that have fired."""
+        return sum(1 for cut in self._cuts if cut.fired)

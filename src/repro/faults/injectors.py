@@ -1,0 +1,285 @@
+"""The injector registry: seeded, deterministic fault sources.
+
+Each :class:`Injector` names one adversarial scenario, knows whether
+the stack is *supposed* to absorb it (``recoverable``), and carries two
+hooks the campaign runner calls:
+
+* ``arm(ctx)`` — before the workload: plant the fault (corrupt a CP
+  word N commands from now, schedule a power cut on the K-th DMA
+  window, force the next ECC decodes uncorrectable, ...).  All knobs
+  are drawn from ``ctx.rng``, which the campaign seeds per cell, so a
+  cell is a pure function of ``(fault, workload, seed)``.
+* ``tally(ctx)`` — after the workload: read back ``(injected,
+  detected)`` from the consumption counters the hook points maintain
+  (``CPFaultPort``, NAND die/codec injection counters, driver retry
+  stats), so the report counts faults that actually *happened*, not
+  faults that were merely armed.
+
+The registry deliberately avoids importing any model layer: arming goes
+through duck-typed attributes on the context (``ctx.system`` for the
+DAX stack, ``ctx.detector`` for the command-accurate stream stack), so
+``repro.faults`` stays import-light and cycle-free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults.clock import FaultClock
+from repro.units import us
+
+
+@dataclass
+class ArmContext:
+    """What an injector may touch when arming / tallying one cell.
+
+    ``system`` is the :class:`~repro.device.nvdimmc.NVDIMMCSystem` for
+    DAX cells (with ``system.nvmc.faults`` already populated with a
+    :class:`~repro.nvmc.nvmc.CPFaultPort`); ``detector`` is the
+    :class:`~repro.nvmc.refresh_detector.RefreshDetector` for stream
+    cells.  ``notes`` carries arm-time facts forward to tally time
+    (e.g. how many uncorrectable decodes were forced).
+    """
+
+    rng: random.Random
+    clock: FaultClock
+    system: Any = None
+    detector: Any = None
+    trefi_ps: int = 0
+    notes: dict[str, int] = field(default_factory=dict)
+
+
+def _no_arm(ctx: ArmContext) -> None:
+    return None
+
+
+def _no_tally(ctx: ArmContext) -> tuple[int, int]:
+    return (0, 0)
+
+
+@dataclass(frozen=True)
+class Injector:
+    """One named fault scenario."""
+
+    name: str
+    description: str
+    #: True when the stack must absorb the fault with zero data loss
+    #: (CP retry, read retry, bad-block remap, full battery drain);
+    #: False when honest loss reporting is the acceptance criterion.
+    recoverable: bool
+    #: "dax" cells run the block-layer workload on an NVDIMMCSystem;
+    #: "stream" cells run the command-accurate bus/agent stack.
+    kind: str = "dax"
+    #: True when the campaign must follow the workload with the §V-C
+    #: power-fail -> drain -> remount -> replay sequence.
+    power_loss: bool = False
+    arm: Callable[[ArmContext], None] = _no_arm
+    tally: Callable[[ArmContext], tuple[int, int]] = _no_tally
+
+
+# -- CP mailbox faults (§IV-C) --------------------------------------------------
+
+
+def _arm_cp_corrupt(ctx: ArmContext) -> None:
+    port = ctx.system.nvmc.faults
+    # One stale-phase word (driver sees no ack, times out, re-issues)
+    # and one trashed-opcode word (device acks DECODE_ERROR).
+    port.corrupt_command("phase", after=1 + ctx.rng.randrange(3))
+    port.corrupt_command("opcode", after=2 + ctx.rng.randrange(3))
+
+
+def _tally_cp_corrupt(ctx: ArmContext) -> tuple[int, int]:
+    port = ctx.system.nvmc.faults
+    stats = ctx.system.driver.stats
+    return (port.commands_corrupted, stats.cp_retries)
+
+
+def _arm_cp_ack_drop(ctx: ArmContext) -> None:
+    port = ctx.system.nvmc.faults
+    port.drop_ack(after=1 + ctx.rng.randrange(3))
+    port.drop_ack(after=2 + ctx.rng.randrange(4))
+
+
+def _tally_cp_ack_drop(ctx: ArmContext) -> tuple[int, int]:
+    port = ctx.system.nvmc.faults
+    return (port.acks_dropped, ctx.system.driver.stats.cp_timeouts)
+
+
+# -- DMA faults ------------------------------------------------------------------
+
+
+def _arm_dma_partial(ctx: ArmContext) -> None:
+    port = ctx.system.nvmc.faults
+    for _ in range(3):
+        # Shortfalls strictly below 4 KB: every faulted window still
+        # makes progress, the remainder spills into the next window.
+        port.shorten_dma(512 * (1 + ctx.rng.randrange(6)),
+                         after=ctx.rng.randrange(4))
+
+
+def _tally_dma_partial(ctx: ArmContext) -> tuple[int, int]:
+    port = ctx.system.nvmc.faults
+    return (port.dma_shortfalls_applied,
+            ctx.system.nvmc.dma.stats.partial_transfers)
+
+
+# -- NAND media faults -----------------------------------------------------------
+
+
+def _arm_nand_program_fail(ctx: ArmContext) -> None:
+    # A couple of dies with a failed program each: the FTL retires the
+    # block and remaps the write.  Deliberately fewer than the FTL's
+    # 8-attempt remap budget — arming every die at once exhausts it and
+    # (correctly) drives the device read-only, which is the degraded
+    # mode's own test, not this cell's.
+    dies = ctx.system.nand.dies
+    for index in ctx.rng.sample(range(len(dies)), min(3, len(dies))):
+        dies[index].inject_program_failures(1)
+
+
+def _tally_nand_program_fail(ctx: ArmContext) -> tuple[int, int]:
+    nand = ctx.system.nand
+    injected = sum(die.injected_program_failures for die in nand.dies)
+    return (injected, nand.ftl.stats.program_retries)
+
+
+def _arm_read_uncorrectable(ctx: ArmContext) -> None:
+    # Two consecutive bad decodes: within the controller's read-retry
+    # budget, so the read recovers on the third attempt.
+    ctx.notes["armed_decodes"] = 2
+    ctx.system.nand.codec.inject_uncorrectable(2)
+
+
+def _arm_read_uncorrectable_hard(ctx: ArmContext) -> None:
+    # One more bad decode than the initial attempt plus every retry:
+    # the read is unrecoverable and the loss must be reported.
+    n = 1 + ctx.system.nand.read_retry_limit
+    ctx.notes["armed_decodes"] = n
+    ctx.system.nand.codec.inject_uncorrectable(n)
+
+
+def _tally_read_uncorrectable(ctx: ArmContext) -> tuple[int, int]:
+    nand = ctx.system.nand
+    consumed = (ctx.notes.get("armed_decodes", 0)
+                - nand.codec.force_uncorrectable)
+    return (consumed, nand.stats.read_retries + nand.stats.unrecovered_reads)
+
+
+# -- power loss (§V-C) -----------------------------------------------------------
+
+
+def _arm_power_dma(ctx: ArmContext) -> None:
+    # Cut during some DMA window boundary (fill, evict, poll or ack
+    # phase) a couple dozen windows into the run.
+    ctx.clock.cut_on_visit(20 + ctx.rng.randrange(10), site="nvmc.dma")
+
+
+def _arm_power_writeback(ctx: ArmContext) -> None:
+    # Cut right as the device is about to program a writeback page:
+    # the victim mapping is already gone from ``slot_to_page``, so only
+    # the driver's in-flight-writeback journal saves the page.
+    ctx.clock.cut_on_visit(2 + ctx.rng.randrange(3),
+                           site="nvmc.writeback.program")
+
+
+def _arm_power_drain(ctx: ArmContext) -> None:
+    # The battery dies partway through the drain itself: some journal
+    # entries never reach Z-NAND and replay must report them lost.
+    ctx.clock.cut_on_visit(3 + ctx.rng.randrange(4), site="power.drain")
+
+
+# -- CA-bus noise (§VI-A detector) -----------------------------------------------
+
+
+def _arm_ca_noise(ctx: ArmContext) -> None:
+    detector = ctx.detector
+    trefi = ctx.trefi_ps
+    start = round(us(5))
+    for k in range(3):
+        burst_start = start + (20 + 30 * k) * trefi
+        detector.inject_noise_burst(
+            burst_start, burst_start + 4 * trefi,
+            0.003 + 0.002 * ctx.rng.random())
+
+
+def _tally_ca_noise(ctx: ArmContext) -> tuple[int, int]:
+    burst = ctx.detector.burst_commands
+    return (burst, burst)
+
+
+INJECTORS: dict[str, Injector] = {
+    injector.name: injector for injector in (
+        Injector(
+            name="none",
+            description="control cell: no fault armed",
+            recoverable=True),
+        Injector(
+            name="cp-corrupt",
+            description="CP command-word corruption: stale phase "
+                        "(ack timeout) and trashed opcode (DECODE_ERROR)",
+            recoverable=True,
+            arm=_arm_cp_corrupt, tally=_tally_cp_corrupt),
+        Injector(
+            name="cp-ack-drop",
+            description="device performs the operation but the ack "
+                        "write is lost; driver times out and re-issues",
+            recoverable=True,
+            arm=_arm_cp_ack_drop, tally=_tally_cp_ack_drop),
+        Injector(
+            name="dma-partial",
+            description="DMA windows move fewer bytes than scheduled; "
+                        "the remainder spills into later windows",
+            recoverable=True,
+            arm=_arm_dma_partial, tally=_tally_dma_partial),
+        Injector(
+            name="nand-program-fail",
+            description="Z-NAND program failures; the FTL retires the "
+                        "block and remaps the page",
+            recoverable=True,
+            arm=_arm_nand_program_fail, tally=_tally_nand_program_fail),
+        Injector(
+            name="nand-read-uncorrectable",
+            description="transient uncorrectable ECC within the "
+                        "read-retry budget",
+            recoverable=True,
+            arm=_arm_read_uncorrectable, tally=_tally_read_uncorrectable),
+        Injector(
+            name="nand-read-uncorrectable-hard",
+            description="uncorrectable ECC outlasting every read "
+                        "retry: honest data-loss reporting",
+            recoverable=False,
+            arm=_arm_read_uncorrectable_hard,
+            tally=_tally_read_uncorrectable),
+        Injector(
+            name="power-loss-dma",
+            description="power cut at a DMA window boundary; battery "
+                        "drain + metadata replay recover the cache",
+            recoverable=True, power_loss=True,
+            arm=_arm_power_dma),
+        Injector(
+            name="power-loss-writeback",
+            description="power cut as a victim writeback programs; the "
+                        "in-flight-writeback journal entry saves it",
+            recoverable=True, power_loss=True,
+            arm=_arm_power_writeback),
+        Injector(
+            name="power-loss-drain",
+            description="battery exhausted mid-drain: undrained pages "
+                        "are lost and must be reported, not hidden",
+            recoverable=False, power_loss=True,
+            arm=_arm_power_drain),
+        Injector(
+            name="ca-noise",
+            description="CA-bus noise bursts force the refresh "
+                        "detector down its sampling slow path",
+            recoverable=True, kind="stream",
+            arm=_arm_ca_noise, tally=_tally_ca_noise),
+    )
+}
+
+
+def injector_names() -> list[str]:
+    """Registry order (which is matrix order)."""
+    return list(INJECTORS)

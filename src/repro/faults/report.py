@@ -1,0 +1,96 @@
+"""The schema-pinned ``FAULTS_*.json`` campaign report.
+
+The report is the artifact CI archives and the determinism acceptance
+check diffs, so its shape is pinned: :data:`SCHEMA` names the current
+revision, :func:`render_report` serialises with sorted keys and a
+trailing newline (byte-identical for identical campaign results — the
+wall-clock timestamp is the *only* non-deterministic field, and it is
+injected by the caller so tests can omit it), and
+:func:`validate_report` checks a parsed report against the pinned
+shape.
+
+Count semantics per cell:
+
+``injected``
+    fault events that actually happened (consumed corruptions, applied
+    DMA shortfalls, fired power cuts, commands observed under a noise
+    burst) — not merely armed.
+``detected``
+    events the stack noticed through a resilience mechanism (CP
+    retries/timeouts, partial-transfer continuations, FTL program
+    retries, ECC read retries, caught power-loss interrupts).
+``recovered`` / ``lost``
+    pages: ``lost`` counts shadow-copy pages that could not be read
+    back intact after the cell (including post-power-loss replay);
+    ``recovered`` is ``injected - lost`` for in-band faults and the
+    replayed page count for power-loss cells.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+SCHEMA = "repro.faults/1"
+
+_REPORT_KEYS = frozenset(
+    {"schema", "generated_at", "seed", "quick", "cells", "totals"})
+_CELL_KEYS = frozenset(
+    {"fault", "workload", "cell_seed", "recoverable", "injected",
+     "detected", "recovered", "lost", "violations", "ok", "notes"})
+_TOTAL_KEYS = frozenset(
+    {"cells", "failed_cells", "injected", "detected", "recovered",
+     "lost", "violations"})
+
+
+def render_report(result: Any, timestamp: str | None = None) -> str:
+    """Serialise a :class:`~repro.faults.campaign.CampaignResult`.
+
+    ``timestamp`` is stamped into ``generated_at`` verbatim; pass None
+    (the default) for byte-stable output.
+    """
+    payload = result.to_dict()
+    payload["generated_at"] = timestamp
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def validate_report(payload: Any) -> list[str]:
+    """Problems with a parsed report; an empty list means valid."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}: {payload.get('schema')!r}")
+    missing = _REPORT_KEYS - payload.keys()
+    if missing:
+        problems.append(f"missing report keys: {sorted(missing)}")
+    extra = payload.keys() - _REPORT_KEYS
+    if extra:
+        problems.append(f"unknown report keys: {sorted(extra)}")
+    cells = payload.get("cells")
+    if not isinstance(cells, list):
+        problems.append("cells must be a list")
+        cells = []
+    for index, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            problems.append(f"cells[{index}] must be an object")
+            continue
+        if cell.keys() != _CELL_KEYS:
+            problems.append(
+                f"cells[{index}] keys {sorted(cell.keys())} != "
+                f"{sorted(_CELL_KEYS)}")
+            continue
+        for key in ("injected", "detected", "recovered", "lost",
+                    "violations", "cell_seed"):
+            if not isinstance(cell[key], int) or cell[key] < 0:
+                problems.append(
+                    f"cells[{index}].{key} must be a non-negative int")
+    totals = payload.get("totals")
+    if not isinstance(totals, dict) or totals.keys() != _TOTAL_KEYS:
+        problems.append(f"totals keys must be {sorted(_TOTAL_KEYS)}")
+    else:
+        for key in sorted(_TOTAL_KEYS):
+            if not isinstance(totals[key], int) or totals[key] < 0:
+                problems.append(
+                    f"totals.{key} must be a non-negative int")
+    return problems

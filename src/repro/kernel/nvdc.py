@@ -32,12 +32,12 @@ from dataclasses import dataclass
 
 from repro.cpu.cache import CPUCache
 from repro.ddr.device import DRAMDevice
-from repro.errors import KernelError
+from repro.errors import CPTimeoutError, KernelError, MediaError
 from repro.kernel.blockdev import (BlockDevice, DaxMapping, sector_to_page)
 from repro.kernel.eviction import EvictionPolicy, make_policy
 from repro.kernel.memmap import ReservedRegion
-from repro.nvmc.cp import CPCommand, Opcode
-from repro.nvmc.nvmc import NVMCModel
+from repro.nvmc.cp import CPAck, CPCommand, Opcode
+from repro.nvmc.nvmc import NVMCModel, OperationResult
 from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
 from repro.units import PAGE_4K
 
@@ -55,6 +55,12 @@ class NvdcStats:
     overwrite_claims: int = 0
     fault_ns_total: float = 0.0
     windows_total: int = 0
+    #: CP exchanges re-issued after a missing or unusable ack.
+    cp_retries: int = 0
+    #: Ack polls that hit the timeout (no ack at all).
+    cp_timeouts: int = 0
+    #: CP exchanges the device failed with MEDIA_ERROR.
+    media_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -89,6 +95,13 @@ class NvdcDriver(BlockDevice):
         self.page_to_slot: dict[int, int] = {}
         self.slot_to_page: dict[int, int] = {}
         self.dirty_slots: set[int] = set()
+        #: In-flight-writeback journal entry: ``(slot, page)`` while a
+        #: victim's WRITEBACK/MERGED exchange is outstanding.  The victim
+        #: mapping leaves ``slot_to_page`` before the device snapshots
+        #: the page, so a power cut mid-writeback would otherwise miss
+        #: it during the §V-C drain; the metadata area keeps this one
+        #: extra mapping until the ack lands.
+        self.inflight_writeback: tuple[int, int] | None = None
         self.free_slots: deque[int] = deque(range(region.num_slots))
         #: Called with the evicted device page: the DAX layers register
         #: PTE teardown here (§IV-B stores "the pointer to the
@@ -169,7 +182,9 @@ class NvdcDriver(BlockDevice):
             for callback in self.on_evict:
                 callback(victim_page)
             if victim_dirty and not self.use_merged_commands:
+                self.inflight_writeback = (victim, victim_page)
                 t = self._writeback(victim, victim_page, t)
+                self.inflight_writeback = None
             self.free_slots.append(victim)
 
         slot = self.free_slots.popleft()
@@ -177,7 +192,9 @@ class NvdcDriver(BlockDevice):
             t = self._claim_for_overwrite(slot, t)
         elif (self.use_merged_commands and victim_page is not None
                 and victim_dirty):
+            self.inflight_writeback = (slot, victim_page)
             t = self._merged(slot, page, slot, victim_page, t)
+            self.inflight_writeback = None
         else:
             t = self._cachefill(slot, page, t)
         self.page_to_slot[page] = slot
@@ -194,18 +211,85 @@ class NvdcDriver(BlockDevice):
 
     # -- CP exchanges -----------------------------------------------------------------------
 
-    def _writeback(self, slot: int, page: int, now_ps: int) -> int:
-        """Flush + CP WRITEBACK + ack poll (§IV-C)."""
-        paddr = self.region.slot_paddr(slot)
+    def _flush_bracket(self, paddr: int, slot: int, now_ps: int) -> None:
+        """§V-B pre-writeback bracket: clflush the slot, then sfence."""
         if self.cpu_cache is not None and not self.skip_coherence:
             self.cpu_cache.flush_range(paddr, PAGE_4K)
             self.cpu_cache.sfence()
             self._trace_coherence("nvdc.flush", now_ps, paddr, slot)
             self._trace_coherence("nvdc.sfence", now_ps, paddr, slot)
-        command = CPCommand(phase=self.nvmc.next_phase(),
-                            opcode=Opcode.WRITEBACK,
-                            dram_slot=slot, nand_page=page)
-        result = self.nvmc.submit(command, now_ps)
+
+    def _invalidate(self, paddr: int, slot: int, now_ps: int) -> None:
+        """§V-B post-cachefill action: drop the slot's CPU-cached lines."""
+        if self.cpu_cache is not None and not self.skip_coherence:
+            self.cpu_cache.invalidate_range(paddr, PAGE_4K)
+            self._trace_coherence("nvdc.invalidate", now_ps, paddr, slot)
+
+    def _exchange(self, opcode: Opcode, now_ps: int,
+                  flush_slot: int | None, fill_slot: int | None,
+                  **fields: int) -> OperationResult:
+        """One CP exchange with timeout/backoff and re-issue (§IV-C).
+
+        Each attempt re-establishes the §V-B coherence bracket: the
+        flush+sfence before any write-carrying command (the device must
+        snapshot *current* bytes on every attempt), and — on re-issues —
+        an invalidation of the fill target, since an earlier attempt may
+        already have deposited data the CPU could be caching stale.
+
+        A missing ack (corrupted command word, lost ack write) times out
+        after ``cp_timeout_ps`` with linear backoff; the ack area is
+        poisoned before re-posting so a stale ack from an earlier
+        command cannot be mistaken for a fresh one.  A ``DECODE_ERROR``
+        ack is re-issued immediately.  ``MEDIA_ERROR`` is not a protocol
+        failure and is raised to the caller.  After ``cp_max_retries``
+        re-issues the driver gives up with :class:`CPTimeoutError`.
+        """
+        t = now_ps
+        attempts = 0
+        while attempts <= self.calibration.cp_max_retries:
+            attempts += 1
+            if flush_slot is not None:
+                self._flush_bracket(self.region.slot_paddr(flush_slot),
+                                    flush_slot, t)
+            if attempts > 1:
+                if fill_slot is not None:
+                    self._invalidate(self.region.slot_paddr(fill_slot),
+                                     fill_slot, t)
+                self.nvmc.cp.clear_ack(0)
+                self.stats.cp_retries += 1
+            command = CPCommand(phase=self.nvmc.next_phase(), opcode=opcode,
+                                **fields)
+            result = self.nvmc.submit(command, t)
+            ack = self.nvmc.cp.poll_ack(0, command.phase)
+            if ack is None:
+                # Busy-wait until the timeout, back off, re-issue.
+                self.stats.cp_timeouts += 1
+                t = max(result.completion_ps,
+                        t + attempts * self.calibration.cp_timeout_ps)
+                if self.tracer.enabled:
+                    self.tracer.emit(t, "cp.abandon",
+                                     f"{opcode.name} ack timeout",
+                                     owner=self.trace_owner,
+                                     opcode=opcode.name, attempt=attempts)
+                continue
+            if ack.status == CPAck.MEDIA_ERROR:
+                self.stats.media_errors += 1
+                raise MediaError(
+                    f"{self.name}: {opcode.name} failed with MEDIA_ERROR "
+                    f"(attempt {attempts})")
+            if ack.status != CPAck.OK:   # DECODE_ERROR: re-issue
+                t = result.completion_ps + self.calibration.nvdc_ack_poll_ps
+                continue
+            return result
+        raise CPTimeoutError(
+            f"{self.name}: {opcode.name} exchange abandoned after "
+            f"{attempts} attempts", attempts=attempts)
+
+    def _writeback(self, slot: int, page: int, now_ps: int) -> int:
+        """Flush + CP WRITEBACK + ack poll (§IV-C)."""
+        result = self._exchange(Opcode.WRITEBACK, now_ps,
+                                flush_slot=slot, fill_slot=None,
+                                dram_slot=slot, nand_page=page)
         self.stats.writebacks += 1
         self.stats.windows_total += result.windows_used
         return result.completion_ps + self.calibration.nvdc_ack_poll_ps
@@ -218,48 +302,32 @@ class NvdcDriver(BlockDevice):
         """
         paddr = self.region.slot_paddr(slot)
         self.dram.poke(paddr, bytes(PAGE_4K))
-        if self.cpu_cache is not None and not self.skip_coherence:
-            self.cpu_cache.invalidate_range(paddr, PAGE_4K)
-            self._trace_coherence("nvdc.invalidate", now_ps, paddr, slot)
+        self._invalidate(paddr, slot, now_ps)
         self.stats.overwrite_claims += 1
         return now_ps
 
     def _cachefill(self, slot: int, page: int, now_ps: int) -> int:
         """CP CACHEFILL + ack poll + cacheline invalidation (§V-B)."""
-        command = CPCommand(phase=self.nvmc.next_phase(),
-                            opcode=Opcode.CACHEFILL,
-                            dram_slot=slot, nand_page=page)
-        result = self.nvmc.submit(command, now_ps)
+        result = self._exchange(Opcode.CACHEFILL, now_ps,
+                                flush_slot=None, fill_slot=slot,
+                                dram_slot=slot, nand_page=page)
         self.stats.cachefills += 1
         self.stats.windows_total += result.windows_used
-        if self.cpu_cache is not None and not self.skip_coherence:
-            paddr = self.region.slot_paddr(slot)
-            self.cpu_cache.invalidate_range(paddr, PAGE_4K)
-            self._trace_coherence("nvdc.invalidate", result.completion_ps,
-                                  paddr, slot)
+        self._invalidate(self.region.slot_paddr(slot), slot,
+                         result.completion_ps)
         return result.completion_ps + self.calibration.nvdc_ack_poll_ps
 
     def _merged(self, fill_slot: int, fill_page: int, wb_slot: int,
                 wb_page: int, now_ps: int) -> int:
         """§VII-C item (4): one CP command carrying both halves."""
-        paddr = self.region.slot_paddr(wb_slot)
-        if self.cpu_cache is not None and not self.skip_coherence:
-            self.cpu_cache.flush_range(paddr, PAGE_4K)
-            self.cpu_cache.sfence()
-            self._trace_coherence("nvdc.flush", now_ps, paddr, wb_slot)
-            self._trace_coherence("nvdc.sfence", now_ps, paddr, wb_slot)
-        command = CPCommand(phase=self.nvmc.next_phase(),
-                            opcode=Opcode.MERGED,
-                            dram_slot=fill_slot, nand_page=fill_page,
-                            wb_dram_slot=wb_slot, wb_nand_page=wb_page)
-        result = self.nvmc.submit(command, now_ps)
+        result = self._exchange(Opcode.MERGED, now_ps,
+                                flush_slot=wb_slot, fill_slot=fill_slot,
+                                dram_slot=fill_slot, nand_page=fill_page,
+                                wb_dram_slot=wb_slot, wb_nand_page=wb_page)
         self.stats.merged_ops += 1
         self.stats.windows_total += result.windows_used
-        if self.cpu_cache is not None and not self.skip_coherence:
-            fill_paddr = self.region.slot_paddr(fill_slot)
-            self.cpu_cache.invalidate_range(fill_paddr, PAGE_4K)
-            self._trace_coherence("nvdc.invalidate", result.completion_ps,
-                                  fill_paddr, fill_slot)
+        self._invalidate(self.region.slot_paddr(fill_slot), fill_slot,
+                         result.completion_ps)
         return result.completion_ps + self.calibration.nvdc_ack_poll_ps
 
     def _trace_coherence(self, category: str, now_ps: int, addr: int,

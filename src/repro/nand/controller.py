@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import UncorrectableError
+from repro.errors import DegradedModeError, FTLError, UncorrectableError
 from repro.nand.device import NANDDie
 from repro.nand.ecc import ECCCodec
 from repro.nand.ftl import FlashTranslationLayer, PhysOp
@@ -29,6 +29,11 @@ class NANDControllerStats:
     page_programs: int = 0
     ecc_corrected_bits: int = 0
     ecc_uncorrectable: int = 0
+    #: Read-retry passes (shifted read-reference voltages) that followed
+    #: an uncorrectable first decode.
+    read_retries: int = 0
+    #: Reads that stayed uncorrectable after every retry: data loss.
+    unrecovered_reads: int = 0
 
 
 class NANDController:
@@ -36,7 +41,9 @@ class NANDController:
 
     def __init__(self, spec: ZNANDSpec, logical_capacity_bytes: int,
                  channels: int = 2, dies_total: int | None = None,
-                 seed: int = 7, firmware_overhead_ps: int = 0) -> None:
+                 seed: int = 7, firmware_overhead_ps: int = 0,
+                 read_retry_limit: int = 3,
+                 degraded_bad_block_limit: int = 16) -> None:
         spec.validate()
         self.spec = spec
         self.channels = channels
@@ -52,6 +59,12 @@ class NANDController:
         self._channel_busy_until = [0] * channels
         self._die_busy_until = [0] * len(self.dies)
         self.stats = NANDControllerStats()
+        #: Resilience knobs: retries per uncorrectable read (shifted
+        #: read-reference voltages), and how many grown bad blocks the
+        #: device tolerates before refusing further writes.
+        self.read_retry_limit = read_retry_limit
+        self.degraded_bad_block_limit = degraded_bad_block_limit
+        self.read_only = False
 
     def channel_of_die(self, die_index: int) -> int:
         """Dies are striped across channels."""
@@ -69,13 +82,45 @@ class NANDController:
         if data is None:
             return None, start_ps
         end_ps = self._account(ops, start_ps)
-        data = self._ecc_pass(data, ppa.die, ppa.plane, ppa.block)
+        assert ppa is not None
+        attempt = 0
+        while True:
+            try:
+                data = self._ecc_pass(data, ppa.die, ppa.plane, ppa.block)
+                break
+            except UncorrectableError:
+                attempt += 1
+                if attempt > self.read_retry_limit:
+                    self.stats.unrecovered_reads += 1
+                    raise
+                # Read retry: re-sense the page with shifted read
+                # reference voltages — another tR plus the transfer.
+                self.stats.read_retries += 1
+                end_ps += self.spec.tr_ps + self.spec.transfer_ps_per_page
         self.stats.page_reads += 1
         return data, end_ps
 
     def program_page(self, lpn: int, data: bytes, start_ps: int) -> int:
-        """Program a logical 4 KB page; returns the completion time."""
-        _ppa, ops = self.ftl.write_page(lpn, data)
+        """Program a logical 4 KB page; returns the completion time.
+
+        Raises :class:`DegradedModeError` once the device is read-only:
+        either the FTL ran out of remap candidates mid-write, or grown
+        bad blocks crossed ``degraded_bad_block_limit``.
+        """
+        if self.read_only:
+            raise DegradedModeError(
+                "device is in read-only degraded mode "
+                f"({self.ftl.stats.grown_bad_blocks} grown bad blocks)")
+        try:
+            _ppa, ops = self.ftl.write_page(lpn, data)
+        except FTLError as exc:
+            self.read_only = True
+            raise DegradedModeError(
+                f"entering read-only degraded mode: {exc}") from exc
+        if self.ftl.stats.grown_bad_blocks >= self.degraded_bad_block_limit:
+            # This write landed (it was remapped), but the device stops
+            # accepting new ones before the media is truly exhausted.
+            self.read_only = True
         end_ps = self._account(ops, start_ps)
         self.stats.page_programs += 1
         return end_ps

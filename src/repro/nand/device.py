@@ -50,8 +50,25 @@ class NANDDie:
         self.reads = 0
         self.programs = 0
         self.erases = 0
+        #: Armed by fault injectors: the next N program/erase operations
+        #: fail with :class:`MediaError` before mutating any state, the
+        #: way a worn cell fails status-check on real silicon.
+        self.fail_next_programs = 0
+        self.fail_next_erases = 0
+        self.injected_program_failures = 0
+        self.injected_erase_failures = 0
         if rng_seed is not None:
             self._seed_factory_bad_blocks(rng_seed)
+
+    # -- fault injection ----------------------------------------------------
+
+    def inject_program_failures(self, count: int = 1) -> None:
+        """Arm the next ``count`` page programs to fail."""
+        self.fail_next_programs += count
+
+    def inject_erase_failures(self, count: int = 1) -> None:
+        """Arm the next ``count`` block erases to fail."""
+        self.fail_next_erases += count
 
     def _seed_factory_bad_blocks(self, seed: int) -> None:
         """Mark factory bad blocks pseudo-randomly (ppm from the spec)."""
@@ -108,6 +125,12 @@ class NANDDie:
         if info.erase_count == 0 and info.next_page == 0 and (
                 (plane, block, page) in self._data):
             raise MediaError("program to non-erased page")
+        if self.fail_next_programs > 0:
+            self.fail_next_programs -= 1
+            self.injected_program_failures += 1
+            raise MediaError(
+                f"die {self.die_index}: injected program failure in block "
+                f"({plane},{block})")
         info.next_page += 1
         self._data[(plane, block, page)] = bytes(data)
         self.programs += 1
@@ -119,6 +142,12 @@ class NANDDie:
         if info.bad:
             raise MediaError(
                 f"die {self.die_index}: erase of bad block "
+                f"({plane},{block})")
+        if self.fail_next_erases > 0:
+            self.fail_next_erases -= 1
+            self.injected_erase_failures += 1
+            raise MediaError(
+                f"die {self.die_index}: injected erase failure in block "
                 f"({plane},{block})")
         for page in range(self.spec.pages_per_block):
             self._data.pop((plane, block, page), None)

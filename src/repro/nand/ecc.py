@@ -59,6 +59,14 @@ class ECCCodec:
         self.payload_bytes = payload_bytes
         self.stats = ECCStats()
         self._rng = random.Random(seed)
+        #: Armed by fault injectors: the next N decodes fail
+        #: uncorrectably regardless of actual flip counts (models a page
+        #: whose raw errors exceed any retry's correction budget).
+        self.force_uncorrectable = 0
+
+    def inject_uncorrectable(self, count: int = 1) -> None:
+        """Arm the next ``count`` decodes to fail uncorrectably."""
+        self.force_uncorrectable += count
 
     # -- codec -------------------------------------------------------------------
 
@@ -85,6 +93,10 @@ class ECCCodec:
     def decode(self, codeword: Codeword) -> bytes:
         """Recover the payload, correcting up to ``t`` raw bit errors."""
         self.stats.decoded += 1
+        if self.force_uncorrectable > 0:
+            self.force_uncorrectable -= 1
+            self.stats.uncorrectable += 1
+            raise UncorrectableError("injected uncorrectable codeword")
         distinct = set(codeword.flipped_bits)
         # Bits flipped an even number of times cancel out on the wire.
         odd_flips = [b for b in distinct

@@ -56,6 +56,8 @@ class FTLStats:
     erases: int = 0
     gc_invocations: int = 0
     grown_bad_blocks: int = 0
+    #: Program attempts that failed and were remapped to another block.
+    program_retries: int = 0
 
     @property
     def write_amplification(self) -> float:
@@ -96,6 +98,10 @@ class FlashTranslationLayer:
         self._open: dict[int, _BlockMeta | None] = {}
         self._next_die = 0
         self.stats = FTLStats()
+        #: Installed by fault campaigns (duck-typed
+        #: :class:`repro.faults.clock.FaultClock`); the FTL is timeless,
+        #: so GC cuts are count-scheduled via ``tick``.
+        self.fault_clock = None
         self._discover_blocks()
         self._check_capacity()
 
@@ -180,6 +186,9 @@ class FlashTranslationLayer:
                 self.dies[die_index].program_page(
                     meta.plane, meta.block, page, data)
             except MediaError:
+                # Grown bad block: retire it and remap the write to a
+                # fresh block — the paper's bad-block handling path.
+                self.stats.program_retries += 1
                 self._retire(meta)
                 continue
             break
@@ -286,6 +295,8 @@ class FlashTranslationLayer:
         ops: list[PhysOp] = []
         die = self.dies[victim.die]
         for page, lpn in sorted(victim.lpns.items()):
+            if self.fault_clock is not None:
+                self.fault_clock.tick("ftl.gc")
             data = die.read_page(victim.plane, victim.block, page)
             ops.append(PhysOp("read", victim.die))
             self.stats.gc_reads += 1

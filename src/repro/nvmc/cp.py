@@ -102,6 +102,9 @@ class CPAck:
 
     OK = 0
     MEDIA_ERROR = 1
+    #: The device polled a word it could not decode (corrupted opcode
+    #: bits); no operation was performed.  The driver re-issues.
+    DECODE_ERROR = 2
 
     def encode(self) -> int:
         return (int(self.phase) << 4) | (self.status & 0xF)
@@ -156,6 +159,18 @@ class CPArea:
         """Device side: publish completion status."""
         self._check_slot(slot)
         self._acks[slot] = ack.encode()
+
+    def clear_ack(self, slot: int) -> None:
+        """Driver side: poison the ack word before re-posting a command.
+
+        The phase field is one bit, so the ack of command N-1 carries the
+        same phase as command N+1; a driver that re-issues after a lost
+        ack must clear the ack area first or a stale ack is
+        indistinguishable from a fresh one (the ABA hazard of §IV-C's
+        minimal mailbox).
+        """
+        self._check_slot(slot)
+        self._acks[slot] = None
 
     def poll_ack(self, slot: int, phase: Phase) -> CPAck | None:
         """Driver side: the matching ack once the device completed."""

@@ -28,6 +28,9 @@ class DMAStats:
     transfers: int = 0
     bytes_moved: int = 0
     windows_used: int = 0
+    #: Transfers that ended short of the request (injected faults or an
+    #: early window close); the remainder moves in a later window.
+    partial_transfers: int = 0
 
 
 class DMAEngine:

@@ -38,7 +38,9 @@ TRANSITIONS: dict[NVMCState, tuple[NVMCState, ...]] = {
     NVMCState.IDLE: (NVMCState.POLL_CP,),
     NVMCState.POLL_CP: (NVMCState.IDLE, NVMCState.NAND_READ,
                         NVMCState.DRAM_READ, NVMCState.ACK),
-    NVMCState.NAND_READ: (NVMCState.DRAM_WRITE,),
+    # NAND_READ -> ACK is the media-failure abort: an uncorrectable page
+    # skips the fill DMA and acks MEDIA_ERROR straight away.
+    NVMCState.NAND_READ: (NVMCState.DRAM_WRITE, NVMCState.ACK),
     NVMCState.DRAM_WRITE: (NVMCState.ACK,),
     NVMCState.DRAM_READ: (NVMCState.NAND_PROGRAM, NVMCState.ACK),
     NVMCState.NAND_PROGRAM: (NVMCState.ACK, NVMCState.NAND_READ),

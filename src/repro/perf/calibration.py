@@ -84,6 +84,15 @@ class CalibrationConstants:
     nvdc_miss_sw_ps: int = round(us(1.0))
     #: ack-polling granularity of the PoC driver's busy-wait loop (§IV-C).
     nvdc_ack_poll_ps: int = round(us(0.2))
+    #: how long the driver polls for a CP ack before declaring the
+    #: exchange lost and re-issuing (well past the ~70 us worst-case
+    #: writeback+cachefill pair of §VII-B2); backoff is linear in the
+    #: attempt number.
+    cp_timeout_ps: int = round(us(1000.0))
+    #: re-issues the driver attempts before giving up on a CP exchange
+    #: (§IV-C's mailbox has no hardware retry; three attempts bounds the
+    #: fault-campaign worst case at ~4x the §VII-B2 pair latency).
+    cp_max_retries: int = 3
 
     # -- hypothetical device (Fig. 12) ----------------------------------------------
     hypo_fixed_ps: int = round(us(2.72))

@@ -12,11 +12,22 @@ layered on top in :mod:`repro.sim.process` and
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Protocol
 
 from repro.errors import SimulationError
 
 Callback = Callable[[], Any]
+
+
+class InjectionClock(Protocol):
+    """Duck type of :class:`repro.faults.clock.FaultClock`.
+
+    The engine stays ignorant of the faults package (layering: ``sim``
+    is the bottom of the stack); anything with a ``check(now_ps, site)``
+    that may raise to abandon the run can be installed.
+    """
+
+    def check(self, now_ps: int, site: str) -> None: ...
 
 
 class Engine:
@@ -42,6 +53,19 @@ class Engine:
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        self._fault_clock: InjectionClock | None = None
+
+    def install_fault_clock(self, clock: InjectionClock | None) -> None:
+        """Attach (or with ``None`` detach) a fault-injection clock.
+
+        While installed, the clock's ``check`` runs before every event
+        dispatch with the event's timestamp and site ``"engine"``; a
+        raising check (power loss) abandons the run mid-queue, leaving
+        undelivered events pending — exactly the state a campaign's
+        drain-and-recover path wants to inspect.  The common
+        (no-clock) dispatch path stays a single local ``is None`` test.
+        """
+        self._fault_clock = clock
 
     @property
     def now(self) -> int:
@@ -98,6 +122,8 @@ class Engine:
         """Execute the single next event.  Returns False if none remain."""
         if not self._heap:
             return False
+        if self._fault_clock is not None:
+            self._fault_clock.check(self._heap[0][0], "engine")
         time_ps, _seq, callback = heapq.heappop(self._heap)
         self._now = time_ps
         self.events_executed += 1
@@ -126,6 +152,7 @@ class Engine:
         self._running = True
         heap = self._heap
         pop = heapq.heappop
+        clock = self._fault_clock
         executed = 0
         try:
             while heap:
@@ -133,6 +160,8 @@ class Engine:
                     break
                 if max_events is not None and executed >= max_events:
                     break
+                if clock is not None:
+                    clock.check(heap[0][0], "engine")
                 time_ps, _seq, callback = pop(heap)
                 self._now = time_ps
                 executed += 1

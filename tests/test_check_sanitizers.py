@@ -287,3 +287,71 @@ class TestEndToEnd:
         assert len(tracer) > 0
         assert not suite.violations, suite.report()
         suite.certify(tracer)
+
+
+class TestDrainExemption:
+    """§V-C: ``power.drain`` markers suspend window-escape checking."""
+
+    REF = dict(kind="REF", bank=-1, ca_end=1250,
+               win_start=350_000, win_end=1_250_000)
+
+    def test_declared_drain_may_ignore_trfc(self):
+        tracer, suite = strict(BusRaceSanitizer())
+        tracer.emit(0, "ddr.cmd", "REF", owner="bus#0", master="imc",
+                    **self.REF)
+        tracer.emit(2_000_000, "power.drain", "begins", owner="bus#0",
+                    active=True, mapped=1)
+        # Far outside the window: legal only because a drain is declared.
+        tracer.emit(2_000_100, "ddr.cmd", "drain", owner="bus#0",
+                    master="nvmc-drain", kind="RD", ca_end=2_001_350,
+                    dq_start=2_000_100, dq_end=2_001_350)
+        tracer.emit(2_001_400, "power.drain", "ends", owner="bus#0",
+                    active=False, drained=1, pending=0)
+        assert not suite.violations
+
+    def test_escape_after_drain_ends_still_flags(self):
+        tracer, _ = strict(BusRaceSanitizer())
+        tracer.emit(0, "ddr.cmd", "REF", owner="bus#0", master="imc",
+                    **self.REF)
+        tracer.emit(2_000_000, "power.drain", "begins", owner="bus#0",
+                    active=True, mapped=1)
+        tracer.emit(2_000_500, "power.drain", "ends", owner="bus#0",
+                    active=False, drained=0, pending=0)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(3_000_000, "ddr.cmd", "RD", owner="bus#0",
+                        master="nvmc-drain", kind="RD", ca_end=3_001_250)
+        assert exc.value.rule == "window-escape"
+
+    def test_undeclared_drain_still_flags(self):
+        """The same transfer with no marker is a protocol violation."""
+        tracer, _ = strict(BusRaceSanitizer())
+        tracer.emit(0, "ddr.cmd", "REF", owner="bus#0", master="imc",
+                    **self.REF)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(2_000_000, "ddr.cmd", "drain", owner="bus#0",
+                        master="nvmc-drain", kind="RD", ca_end=2_001_250)
+        assert exc.value.rule == "window-escape"
+
+    def test_collision_detection_stays_on_during_drain(self):
+        """Even the battery drain must not overlap another master."""
+        tracer, _ = strict(BusRaceSanitizer())
+        tracer.emit(0, "power.drain", "begins", owner="bus#0",
+                    active=True, mapped=1)
+        tracer.emit(100, "ddr.cmd", "ACT", owner="bus#0", master="imc",
+                    kind="ACT", bank=0, ca_end=1350)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(600, "ddr.cmd", "drain", owner="bus#0",
+                        master="nvmc-drain", kind="RD", ca_end=1850)
+        assert exc.value.rule == "bus-collision"
+
+    def test_drain_exemption_is_per_owner(self):
+        tracer, _ = strict(BusRaceSanitizer())
+        for owner in ("bus#0", "bus#1"):
+            tracer.emit(0, "ddr.cmd", "REF", owner=owner, master="imc",
+                        **self.REF)
+        tracer.emit(2_000_000, "power.drain", "begins", owner="bus#0",
+                    active=True, mapped=1)
+        with pytest.raises(SanitizerViolation) as exc:
+            tracer.emit(2_000_100, "ddr.cmd", "drain", owner="bus#1",
+                        master="nvmc-drain", kind="RD", ca_end=2_001_350)
+        assert exc.value.rule == "window-escape"

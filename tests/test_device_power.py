@@ -1,5 +1,7 @@
 """Tests for the power-failure drain and the §V-C persistence race."""
 
+import pytest
+
 from repro.ddr.imc import WritePendingQueue
 from repro.device.nvdimmc import NVDIMMCSystem
 from repro.device.power import PowerFailureModel
@@ -79,3 +81,70 @@ class TestWPQRace:
         recovered = power.recover()
         assert recovered.read_page(0)[:64] == b"\x63" * 64
         assert recovered.read_page(0)[64:] == page_of(1)[64:]
+
+
+class TestDrainEdgeCases:
+    def test_zero_dirty_pages_drains_nothing(self):
+        """An empty cache still drains (and replays) cleanly."""
+        system = make_system()
+        power = PowerFailureModel(system.driver)
+        report = power.power_fail()
+        assert report.pages_drained == 0
+        assert report.drained_pages == []
+        assert not report.interrupted
+        replay = power.recover().replay()
+        assert replay.clean
+        assert replay.pages_recovered == 0
+
+    def test_inflight_writeback_is_drained(self):
+        """A victim popped from ``slot_to_page`` mid-writeback is only
+        reachable through the driver's in-flight journal entry; the
+        drain must still persist it (§V-C metadata area)."""
+        system = make_system()
+        driver = system.driver
+        slot, _ = driver.fault(0, 0, True)
+        system.dram.poke(system.region.slot_paddr(slot), page_of(7))
+        # Freeze the moment inside fault(): mapping gone, ack pending.
+        del driver.slot_to_page[slot]
+        driver.inflight_writeback = (slot, 0)
+        power = PowerFailureModel(driver)
+        report = power.power_fail()
+        assert report.pages_drained == 1
+        assert power.recover().read_page(0) == page_of(7)
+        assert power.recover().replay().clean
+
+    def test_back_to_back_power_fail_is_idempotent(self):
+        """A second power event re-walks the same journal and programs
+        the same bytes: same report, same clean replay."""
+        system = make_system()
+        driver = system.driver
+        for page in range(4):
+            slot, _ = driver.fault(page, 0, True)
+            system.dram.poke(system.region.slot_paddr(slot), page_of(page))
+        power = PowerFailureModel(driver)
+        first = power.power_fail()
+        second = power.power_fail(now_ps=2_000_000)
+        assert second.pages_drained == first.pages_drained == 4
+        assert second.drained_pages == first.drained_pages
+        replay = power.recover().replay()
+        assert replay.clean and replay.pages_recovered == 4
+
+    def test_interrupted_drain_reports_losses_honestly(self):
+        """A battery dying mid-drain leaves undrained journal entries;
+        replay must count them lost, never recovered."""
+        from repro.errors import PowerLossInterrupt
+        from repro.faults import FaultClock
+
+        system = make_system()
+        driver = system.driver
+        for page in range(5):
+            slot, _ = driver.fault(page, 0, True)
+            system.dram.poke(system.region.slot_paddr(slot), page_of(page))
+        power = PowerFailureModel(driver)
+        power.fault_clock = FaultClock().cut_on_visit(3, site="power.drain")
+        with pytest.raises(PowerLossInterrupt):
+            power.power_fail()
+        replay = power.recover().replay()
+        assert replay.pages_recovered == 2
+        assert replay.pages_lost == 3
+        assert not replay.clean

@@ -102,7 +102,8 @@ class TestHypothetical:
         assert end == hypo.miss_latency_ps
 
     def test_negative_td_rejected(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
             HypotheticalSystem(td_ps=-1)
 
 

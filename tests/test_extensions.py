@@ -93,8 +93,10 @@ class TestArbitrationSchemes:
         assert wide.device_ceiling_mb_s() == pytest.approx(1001.6, abs=2)
 
     def test_dummy_access_validation(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
             DummyAccessScheme(dummy_write_mb_s=-1)
+        # ConfigError is still a ValueError for pre-taxonomy callers.
         with pytest.raises(ValueError):
             DummyAccessScheme(dummy_write_mb_s=20_000)
 

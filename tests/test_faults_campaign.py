@@ -1,0 +1,106 @@
+"""Tests for the campaign runner, report schema, and faults CLI."""
+
+import json
+
+import pytest
+
+from repro.faults import (INJECTORS, SCHEMA, campaign_matrix, injector_names,
+                          render_report, run_campaign, validate_report)
+from repro.faults.campaign import cell_seed_for
+from repro.faults.cli import main as faults_main
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_campaign(seed=0, quick=True)
+
+
+class TestMatrix:
+    def test_quick_matrix_shape(self):
+        matrix = campaign_matrix(quick=True)
+        assert len(matrix) == 6
+        assert all(INJECTORS[fault].kind == "dax" for fault, _ in matrix)
+
+    def test_full_matrix_covers_every_injector(self):
+        matrix = campaign_matrix(quick=False)
+        faults = {fault for fault, _ in matrix}
+        assert faults == set(injector_names())
+        # Every dax injector runs under both workloads.
+        dax = [name for name in injector_names()
+               if INJECTORS[name].kind == "dax"]
+        assert len(matrix) == 2 * len(dax) + 1
+
+    def test_cell_seeds_distinct_and_stable(self):
+        seeds = {cell_seed_for(0, fault, wl)
+                 for fault, wl in campaign_matrix(quick=False)}
+        assert len(seeds) == len(campaign_matrix(quick=False))
+        assert cell_seed_for(0, "cp-corrupt", "seq-write") == \
+            cell_seed_for(0, "cp-corrupt", "seq-write")
+        assert cell_seed_for(0, "cp-corrupt", "seq-write") != \
+            cell_seed_for(1, "cp-corrupt", "seq-write")
+
+
+class TestQuickCampaign:
+    def test_every_cell_recovers_cleanly(self, quick_result):
+        assert quick_result.ok
+        for cell in quick_result.cells:
+            assert cell.violations == 0, cell.fault
+            assert cell.lost == 0, cell.fault
+            assert cell.injected > 0, cell.fault
+
+    def test_faults_are_detected(self, quick_result):
+        for cell in quick_result.cells:
+            assert cell.detected > 0, cell.fault
+
+    def test_deterministic_for_same_seed(self, quick_result):
+        again = run_campaign(seed=0, quick=True)
+        assert render_report(again) == render_report(quick_result)
+
+    def test_seed_changes_the_report(self, quick_result):
+        other = run_campaign(seed=1, quick=True)
+        assert render_report(other) != render_report(quick_result)
+
+
+class TestReportSchema:
+    def test_render_validates_clean(self, quick_result):
+        payload = json.loads(render_report(quick_result))
+        assert payload["schema"] == SCHEMA
+        assert validate_report(payload) == []
+        assert payload["totals"]["cells"] == len(quick_result.cells)
+
+    def test_timestamp_is_injected(self, quick_result):
+        payload = json.loads(
+            render_report(quick_result, timestamp="20260101-000000"))
+        assert payload["generated_at"] == "20260101-000000"
+        assert validate_report(payload) == []
+
+    def test_validator_rejects_mutations(self, quick_result):
+        payload = json.loads(render_report(quick_result))
+        payload["totals"]["injected"] = -1
+        assert validate_report(payload)
+        payload = json.loads(render_report(quick_result))
+        del payload["cells"][0]["recovered"]
+        assert validate_report(payload)
+        payload = json.loads(render_report(quick_result))
+        payload["schema"] = "repro.faults/999"
+        assert validate_report(payload)
+
+
+class TestCLI:
+    def test_run_quick_writes_report(self, tmp_path, capsys):
+        rc = faults_main(["run", "--quick", "--seed", "0",
+                          "--out", str(tmp_path)])
+        assert rc == 0
+        reports = list(tmp_path.glob("FAULTS_*.json"))
+        assert len(reports) == 1
+        payload = json.loads(reports[0].read_text())
+        assert validate_report(payload) == []
+        out = capsys.readouterr().out
+        assert "campaign clean" in out
+
+    def test_list_prints_registry(self, capsys):
+        rc = faults_main(["list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in injector_names():
+            assert name in out

@@ -1,0 +1,116 @@
+"""Tests for the fault clock and its injection hook sites."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, PowerLossInterrupt
+from repro.faults import FaultClock
+from repro.nand.ftl import FlashTranslationLayer
+from repro.nand.device import NANDDie
+from repro.nand.spec import ZNANDSpec
+from repro.sim import Engine
+from repro.units import kb
+
+
+class TestScheduling:
+    def test_time_cut_fires_at_matching_time(self):
+        clock = FaultClock().cut_at(1000)
+        clock.check(999, "engine")
+        with pytest.raises(PowerLossInterrupt) as exc:
+            clock.check(1000, "engine")
+        assert exc.value.time_ps == 1000
+        assert exc.value.site == "engine"
+
+    def test_each_cut_fires_exactly_once(self):
+        clock = FaultClock().cut_at(0)
+        with pytest.raises(PowerLossInterrupt):
+            clock.check(5, "engine")
+        clock.check(10, "engine")        # already fired: no second raise
+        assert clock.fired == 1
+        assert not clock.armed
+
+    def test_count_cut_fires_on_nth_visit(self):
+        clock = FaultClock().cut_on_visit(3, site="ftl.gc")
+        clock.tick("ftl.gc")
+        clock.tick("ftl.gc")
+        with pytest.raises(PowerLossInterrupt):
+            clock.tick("ftl.gc")
+
+    def test_site_prefix_matching(self):
+        clock = FaultClock().cut_on_visit(1, site="nvmc.dma")
+        clock.check(0, "nvmc.writeback.program")    # no match, no fire
+        with pytest.raises(PowerLossInterrupt):
+            clock.check(0, "nvmc.dma.fill")
+
+    def test_unrelated_site_never_fires(self):
+        clock = FaultClock().cut_at(0, site="power.drain")
+        for t in range(5):
+            clock.check(t * 1000, "engine")
+        assert clock.armed and clock.fired == 0
+
+    def test_multiple_cuts_are_independent(self):
+        clock = FaultClock()
+        clock.cut_at(100, site="engine")
+        clock.cut_on_visit(1, site="power.drain")
+        with pytest.raises(PowerLossInterrupt):
+            clock.check(100, "engine")
+        with pytest.raises(PowerLossInterrupt):
+            clock.check(200, "power.drain")
+        assert clock.fired == 2
+
+    def test_visit_recording(self):
+        clock = FaultClock(record_visits=True)
+        clock.check(7, "nvmc.dma.fill")
+        clock.tick("ftl.gc")
+        assert clock.visits == [("nvmc.dma.fill", 7), ("ftl.gc", -1)]
+
+    def test_bad_arming_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultClock().cut_at(-1)
+        with pytest.raises(FaultInjectionError):
+            FaultClock().cut_on_visit(0)
+
+
+class TestEngineHook:
+    def test_engine_cut_interrupts_dispatch(self):
+        engine = Engine()
+        seen = []
+        for t in (100, 200, 300):
+            engine.call_at(t, lambda t=t: seen.append(t))
+        engine.install_fault_clock(FaultClock().cut_at(250, site="engine"))
+        with pytest.raises(PowerLossInterrupt):
+            engine.run()
+        # Events strictly before the cut ran; the rest were abandoned
+        # in the queue the way a real power cut abandons them.
+        assert seen == [100, 200]
+
+    def test_uninstalling_restores_normal_run(self):
+        engine = Engine()
+        seen = []
+        engine.call_at(100, lambda: seen.append(100))
+        engine.install_fault_clock(None)
+        engine.run()
+        assert seen == [100]
+
+
+class TestFTLGCHook:
+    def test_gc_relocation_ticks_the_clock(self):
+        import random
+        spec = ZNANDSpec(name="tiny", capacity_bytes=20 * 16 * kb(4),
+                         page_bytes=kb(4), pages_per_block=16,
+                         planes_per_die=1, dies=1,
+                         initial_bad_block_ppm=0)
+        die = NANDDie(spec, die_index=0, rng_seed=1)
+        ftl = FlashTranslationLayer([die],
+                                    logical_capacity_bytes=10 * 16 * kb(4))
+        clock = FaultClock().cut_on_visit(1, site="ftl.gc")
+        ftl.fault_clock = clock
+        rng = random.Random(0)
+        data = bytes(kb(4))
+        with pytest.raises(PowerLossInterrupt):
+            # Random overwrites on tight over-provisioning leave GC
+            # victims partially valid, forcing relocation — the hook.
+            for lpn in range(ftl.logical_pages):
+                ftl.write_page(lpn, data)
+            for _ in range(ftl.logical_pages * 5):
+                ftl.write_page(rng.randrange(ftl.logical_pages), data)
+        assert clock.fired == 1

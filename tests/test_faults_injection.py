@@ -1,0 +1,222 @@
+"""Tests for the injection hook points and the resilience they drive.
+
+Each fault class is exercised at two levels where practical: the layer
+that absorbs it (CP area, NAND controller, refresh detector) and the
+end-to-end block path through :class:`NvdcDriver`, asserting both the
+recovery *and* the stats trail the campaign report is built from.
+"""
+
+import pytest
+
+from repro.ddr.commands import CommandKind, encode
+from repro.device.nvdimmc import NVDIMMCSystem
+from repro.errors import (CPTimeoutError, DegradedModeError, MediaError,
+                          UncorrectableError)
+from repro.nand.controller import NANDController
+from repro.nand.spec import ZNANDSpec
+from repro.nvmc.cp import CPAck, CPArea, CPCommand, Opcode, Phase
+from repro.nvmc.nvmc import CPFaultPort
+from repro.nvmc.refresh_detector import RefreshDetector
+from repro.units import PAGE_4K, kb, mb, us
+
+
+def make_system(**kwargs):
+    kwargs.setdefault("cache_bytes", kb(512))
+    kwargs.setdefault("device_bytes", mb(8))
+    kwargs.setdefault("with_cpu_cache", True)
+    return NVDIMMCSystem(**kwargs)
+
+
+def make_controller(**kwargs):
+    spec = ZNANDSpec(
+        name="test", capacity_bytes=64 * 16 * kb(4),
+        page_bytes=kb(4), pages_per_block=16, planes_per_die=1,
+        dies=1, initial_bad_block_ppm=0)
+    return NANDController(spec, logical_capacity_bytes=24 * 16 * kb(4),
+                          channels=2, dies_total=4, **kwargs)
+
+
+PAGE = bytes(range(256)) * 16
+
+
+def arm_port(system):
+    port = CPFaultPort()
+    system.nvmc.faults = port
+    return port
+
+
+class TestCPCorruption:
+    def test_phase_corruption_times_out_and_recovers(self):
+        system = make_system()
+        port = arm_port(system)
+        port.corrupt_command("phase")
+        data, _ = system.driver.read_page(0, round(us(1)))
+        assert data == bytes(PAGE_4K)       # unwritten page: zeros
+        stats = system.driver.stats
+        assert port.commands_corrupted == 1
+        assert stats.cp_timeouts == 1       # stale word: no ack ever
+        assert stats.cp_retries == 1        # one re-issue completed it
+        assert stats.cachefills == 1
+
+    def test_opcode_corruption_decode_error_reissues(self):
+        system = make_system()
+        port = arm_port(system)
+        port.corrupt_command("opcode")
+        data, _ = system.driver.read_page(0, round(us(1)))
+        assert data == bytes(PAGE_4K)
+        stats = system.driver.stats
+        assert stats.cp_timeouts == 0       # DECODE_ERROR acks promptly
+        assert stats.cp_retries == 1
+
+    def test_persistent_corruption_exhausts_retries(self):
+        system = make_system()
+        port = arm_port(system)
+        for _ in range(8):                  # outlast every re-issue
+            port.corrupt_command("phase")
+        with pytest.raises(CPTimeoutError) as exc:
+            system.driver.read_page(0, round(us(1)))
+        assert exc.value.attempts == 1 + system.driver.calibration.\
+            cp_max_retries
+
+    def test_ack_drop_reissues_idempotently(self):
+        system = make_system()
+        port = arm_port(system)
+        port.drop_ack()
+        data, _ = system.driver.read_page(0, round(us(1)))
+        assert data == bytes(PAGE_4K)
+        stats = system.driver.stats
+        assert port.acks_dropped == 1
+        assert stats.cp_timeouts == 1
+        assert stats.cp_retries == 1
+        # The device performed the operation on both attempts.
+        assert stats.cachefills == 1
+
+    def test_faulted_write_path_round_trips_data(self):
+        """Corruption mid-eviction traffic must not corrupt any page."""
+        system = make_system()
+        port = arm_port(system)
+        slots = system.region.num_slots
+        port.corrupt_command("phase", after=1)
+        port.drop_ack(after=2)
+        t = round(us(1))
+        shadow = {}
+        for page in range(slots + 8):       # force evictions + fills
+            data = bytes([page % 256]) * PAGE_4K
+            t = system.driver.write_page(page, data, t)
+            shadow[page] = data
+        assert port.exhausted
+        for page, expect in shadow.items():
+            got, t = system.driver.read_page(page, t)
+            assert got == expect, f"page {page} corrupted"
+
+
+class TestAckABAHazard:
+    def test_clear_ack_poisons_stale_ack(self):
+        """The 1-bit phase means ack(N-1) looks like ack(N+1); the
+        driver must be able to poison the ack word before re-posting."""
+        area = CPArea()
+        area.post(0, CPCommand(phase=Phase.ODD, opcode=Opcode.CACHEFILL))
+        area.ack(0, CPAck(phase=Phase.ODD))
+        assert area.poll_ack(0, Phase.ODD) is not None
+        area.clear_ack(0)
+        assert area.poll_ack(0, Phase.ODD) is None
+
+
+class TestDMAPartialTransfers:
+    def test_shortfall_spills_into_next_window(self):
+        system = make_system()
+        port = arm_port(system)
+        port.shorten_dma(2048)
+        data, _ = system.driver.read_page(0, round(us(1)))
+        assert data == bytes(PAGE_4K)
+        assert port.dma_shortfalls_applied == 1
+        assert system.nvmc.dma.stats.partial_transfers == 1
+
+    def test_full_transfer_has_no_partials(self):
+        system = make_system()
+        system.driver.read_page(0, round(us(1)))
+        assert system.nvmc.dma.stats.partial_transfers == 0
+
+
+class TestNANDResilience:
+    def test_program_failure_remaps_and_round_trips(self):
+        nand = make_controller()
+        nand.dies[0].inject_program_failures(1)
+        nand.program_page(3, PAGE, 0)
+        assert nand.dies[0].injected_program_failures == 1
+        assert nand.ftl.stats.program_retries == 1
+        assert nand.ftl.stats.grown_bad_blocks == 1
+        data, _ = nand.read_page(3, 0)
+        assert data == PAGE
+
+    def test_read_retry_recovers_within_budget(self):
+        nand = make_controller()
+        nand.program_page(5, PAGE, 0)
+        nand.codec.inject_uncorrectable(2)
+        data, _ = nand.read_page(5, 0)
+        assert data == PAGE
+        assert nand.stats.read_retries == 2
+        assert nand.stats.unrecovered_reads == 0
+
+    def test_read_retries_cost_extra_time(self):
+        nand = make_controller()
+        nand.program_page(5, PAGE, 0)
+        _, clean_end = nand.read_page(5, 0)
+        nand.codec.inject_uncorrectable(1)
+        _, retried_end = nand.read_page(5, clean_end)
+        assert retried_end - clean_end > clean_end    # ~2x one read
+
+    def test_unrecoverable_read_raises_after_budget(self):
+        nand = make_controller()
+        nand.program_page(5, PAGE, 0)
+        nand.codec.inject_uncorrectable(1 + nand.read_retry_limit)
+        with pytest.raises(UncorrectableError):
+            nand.read_page(5, 0)
+        assert nand.stats.unrecovered_reads == 1
+
+    def test_degraded_mode_after_bad_block_budget(self):
+        nand = make_controller(degraded_bad_block_limit=1)
+        nand.dies[0].inject_program_failures(1)
+        nand.program_page(0, PAGE, 0)       # remapped; limit reached
+        assert nand.read_only
+        with pytest.raises(DegradedModeError):
+            nand.program_page(1, PAGE, 0)
+        # Reads still work, and the drain's preload backdoor stays open.
+        data, _ = nand.read_page(0, 0)
+        assert data == PAGE
+        nand.preload(2, PAGE)
+
+    def test_media_error_surfaces_through_driver(self):
+        system = make_system()
+        t = round(us(1))
+        slots = system.region.num_slots
+        # Push one page to NAND by writing past the cache capacity.
+        for page in range(slots + 1):
+            t = system.driver.write_page(page, PAGE, t)
+        system.nand.codec.inject_uncorrectable(
+            1 + system.nand.read_retry_limit)
+        with pytest.raises(MediaError):
+            system.driver.read_page(0, t)
+        assert system.driver.stats.media_errors == 1
+
+
+class TestDetectorNoiseBursts:
+    def test_burst_forces_slow_path_and_still_detects(self):
+        detector = RefreshDetector(seed=3)
+        detector.inject_noise_burst(500, 1500, ber=0.001)
+        detector.observe(1000, encode(CommandKind.REF))
+        assert detector.burst_commands == 1
+        assert len(detector.detections) == 1
+
+    def test_outside_burst_keeps_fast_path(self):
+        detector = RefreshDetector(seed=3)
+        detector.inject_noise_burst(500, 1500, ber=0.25)
+        detector.observe(2000, encode(CommandKind.REF))
+        assert detector.burst_commands == 0
+        assert len(detector.detections) == 1
+
+    def test_overlapping_bursts_use_worst_ber(self):
+        detector = RefreshDetector(seed=3)
+        detector.inject_noise_burst(0, 1000, ber=0.001)
+        detector.inject_noise_burst(500, 1500, ber=0.002)
+        assert detector._burst_ber(750) == 0.002
