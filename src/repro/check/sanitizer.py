@@ -150,9 +150,11 @@ class SanitizerSuite:
 
 
 def default_suite(strict: bool = False) -> SanitizerSuite:
-    """The standard four-sanitizer suite."""
+    """The standard five-sanitizer suite."""
     from repro.check.sanitizers import (BusRaceSanitizer, CoherenceSanitizer,
-                                        ProtocolSanitizer, TimeSanitizer)
+                                        ProtocolSanitizer, ScrubSanitizer,
+                                        TimeSanitizer)
     return SanitizerSuite([BusRaceSanitizer(), CoherenceSanitizer(),
-                           ProtocolSanitizer(), TimeSanitizer()],
+                           ProtocolSanitizer(), ScrubSanitizer(),
+                           TimeSanitizer()],
                           strict=strict)

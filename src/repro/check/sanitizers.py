@@ -310,6 +310,75 @@ class ProtocolSanitizer(Sanitizer):
                 open_banks.clear()
 
 
+class ScrubSanitizer(Sanitizer):
+    """Patrol scrub is invisible to the host (§IV-B window discipline).
+
+    The scrubber (:class:`repro.health.scrub.PatrolScrubber`) may only
+    use refresh windows the host left idle, and its shared-bus work must
+    stay inside the window it claimed.  Each ``health.scrub`` record
+    declares the claimed window (``window``/``win_start``/``win_end``)
+    and the bus span actually used (``start_ps``/``end_ps``); host DMA
+    (``nvmc.dma``) records carry their ``window`` index, so the two
+    streams correlate per owner.
+
+    Rules:
+        ``scrub-window-escape`` — a scrub bus span left its declared
+            window bounds.
+        ``scrub-collision``    — one refresh window of one owner carried
+            both patrol scrub and host DMA traffic (in either order):
+            scrub ran in a window the host was using.
+    """
+
+    #: Per-owner window indices retained for cross-correlation.
+    WINDOW_MEMORY = 4096
+
+    def __init__(self) -> None:
+        super().__init__()
+        # owner -> {window index: True} (insertion-ordered, pruned FIFO).
+        self._scrub_windows: dict[str, dict[int, bool]] = {}
+        self._dma_windows: dict[str, dict[int, bool]] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        if record.category == "health.scrub":
+            owner = self.owner_of(record)
+            window = int(record.fields["window"])
+            win_start = int(record.fields["win_start"])
+            win_end = int(record.fields["win_end"])
+            start = int(record.fields["start_ps"])
+            end = int(record.fields["end_ps"])
+            if start < win_start or end > win_end:
+                self.violation(
+                    "scrub-window-escape",
+                    f"scrub bus span [{start}, {end}) ps escapes its "
+                    f"window {window} [{win_start}, {win_end}) ps",
+                    record=record, window=window, start_ps=start,
+                    end_ps=end, win_start=win_start, win_end=win_end)
+            if window in self._dma_windows.get(owner, {}):
+                self.violation(
+                    "scrub-collision",
+                    f"scrub claimed window {window} after host DMA "
+                    "already used it",
+                    record=record, window=window)
+            self._remember(self._scrub_windows, owner, window)
+        elif record.category == "nvmc.dma":
+            owner = self.owner_of(record)
+            window = int(record.fields["window"])
+            if window in self._scrub_windows.get(owner, {}):
+                self.violation(
+                    "scrub-collision",
+                    f"host DMA landed in window {window} the patrol "
+                    "scrub already claimed",
+                    record=record, window=window)
+            self._remember(self._dma_windows, owner, window)
+
+    def _remember(self, table: dict[str, dict[int, bool]], owner: str,
+                  window: int) -> None:
+        windows = table.setdefault(owner, {})
+        windows[window] = True
+        while len(windows) > self.WINDOW_MEMORY:
+            del windows[next(iter(windows))]
+
+
 class TimeSanitizer(Sanitizer):
     """Simulated time is integer picoseconds and moves forward.
 

@@ -16,9 +16,11 @@ Commands:
 * ``check`` — correctness tooling: ``check lint`` (AST invariant
   passes) and ``check run --sanitize <experiment>`` (sanitized run).
 * ``faults`` — deterministic fault-injection campaigns:
-  ``faults run [--quick]`` executes the (fault x workload) matrix and
-  writes ``FAULTS_<timestamp>.json``; ``faults list`` prints the
-  injector registry.
+  ``faults run [--quick] [--only ids]`` executes the (fault x workload)
+  matrix and writes ``FAULTS_<timestamp>.json``; ``faults list`` prints
+  the injector registry.
+* ``soak`` — the long-run health soak: composed faults marching one
+  module down the recovery ladder, writing ``SOAK_<timestamp>.json``.
 """
 
 from __future__ import annotations
@@ -152,6 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
     build_check_parser(sub)
     from repro.faults.cli import build_parser as build_faults_parser
     build_faults_parser(sub)
+    from repro.health.cli import build_parser as build_soak_parser
+    build_soak_parser(sub)
     return parser
 
 

@@ -24,6 +24,8 @@ from repro.cpu.cache import CPUCache
 from repro.ddr.device import DRAMDevice
 from repro.ddr.imc import RefreshTimeline
 from repro.ddr.spec import DDR4Spec, NVDIMMC_1600, DDR4_1600
+from repro.health.monitor import HealthMonitor, HealthPolicy
+from repro.health.scrub import PatrolScrubber, ScrubConfig
 from repro.kernel.memmap import ReservedRegion
 from repro.kernel.nvdc import NvdcDriver
 from repro.kernel.pmem import PmemDriver
@@ -95,21 +97,26 @@ class NVDIMMCSystem(DaxSystem):
                  nand_phy_mhz: int | None = None,
                  calibration: CalibrationConstants = DEFAULT_CALIBRATION,
                  seed: int = 7,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 health_policy: HealthPolicy | None = None,
+                 scrub_config: ScrubConfig | None = None) -> None:
         if trefi_ps is not None:
             spec = spec.with_trefi(trefi_ps)
         timeline = RefreshTimeline(spec)
         dram = DRAMDevice(spec, capacity_bytes=cache_bytes, name="dram-cache")
         region = ReservedRegion(base_paddr=0, size_bytes=cache_bytes)
         nand_spec = self._nand_spec_for(device_bytes, nand_phy_mhz)
+        # One health monitor spans the module: driver, NVMC, NAND
+        # controller and FTL all feed and read the same ladder.
+        health = HealthMonitor(policy=health_policy, tracer=tracer)
         nand = NANDController(
             nand_spec, logical_capacity_bytes=device_bytes,
-            channels=2, dies_total=8, seed=seed)
+            channels=2, dies_total=8, seed=seed, health=health)
         nvmc = NVMCModel(timeline, nand, dram,
                          window_bytes=window_bytes,
                          firmware=firmware or FirmwareModel(),
                          cp_queue_depth=cp_queue_depth,
-                         tracer=tracer)
+                         tracer=tracer, health=health)
         cpu_cache = CPUCache(_DramBackend(dram)) if with_cpu_cache else None
         driver = NvdcDriver(region, nvmc, dram, cpu_cache=cpu_cache,
                             policy=policy,
@@ -128,6 +135,9 @@ class NVDIMMCSystem(DaxSystem):
         self.nvmc = nvmc
         self.cpu_cache = cpu_cache
         self.driver = driver
+        self.health = health
+        self.scrubber = PatrolScrubber(nvmc, driver=driver, monitor=health,
+                                       config=scrub_config)
 
     @staticmethod
     def _nand_spec_for(device_bytes: int,
@@ -186,7 +196,8 @@ class NVDIMMCSystem(DaxSystem):
                          window_bytes=self.nvmc.dma.window_bytes,
                          firmware=self.nvmc.firmware,
                          cp_queue_depth=self.nvmc.cp.queue_depth,
-                         tracer=self.nvmc.tracer)
+                         tracer=self.nvmc.tracer,
+                         health=self.health)
         cpu_cache = (CPUCache(_DramBackend(dram))
                      if self.cpu_cache is not None else None)
         driver = NvdcDriver(region, nvmc, dram, cpu_cache=cpu_cache,
@@ -205,6 +216,12 @@ class NVDIMMCSystem(DaxSystem):
         fresh.nvmc = nvmc
         fresh.cpu_cache = cpu_cache
         fresh.driver = driver
+        # Health is a property of the *module*, not of one mount: the
+        # ladder (and its timeline) survives the power cycle.
+        fresh.health = self.health
+        fresh.scrubber = PatrolScrubber(nvmc, driver=driver,
+                                        monitor=self.health,
+                                        config=self.scrubber.config)
         return fresh
 
 

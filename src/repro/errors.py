@@ -72,9 +72,28 @@ class UncorrectableError(MediaError):
 
 class DegradedModeError(MediaError):
     """The device entered read-only degraded mode after repeated media
-    failures; writes are refused until the module is replaced."""
+    failures; writes are refused until the module is replaced.
+
+    ``reason`` is the machine-readable cause (``"bad-block-budget"``,
+    ``"remap-exhausted"``, ``"space-exhausted"``, ...) that health
+    reports and tests key on; the message text stays human-facing.
+    """
 
     code = "REPRO-E032"
+
+    def __init__(self, message: str, reason: str = "degraded") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class FailStopError(DegradedModeError):
+    """The device can no longer vouch for its data (an unrecoverable
+    read while already degraded): every host operation is refused."""
+
+    code = "REPRO-E033"
+
+    def __init__(self, message: str, reason: str = "fail-stop") -> None:
+        super().__init__(message, reason=reason)
 
 
 class FTLError(ReproError):

@@ -2,8 +2,10 @@
 
 Subcommands:
 
-* ``run [--quick] [--seed N] [--out DIR]`` — execute the campaign
-  matrix and write a schema-pinned ``FAULTS_<timestamp>.json`` report.
+* ``run [--quick] [--seed N] [--out DIR] [--only ID[,ID...]]`` —
+  execute the campaign matrix and write a schema-pinned
+  ``FAULTS_<timestamp>.json`` report.  ``--only`` restricts the matrix
+  to the named faults (an unknown id aborts with the known-id list).
   Exits non-zero when any cell fails (a recoverable cell lost data, or
   any cell tripped a sanitizer).
 * ``list`` — print the injector registry.
@@ -20,6 +22,7 @@ from pathlib import Path
 
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.faults.campaign import CellResult, run_campaign
+    from repro.faults.injectors import injector_names
     from repro.faults.report import render_report, validate_report
 
     def progress(cell: CellResult) -> None:
@@ -29,10 +32,22 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"recovered={cell.recovered} lost={cell.lost} "
               f"violations={cell.violations}")
 
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = sorted(set(only) - set(injector_names()))
+        if unknown:
+            print(f"unknown fault ids: {', '.join(unknown)}",
+                  file=sys.stderr)
+            print(f"known fault ids: {', '.join(injector_names())}",
+                  file=sys.stderr)
+            return 2
     mode = "quick" if args.quick else "full"
-    print(f"repro faults run: {mode} matrix, seed {args.seed}")
+    print(f"repro faults run: {mode} matrix, seed {args.seed}"
+          + (f", only {','.join(only)}" if only else ""))
     result = run_campaign(seed=args.seed, quick=args.quick,
-                          capacity=args.capacity, progress=progress)
+                          capacity=args.capacity, progress=progress,
+                          only=only)
     timestamp = time.strftime("%Y%m%d-%H%M%S")
     payload = render_report(result, timestamp=timestamp)
     problems = validate_report(json.loads(payload))
@@ -88,6 +103,9 @@ def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
                        help="directory for FAULTS_<timestamp>.json")
     p_run.add_argument("--capacity", type=int, default=400_000,
                        help="per-cell tracer retention bound (records)")
+    p_run.add_argument("--only", default=None, metavar="ID[,ID...]",
+                       help="run only the named faults (see 'faults list'; "
+                            "cell seeds are unchanged)")
     p_run.set_defaults(fn=cmd_run)
 
     p_list = sub.add_parser("list", help="print the injector registry")

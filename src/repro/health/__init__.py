@@ -1,0 +1,34 @@
+"""Runtime health: retry policies, the recovery ladder, patrol scrub.
+
+PR 3 (``repro.faults``) proved each fault is survivable *in isolation*;
+this package makes the stack degrade gracefully under *sustained*
+faults.  Four pieces:
+
+* :mod:`repro.health.retry` — a reusable, deterministic
+  :class:`~repro.health.retry.RetryPolicy` (capped exponential backoff,
+  seed-derived jitter, budgets keyed to the :mod:`repro.errors`
+  taxonomy) that replaces every ad-hoc retry loop in the stack;
+* :mod:`repro.health.monitor` — the
+  :class:`~repro.health.monitor.HealthMonitor`, a traced state machine
+  over rolling error budgets that drives the explicit recovery ladder
+  ``ok -> retry -> remap -> read_only -> fail_stop``;
+* :mod:`repro.health.scrub` — the
+  :class:`~repro.health.scrub.PatrolScrubber`, a background agent that
+  spends idle refresh-window bandwidth verifying media ECC and
+  proactively relocating decaying pages;
+* :mod:`repro.health.soak` — the ``repro soak`` harness: composed
+  fault campaigns over a long-lived system, verified against a
+  fault-free twin and reported in a schema-pinned ``SOAK_*.json``.
+"""
+
+from repro.health.monitor import (HealthMonitor, HealthPolicy, HealthState,
+                                  HealthTransition, LADDER_EDGES)
+from repro.health.retry import RetryBudget, RetryPolicy, budget_for, \
+    policy_for
+from repro.health.scrub import PatrolScrubber, ScrubConfig, ScrubStats
+
+__all__ = [
+    "HealthMonitor", "HealthPolicy", "HealthState", "HealthTransition",
+    "LADDER_EDGES", "RetryBudget", "RetryPolicy", "budget_for",
+    "policy_for", "PatrolScrubber", "ScrubConfig", "ScrubStats",
+]

@@ -1,0 +1,261 @@
+"""The health monitor: rolling error budgets driving a recovery ladder.
+
+PR 3 left the stack reacting to each fault in isolation: the driver
+retried, the FTL remapped, the NAND controller flipped a private
+``read_only`` bool.  The :class:`HealthMonitor` replaces that implicit
+state with one explicit, traced state machine shared by every layer —
+the in-system reliability state Patel et al. argue DRAM systems should
+expose, scheduled maintenance-style the way Hassan et al.'s
+self-managing DRAM does.
+
+The ladder::
+
+    ok -> retry -> remap -> read_only -> fail_stop
+
+* **ok** — no resilience mechanism active beyond background scrub.
+* **retry** — transient-fault recovery (CP re-issues, ack timeouts,
+  DMA shortfall continuations, ECC read retries) crossed its rolling
+  budget: the device is coping, but something is wrong.  Decays back
+  to ``ok`` after a quiet interval.
+* **remap** — media faults consumed remap capacity (FTL program
+  retries, retired blocks).  Also decays when the media goes quiet.
+* **read_only** — writes are refused (:class:`~repro.errors.
+  DegradedModeError` with a machine-readable ``reason``): the grown
+  bad-block budget is exhausted, or the FTL ran out of remap
+  candidates.  Sticky — only module replacement clears it.
+* **fail_stop** — data can no longer be trusted (an unrecoverable read
+  while already degraded): every host operation is refused with
+  :class:`~repro.errors.FailStopError`.  Sticky.
+
+Transitions are traced (``health.state`` records) and appended to
+:attr:`HealthMonitor.timeline`, which the soak report serialises; the
+``repro soak`` acceptance gate requires every ladder edge to appear
+there at least once.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.trace import Tracer, default_tracer, next_owner
+from repro.units import ms
+
+
+class HealthState(enum.IntEnum):
+    """Rungs of the recovery ladder, in escalation order."""
+
+    OK = 0
+    RETRY = 1
+    REMAP = 2
+    READ_ONLY = 3
+    FAIL_STOP = 4
+
+    @property
+    def label(self) -> str:
+        """Lowercase report-facing name (``read_only`` etc.)."""
+        return self.name.lower()
+
+
+#: The ladder's edges, in order, as ``(from, to)`` label pairs.  The
+#: soak acceptance gate requires one exercised transition per edge.
+LADDER_EDGES: tuple[tuple[str, str], ...] = tuple(
+    (a.label, b.label)
+    for a, b in zip(tuple(HealthState), tuple(HealthState)[1:]))
+
+
+#: Event kinds that count against the *transient* (retry) budget.
+TRANSIENT_KINDS = frozenset(
+    {"cp-retry", "cp-timeout", "dma-partial", "read-retry"})
+#: Event kinds that count against the *media* (remap) budget.
+MEDIA_KINDS = frozenset({"remap", "bad-block"})
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds of the ladder's escalation rules."""
+
+    #: Rolling-budget horizon: events older than this no longer count.
+    window_ps: int = round(ms(50))
+    #: Transient-recovery events within the window that enter ``retry``.
+    retry_threshold: int = 3
+    #: Media remap events within the window that enter ``remap``.
+    remap_threshold: int = 2
+    #: Grown bad blocks (lifetime) that enter ``read_only``.
+    read_only_bad_blocks: int = 16
+    #: Unrecovered reads while degraded that enter ``fail_stop``.
+    fail_stop_unrecovered: int = 1
+    #: Quiet time after which ``retry``/``remap`` decay back to ``ok``.
+    decay_ps: int = round(ms(100))
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One traced ladder transition."""
+
+    time_ps: int
+    from_state: str
+    to_state: str
+    reason: str
+    component: str
+
+    def to_dict(self) -> dict:
+        return {"time_ps": self.time_ps, "from": self.from_state,
+                "to": self.to_state, "reason": self.reason,
+                "component": self.component}
+
+
+@dataclass
+class HealthCounters:
+    """Lifetime event totals, by kind."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, kind: str) -> int:
+        total = self.counts.get(kind, 0) + 1
+        self.counts[kind] = total
+        return total
+
+    def get(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+
+class HealthMonitor:
+    """Shared, traced health state for one NVDIMM-C module.
+
+    One instance spans the whole stack: the nvdc driver, the NVMC, the
+    NAND controller and the FTL all feed :meth:`record`; the ladder
+    state they read back (:attr:`state`, :attr:`read_only`,
+    :attr:`failed`) is the single source of truth for degraded-mode
+    decisions.  The monitor survives remount — health is a property of
+    the module, not of one driver instance.
+    """
+
+    def __init__(self, policy: HealthPolicy | None = None,
+                 tracer: Tracer | None = None,
+                 name: str = "health") -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.trace_owner = next_owner(name)
+        self.state = HealthState.OK
+        #: Machine-readable reason for the current (non-ok) state.
+        self.reason = ""
+        self.timeline: list[HealthTransition] = []
+        self.counters = HealthCounters()
+        #: Most recent simulated time any layer reported; timeless
+        #: layers (the FTL) inherit it for their events.
+        self.clock_ps = 0
+        self._transient: deque[int] = deque()
+        self._media: deque[int] = deque()
+        self._last_event_ps = -1
+
+    # -- feeding --------------------------------------------------------------
+
+    def note_time(self, time_ps: int) -> None:
+        """Advance the monitor's clock (monotonic max)."""
+        if time_ps > self.clock_ps:
+            self.clock_ps = time_ps
+
+    def record(self, component: str, kind: str,
+               time_ps: int | None = None, detail: str = "") -> None:
+        """One health-relevant event from a stack layer.
+
+        ``time_ps=None`` (timeless layers) stamps the event with the
+        monitor's clock.  Escalation rules run immediately, so the
+        ladder transition lands at the event that caused it.
+        """
+        t = self.clock_ps if time_ps is None else time_ps
+        self.note_time(t)
+        self._last_event_ps = max(self._last_event_ps, t)
+        self.counters.bump(kind)
+        horizon = t - self.policy.window_ps
+        if kind in TRANSIENT_KINDS:
+            rolling = self._roll(self._transient, t, horizon)
+            if (rolling >= self.policy.retry_threshold
+                    and self.state < HealthState.RETRY):
+                self._transition(HealthState.RETRY, t,
+                                 f"{kind}-budget:{rolling}", component)
+        elif kind in MEDIA_KINDS:
+            rolling = self._roll(self._media, t, horizon)
+            if (rolling >= self.policy.remap_threshold
+                    and self.state < HealthState.REMAP):
+                self._transition(HealthState.REMAP, t,
+                                 f"{kind}-budget:{rolling}", component)
+            if (kind == "bad-block"
+                    and self.counters.get("bad-block")
+                    >= self.policy.read_only_bad_blocks
+                    and self.state < HealthState.READ_ONLY):
+                self._transition(HealthState.READ_ONLY, t,
+                                 "bad-block-budget", component)
+        elif kind in ("remap-exhausted", "space-exhausted",
+                      "bad-block-budget"):
+            if self.state < HealthState.READ_ONLY:
+                self._transition(HealthState.READ_ONLY, t, kind, component)
+        elif kind == "unrecovered-read":
+            if (self.state >= HealthState.READ_ONLY
+                    and self.counters.get("unrecovered-read")
+                    >= self.policy.fail_stop_unrecovered
+                    and self.state < HealthState.FAIL_STOP):
+                self._transition(HealthState.FAIL_STOP, t,
+                                 "unrecoverable-read-degraded", component)
+
+    def maybe_relax(self, now_ps: int) -> None:
+        """Decay ``retry``/``remap`` back to ``ok`` after quiet time.
+
+        Called opportunistically from success paths; sticky states
+        (``read_only``, ``fail_stop``) never decay — the media damage
+        they reflect does not heal.
+        """
+        if self.state not in (HealthState.RETRY, HealthState.REMAP):
+            return
+        if now_ps - self._last_event_ps >= self.policy.decay_ps:
+            self._transition(HealthState.OK, now_ps, "quiet-decay",
+                             "monitor")
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        """Writes must be refused (``read_only`` or worse)."""
+        return self.state >= HealthState.READ_ONLY
+
+    @property
+    def failed(self) -> bool:
+        """All host I/O must be refused."""
+        return self.state is HealthState.FAIL_STOP
+
+    def edges_exercised(self) -> dict[str, int]:
+        """Ladder-edge coverage counts (``"ok->retry"`` style keys)."""
+        coverage = {f"{a}->{b}": 0 for a, b in LADDER_EDGES}
+        for transition in self.timeline:
+            key = f"{transition.from_state}->{transition.to_state}"
+            if key in coverage:
+                coverage[key] += 1
+        return coverage
+
+    # -- internals ------------------------------------------------------------
+
+    def _roll(self, window: deque, t: int, horizon: int) -> int:
+        window.append(t)
+        while window and window[0] < horizon:
+            window.popleft()
+        return len(window)
+
+    def _transition(self, to: HealthState, time_ps: int, reason: str,
+                    component: str) -> None:
+        t = max(0, time_ps)
+        transition = HealthTransition(
+            time_ps=t, from_state=self.state.label, to_state=to.label,
+            reason=reason, component=component)
+        self.timeline.append(transition)
+        if self.tracer.enabled:
+            self.tracer.emit(t, "health.state",
+                             f"{transition.from_state} -> "
+                             f"{transition.to_state} ({reason})",
+                             owner=self.trace_owner,
+                             from_state=transition.from_state,
+                             to_state=transition.to_state,
+                             reason=reason, component=component)
+        self.state = to
+        self.reason = "" if to is HealthState.OK else reason

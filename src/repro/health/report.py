@@ -1,0 +1,126 @@
+"""The schema-pinned ``SOAK_*.json`` long-run soak report.
+
+Mirrors :mod:`repro.faults.report`: :data:`SCHEMA` names the pinned
+revision, :func:`render_report` serialises with sorted keys and a
+trailing newline (byte-identical for identical soak results — the
+wall-clock timestamp is the *only* non-deterministic field, injected by
+the caller so tests can omit it), and :func:`validate_report` checks a
+parsed report against the pinned shape.
+
+The report carries the full health-state timeline (every ladder
+transition with its cause) plus per-edge coverage counts, so the
+acceptance gate — every ladder edge exercised, zero data loss, bounded
+p99 degradation — can be checked from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.health.monitor import LADDER_EDGES
+
+SCHEMA = "repro.soak/1"
+
+_REPORT_KEYS = frozenset(
+    {"schema", "generated_at", "seed", "quick", "rounds",
+     "health_timeline", "edges", "latency", "scrub", "counters",
+     "totals", "ok"})
+_ROUND_KEYS = frozenset(
+    {"name", "faults", "writes", "reads", "refused_writes",
+     "media_errors", "data_loss", "health_before", "health_after",
+     "notes"})
+_TRANSITION_KEYS = frozenset(
+    {"time_ps", "from", "to", "reason", "component"})
+_LATENCY_KEYS = frozenset(
+    {"samples", "clean_p50_ps", "clean_p99_ps", "soak_p50_ps",
+     "soak_p99_ps", "p99_ratio_x1000", "p99_bound_x1000"})
+_TOTAL_KEYS = frozenset(
+    {"rounds", "writes", "reads", "refused_writes", "media_errors",
+     "data_loss", "violations"})
+_EDGE_KEYS = frozenset(f"{a}->{b}" for a, b in LADDER_EDGES)
+
+
+def render_report(result: Any, timestamp: str | None = None) -> str:
+    """Serialise a :class:`~repro.health.soak.SoakResult`.
+
+    ``timestamp`` is stamped into ``generated_at`` verbatim; pass None
+    (the default) for byte-stable output.
+    """
+    payload = result.to_dict()
+    payload["generated_at"] = timestamp
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def validate_report(payload: Any) -> list[str]:
+    """Problems with a parsed report; an empty list means valid."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}: {payload.get('schema')!r}")
+    missing = _REPORT_KEYS - payload.keys()
+    if missing:
+        problems.append(f"missing report keys: {sorted(missing)}")
+    extra = payload.keys() - _REPORT_KEYS
+    if extra:
+        problems.append(f"unknown report keys: {sorted(extra)}")
+    rounds = payload.get("rounds")
+    if not isinstance(rounds, list) or not rounds:
+        problems.append("rounds must be a non-empty list")
+        rounds = []
+    for index, entry in enumerate(rounds):
+        if not isinstance(entry, dict):
+            problems.append(f"rounds[{index}] must be an object")
+            continue
+        if entry.keys() != _ROUND_KEYS:
+            problems.append(
+                f"rounds[{index}] keys {sorted(entry.keys())} != "
+                f"{sorted(_ROUND_KEYS)}")
+            continue
+        for key in ("writes", "reads", "refused_writes", "media_errors",
+                    "data_loss"):
+            if not isinstance(entry[key], int) or entry[key] < 0:
+                problems.append(
+                    f"rounds[{index}].{key} must be a non-negative int")
+    timeline = payload.get("health_timeline")
+    if not isinstance(timeline, list):
+        problems.append("health_timeline must be a list")
+        timeline = []
+    for index, entry in enumerate(timeline):
+        if not isinstance(entry, dict) or entry.keys() != _TRANSITION_KEYS:
+            problems.append(
+                f"health_timeline[{index}] keys must be "
+                f"{sorted(_TRANSITION_KEYS)}")
+    edges = payload.get("edges")
+    if not isinstance(edges, dict) or edges.keys() != _EDGE_KEYS:
+        problems.append(f"edges keys must be {sorted(_EDGE_KEYS)}")
+    else:
+        for key in sorted(_EDGE_KEYS):
+            if not isinstance(edges[key], int) or edges[key] < 0:
+                problems.append(
+                    f"edges[{key!r}] must be a non-negative int")
+    latency = payload.get("latency")
+    if not isinstance(latency, dict) or latency.keys() != _LATENCY_KEYS:
+        problems.append(f"latency keys must be {sorted(_LATENCY_KEYS)}")
+    else:
+        for key in sorted(_LATENCY_KEYS):
+            if not isinstance(latency[key], int) or latency[key] < 0:
+                problems.append(
+                    f"latency.{key} must be a non-negative int")
+    scrub = payload.get("scrub")
+    if not isinstance(scrub, dict):
+        problems.append("scrub must be an object")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("counters must be an object")
+    totals = payload.get("totals")
+    if not isinstance(totals, dict) or totals.keys() != _TOTAL_KEYS:
+        problems.append(f"totals keys must be {sorted(_TOTAL_KEYS)}")
+    else:
+        for key in sorted(_TOTAL_KEYS):
+            if not isinstance(totals[key], int) or totals[key] < 0:
+                problems.append(f"totals.{key} must be a non-negative int")
+    if not isinstance(payload.get("ok"), bool):
+        problems.append("ok must be a bool")
+    return problems

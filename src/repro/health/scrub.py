@@ -1,0 +1,259 @@
+"""Patrol scrub: background media maintenance in idle refresh windows.
+
+The extended-tRFC design hands the device a guaranteed bus window behind
+every REF (§IV-B) — but most windows go idle: the CP page has no pending
+command, the NVMC firmware just waits.  Hassan et al.'s *Self-Managing
+DRAM* shows exactly this slack being used for autonomous maintenance;
+the :class:`PatrolScrubber` does the same for NVDIMM-C, walking the
+DRAM cache and the Z-NAND logical space in the background so decaying
+media is found *before* a host read trips over it.
+
+Scheduling rules (asserted by the ``ScrubSanitizer`` in
+:mod:`repro.check`):
+
+* scrub runs only in windows the NVMC is **idle** for — if
+  ``nvmc.ready_ps`` reaches past a window's start, a host command owns
+  (or overlaps) it and the scrubber skips the whole window;
+* scrub work never **escapes its window**: the shared-bus portion
+  (DRAM-cache refresh reads) is budgeted against the window duration
+  and the traced span stays inside ``[start_ps, end_ps)``;
+* the host always wins ties: scrub occupancy is published through
+  ``nvmc.ready_ps`` exactly like command work, so a later host command
+  simply queues behind it — it can be delayed, never corrupted.
+
+Per idle window the scrubber refreshes a few DRAM-cache slots (a bus
+read each — the only part that needs the window) and verifies a few
+Z-NAND pages: the stored payload is re-read die-side and pushed through
+the full ECC encode / inject / decode pass of :mod:`repro.nand.ecc` at
+the block's wear-derived RBER.  Pages that decode uncorrectable — or
+that sit on blocks past the configured wear fraction — are proactively
+relocated through the FTL, retiring the decaying block the way a host
+write would, but off the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DegradedModeError, UncorrectableError
+from repro.nand.ecc import ECCCodec
+from repro.sim.trace import Tracer
+from repro.units import PAGE_4K
+
+
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Per-window patrol effort knobs."""
+
+    #: DRAM-cache slots refreshed per idle window (bus reads; each is
+    #: also bounded by the remaining window budget).
+    dram_slots_per_window: int = 1
+    #: Z-NAND pages ECC-verified per idle window (die-side work).
+    nand_pages_per_window: int = 1
+    #: L2P probes per window while hunting for the next mapped page
+    #: (bounds the Python walk on sparse mappings).
+    probe_limit: int = 256
+    #: Proactively relocate pages whose block has consumed this fraction
+    #: of its rated P/E endurance.
+    wear_relocate_fraction: float = 0.5
+
+
+@dataclass
+class ScrubStats:
+    """Patrol progress counters."""
+
+    windows_scanned: int = 0
+    windows_busy: int = 0
+    windows_used: int = 0
+    dram_slots_refreshed: int = 0
+    nand_pages_verified: int = 0
+    uncorrectable_found: int = 0
+    relocations: int = 0
+    relocation_failures: int = 0
+
+
+class PatrolScrubber:
+    """Background patrol over one NVDIMM-C module's media.
+
+    Driven explicitly by the harness (``patrol(from_ps, until_ps)``)
+    whenever the host is known idle — the model is synchronous, so
+    "background" means "between host operations", which is also when
+    the real firmware's idle loop would run.
+    """
+
+    def __init__(self, nvmc, driver=None, monitor=None,
+                 config: ScrubConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.nvmc = nvmc
+        self.driver = driver
+        self.monitor = monitor
+        self.config = config if config is not None else ScrubConfig()
+        self.tracer = tracer if tracer is not None else nvmc.tracer
+        self.timeline = nvmc.timeline
+        self.nand = nvmc.nand
+        self.stats = ScrubStats()
+        self._nand_cursor = 0
+        self._slot_cursor = 0
+        # One DRAM-cache refresh read: activate + CAS latency + the
+        # page's burst train (same arithmetic as the iMC's host path).
+        spec = self.timeline.spec
+        bursts = -(-PAGE_4K // spec.burst_bytes)
+        self._dram_refresh_ps = (spec.trcd_ps + spec.tcl_ps
+                                 + bursts * spec.tccd_ps)
+
+    # -- the patrol loop -------------------------------------------------------
+
+    def patrol(self, from_ps: int, until_ps: int) -> int:
+        """Scrub every idle window fully inside ``[from_ps, until_ps)``.
+
+        Returns the number of windows in which work was done.  Windows
+        the NVMC is busy for are skipped whole — the host owns them.
+        """
+        used = 0
+        t = max(0, from_ps)
+        while True:
+            window = self.timeline.next_window(t)
+            if window.end_ps > until_ps:
+                break
+            self.stats.windows_scanned += 1
+            if self.nvmc.ready_ps > window.start_ps:
+                self.stats.windows_busy += 1
+            elif self._scrub_window(window):
+                used += 1
+            t = window.end_ps
+        if self.monitor is not None:
+            self.monitor.note_time(min(until_ps, t))
+        return used
+
+    # -- one window ------------------------------------------------------------
+
+    def _scrub_window(self, window) -> bool:
+        budget_ps = window.duration_ps
+        bus_ps = 0
+
+        # DRAM-cache leg: refresh-read occupied slots (bus time).
+        slots = 0
+        while (slots < self.config.dram_slots_per_window
+               and bus_ps + self._dram_refresh_ps <= budget_ps):
+            slot = self._next_cache_slot()
+            if slot is None:
+                break
+            self.nvmc.dram.peek(slot * PAGE_4K, PAGE_4K)
+            bus_ps += self._dram_refresh_ps
+            slots += 1
+        self.stats.dram_slots_refreshed += slots
+
+        # Z-NAND leg: die-side ECC verification (no shared-bus time;
+        # the array read + channel transfer occupy the NVMC instead).
+        verified = relocated = 0
+        device_end_ps = window.start_ps + bus_ps
+        for _ in range(self.config.nand_pages_per_window):
+            lpn = self._next_mapped_lpn()
+            if lpn is None:
+                break
+            outcome = self._verify_page(lpn)
+            if outcome is None:
+                break
+            spec = self.nand.spec
+            device_end_ps += spec.tr_ps + spec.transfer_ps_per_page
+            verified += 1
+            relocated += outcome
+        self.stats.nand_pages_verified += verified
+        self.stats.relocations += relocated
+
+        if not slots and not verified:
+            return False
+        self.stats.windows_used += 1
+        # Publish occupancy the same way command work does, so host
+        # commands queue behind in-flight scrub instead of colliding.
+        busy_end_ps = max(window.start_ps + bus_ps, device_end_ps)
+        if busy_end_ps > self.nvmc.ready_ps:
+            self.nvmc.ready_ps = busy_end_ps
+        if self.tracer.enabled:
+            self.tracer.emit(
+                window.start_ps, "health.scrub", "patrol window",
+                owner=self.nvmc.trace_owner, window=window.index,
+                win_start=window.start_ps, win_end=window.end_ps,
+                start_ps=window.start_ps,
+                end_ps=window.start_ps + bus_ps,
+                slots=slots, pages=verified, relocated=relocated)
+        if self.monitor is not None:
+            self.monitor.note_time(window.end_ps)
+        return True
+
+    # -- cursors ---------------------------------------------------------------
+
+    def _next_cache_slot(self) -> int | None:
+        """Next occupied DRAM-cache slot at or after the cursor."""
+        driver = self.driver
+        if driver is None or not driver.slot_to_page:
+            return None
+        occupied = sorted(driver.slot_to_page)
+        for slot in occupied:
+            if slot >= self._slot_cursor:
+                break
+        else:
+            slot = occupied[0]   # wrap
+        self._slot_cursor = slot + 1
+        return slot
+
+    def _next_mapped_lpn(self) -> int | None:
+        """Next mapped logical page at or after the cursor (bounded
+        probe so sparse mappings don't cost a full L2P walk)."""
+        ftl = self.nand.ftl
+        total = ftl.logical_pages
+        if total == 0 or ftl.mapped_pages == 0:
+            return None
+        cursor = self._nand_cursor
+        for _ in range(min(self.config.probe_limit, total)):
+            lpn = cursor % total
+            cursor += 1
+            if ftl.mapping(lpn) is not None:
+                self._nand_cursor = cursor % total
+                return lpn
+        self._nand_cursor = cursor % total
+        return None
+
+    # -- verification ----------------------------------------------------------
+
+    def _verify_page(self, lpn: int) -> int | None:
+        """ECC-verify one mapped page; relocate it if it is decaying.
+
+        Returns the number of relocations performed (0 or 1), or
+        ``None`` if the device refused further scrub writes (read-only
+        or fail-stop) — the patrol then stops relocating but keeps
+        verifying on later calls.
+        """
+        ftl = self.nand.ftl
+        ppa = ftl.mapping(lpn)
+        if ppa is None:
+            return 0
+        die = ftl.dies[ppa.die]
+        data = die.read_page(ppa.plane, ppa.block, ppa.page)
+        wear = die.block_info(ppa.plane, ppa.block).erase_count
+        spec = self.nand.spec
+        rber = ECCCodec.rber_for_wear(wear, spec.endurance_pe_cycles)
+        codec = self.nand.codec
+        codeword = codec.encode(data)
+        codec.inject_errors(codeword, rber)
+        decayed = False
+        try:
+            codec.decode(codeword)
+        except UncorrectableError:
+            # The stored charge is drifting; the payload itself is still
+            # recoverable die-side, so rewrite it somewhere healthy.
+            self.stats.uncorrectable_found += 1
+            decayed = True
+        if not decayed and wear >= (self.config.wear_relocate_fraction
+                                    * spec.endurance_pe_cycles):
+            decayed = True
+        if not decayed:
+            return 0
+        try:
+            ftl.relocate(lpn)
+        except DegradedModeError:
+            self.stats.relocation_failures += 1
+            return None
+        if self.monitor is not None:
+            self.monitor.record("scrub", "scrub-relocate")
+        return 1

@@ -32,7 +32,9 @@ from dataclasses import dataclass
 
 from repro.cpu.cache import CPUCache
 from repro.ddr.device import DRAMDevice
-from repro.errors import CPTimeoutError, KernelError, MediaError
+from repro.errors import (CPTimeoutError, DegradedModeError, FailStopError,
+                          KernelError, MediaError)
+from repro.health.retry import policy_for
 from repro.kernel.blockdev import (BlockDevice, DaxMapping, sector_to_page)
 from repro.kernel.eviction import EvictionPolicy, make_policy
 from repro.kernel.memmap import ReservedRegion
@@ -61,6 +63,13 @@ class NvdcStats:
     cp_timeouts: int = 0
     #: CP exchanges the device failed with MEDIA_ERROR.
     media_errors: int = 0
+    #: CP exchanges the device refused with a DEGRADED ack.
+    degraded_refusals: int = 0
+    #: Read misses served directly from the media while read-only.
+    degraded_reads: int = 0
+    #: Evictions undone because the victim's writeback failed — the
+    #: cache copy was the only current one, so the mapping is restored.
+    eviction_rollbacks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -108,6 +117,19 @@ class NvdcDriver(BlockDevice):
         #: associated PTE" in the FIFO for exactly this purpose).
         self.on_evict: list = []
         self.stats = NvdcStats()
+        #: Shared module-health state (installed on the NVMC by the
+        #: system composition; ``None`` for standalone constructions).
+        self.health = getattr(nvmc, "health", None)
+        #: CP exchange retry schedule: the calibrated timeout as the
+        #: base, exponential with deterministic jitter, capped at 8x —
+        #: the taxonomy budget for :class:`~repro.errors.CPTimeoutError`
+        #: specialised to this driver's calibration.
+        self.cp_retry_policy = policy_for(
+            CPTimeoutError,
+            max_attempts=1 + calibration.cp_max_retries,
+            base_ps=calibration.cp_timeout_ps,
+            cap_ps=8 * calibration.cp_timeout_ps,
+            site=name)
         # Point the NVMC's slot arithmetic at our slot area.
         nvmc.slot_base = region.base_paddr + region.layout.slots_offset
         # The driver traces into its device's stream under the same owner
@@ -139,6 +161,15 @@ class NvdcDriver(BlockDevice):
             self._mark_dirty(slot, page, now_ps)
 
     def _mark_dirty(self, slot: int, page: int, now_ps: int) -> None:
+        health = self.health
+        if health is not None and health.read_only:
+            if health.failed:
+                raise FailStopError(
+                    f"{self.name}: store to page {page} refused; module "
+                    "is fail-stop", reason=health.reason or "fail-stop")
+            raise DegradedModeError(
+                f"{self.name}: store to page {page} refused; module is "
+                "read-only", reason=health.reason or "read-only")
         self.dirty_slots.add(slot)
         if self.tracer.enabled:
             self.tracer.emit(now_ps, "nvdc.dirty", f"page {page} dirtied",
@@ -166,6 +197,17 @@ class NvdcDriver(BlockDevice):
             raise KernelError(f"{self.name}: page {page} beyond device")
         if page in self.page_to_slot:
             raise KernelError(f"{self.name}: fault on cached page {page}")
+        health = self.health
+        degraded = health is not None and health.read_only
+        if degraded:
+            if health.failed:
+                raise FailStopError(
+                    f"{self.name}: module is fail-stop; all I/O refused",
+                    reason=health.reason or "fail-stop")
+            if for_write:
+                raise DegradedModeError(
+                    f"{self.name}: write refused; module is read-only",
+                    reason=health.reason or "read-only")
         self.stats.misses += 1
         t = now_ps + self.calibration.nvdc_miss_sw_ps
 
@@ -175,16 +217,24 @@ class NvdcDriver(BlockDevice):
             victim = self.policy.pick_victim()
             victim_page = self.slot_to_page.pop(victim)
             del self.page_to_slot[victim_page]
+            # A read-only module trusts precise dirty tracking: nothing
+            # new dirties, and conservatively writing back clean victims
+            # would be refused anyway.
             victim_dirty = (victim in self.dirty_slots
-                            or self.conservative_dirty)
+                            or (self.conservative_dirty and not degraded))
             self.dirty_slots.discard(victim)
             self.stats.evictions += 1
             for callback in self.on_evict:
                 callback(victim_page)
             if victim_dirty and not self.use_merged_commands:
                 self.inflight_writeback = (victim, victim_page)
-                t = self._writeback(victim, victim_page, t)
-                self.inflight_writeback = None
+                try:
+                    t = self._writeback(victim, victim_page, t)
+                except (MediaError, CPTimeoutError):
+                    self._rollback_eviction(victim, victim_page, dirty=True)
+                    raise
+                finally:
+                    self.inflight_writeback = None
             self.free_slots.append(victim)
 
         slot = self.free_slots.popleft()
@@ -193,14 +243,23 @@ class NvdcDriver(BlockDevice):
         elif (self.use_merged_commands and victim_page is not None
                 and victim_dirty):
             self.inflight_writeback = (slot, victim_page)
-            t = self._merged(slot, page, slot, victim_page, t)
-            self.inflight_writeback = None
+            try:
+                t = self._merged(slot, page, slot, victim_page, t)
+            except (MediaError, CPTimeoutError):
+                self._rollback_eviction(slot, victim_page, dirty=True)
+                raise
+            finally:
+                self.inflight_writeback = None
         else:
-            t = self._cachefill(slot, page, t)
+            try:
+                t = self._cachefill(slot, page, t)
+            except (MediaError, CPTimeoutError):
+                self.free_slots.appendleft(slot)   # do not leak the slot
+                raise
         self.page_to_slot[page] = slot
         self.slot_to_page[slot] = page
         self.policy.on_cached(slot)
-        if for_write or self.conservative_dirty:
+        if for_write or (self.conservative_dirty and not degraded):
             self._mark_dirty(slot, page, t)
         if self.tracer.enabled:
             self.tracer.emit(t, "nvdc.op", f"fault page {page} -> slot {slot}",
@@ -208,6 +267,21 @@ class NvdcDriver(BlockDevice):
                              start_ps=now_ps)
         self.stats.fault_ns_total += (t - now_ps) / 1000.0
         return slot, t
+
+    def _rollback_eviction(self, slot: int, page: int, dirty: bool) -> None:
+        """Undo an eviction whose writeback failed.
+
+        The cache slot still holds the only current copy of ``page``
+        (the device never snapshotted it), so dropping the mapping
+        would lose committed data — restore it instead and let the
+        error propagate.
+        """
+        self.slot_to_page[slot] = page
+        self.page_to_slot[page] = slot
+        if dirty:
+            self.dirty_slots.add(slot)
+        self.policy.on_cached(slot)
+        self.stats.eviction_rollbacks += 1
 
     # -- CP exchanges -----------------------------------------------------------------------
 
@@ -237,16 +311,24 @@ class NvdcDriver(BlockDevice):
         already have deposited data the CPU could be caching stale.
 
         A missing ack (corrupted command word, lost ack write) times out
-        after ``cp_timeout_ps`` with linear backoff; the ack area is
-        poisoned before re-posting so a stale ack from an earlier
-        command cannot be mistaken for a fresh one.  A ``DECODE_ERROR``
-        ack is re-issued immediately.  ``MEDIA_ERROR`` is not a protocol
-        failure and is raised to the caller.  After ``cp_max_retries``
-        re-issues the driver gives up with :class:`CPTimeoutError`.
+        after ``cp_timeout_ps`` and backs off per the driver's
+        :class:`~repro.health.retry.RetryPolicy` (capped exponential
+        with deterministic jitter); the ack area is poisoned before
+        re-posting so a stale ack from an earlier command cannot be
+        mistaken for a fresh one.  A ``DECODE_ERROR`` ack is re-issued
+        immediately (zero backoff — the device proved it is alive).
+        ``MEDIA_ERROR`` is not a protocol failure and is raised to the
+        caller; ``DEGRADED`` means retrying is pointless and raises
+        :class:`~repro.errors.DegradedModeError` (or
+        :class:`~repro.errors.FailStopError`) with the health monitor's
+        reason.  Once the policy's attempt budget is spent the driver
+        gives up with :class:`CPTimeoutError`.
         """
         t = now_ps
         attempts = 0
-        while attempts <= self.calibration.cp_max_retries:
+        policy = self.cp_retry_policy
+        health = self.health
+        while policy.allows(attempts):
             attempts += 1
             if flush_slot is not None:
                 self._flush_bracket(self.region.slot_paddr(flush_slot),
@@ -257,6 +339,8 @@ class NvdcDriver(BlockDevice):
                                      fill_slot, t)
                 self.nvmc.cp.clear_ack(0)
                 self.stats.cp_retries += 1
+                if health is not None:
+                    health.record("nvdc", "cp-retry", time_ps=t)
             command = CPCommand(phase=self.nvmc.next_phase(), opcode=opcode,
                                 **fields)
             result = self.nvmc.submit(command, t)
@@ -265,7 +349,9 @@ class NvdcDriver(BlockDevice):
                 # Busy-wait until the timeout, back off, re-issue.
                 self.stats.cp_timeouts += 1
                 t = max(result.completion_ps,
-                        t + attempts * self.calibration.cp_timeout_ps)
+                        t + policy.backoff_ps(attempts, site=opcode.name))
+                if health is not None:
+                    health.record("nvdc", "cp-timeout", time_ps=t)
                 if self.tracer.enabled:
                     self.tracer.emit(t, "cp.abandon",
                                      f"{opcode.name} ack timeout",
@@ -277,9 +363,22 @@ class NvdcDriver(BlockDevice):
                 raise MediaError(
                     f"{self.name}: {opcode.name} failed with MEDIA_ERROR "
                     f"(attempt {attempts})")
+            if ack.status == CPAck.DEGRADED:
+                self.stats.degraded_refusals += 1
+                reason = (health.reason or "degraded") if health is not None \
+                    else "degraded"
+                if health is not None and health.failed:
+                    raise FailStopError(
+                        f"{self.name}: {opcode.name} refused; module is "
+                        "fail-stop", reason=reason)
+                raise DegradedModeError(
+                    f"{self.name}: {opcode.name} refused; module is "
+                    "read-only", reason=reason)
             if ack.status != CPAck.OK:   # DECODE_ERROR: re-issue
                 t = result.completion_ps + self.calibration.nvdc_ack_poll_ps
                 continue
+            if health is not None:
+                health.maybe_relax(result.completion_ps)
             return result
         raise CPTimeoutError(
             f"{self.name}: {opcode.name} exchange abandoned after "
@@ -345,6 +444,11 @@ class NvdcDriver(BlockDevice):
         """The fsdax hook: byte-addressable mapping for a block."""
         self.check_sector(sector)
         page = sector_to_page(sector)
+        health = self.health
+        if health is not None and health.failed:
+            raise FailStopError(
+                f"{self.name}: access to page {page} refused; module is "
+                "fail-stop", reason=health.reason or "fail-stop")
         slot = self.page_to_slot.get(page)
         if slot is not None:
             self.stats.hits += 1
@@ -358,10 +462,38 @@ class NvdcDriver(BlockDevice):
         return DaxMapping(pfn=paddr // PAGE_4K, paddr=paddr, end_ps=end_ps)
 
     def read_page(self, page: int, now_ps: int) -> tuple[bytes, int]:
-        """Block-layer page read (through the DRAM cache)."""
-        mapping = self.device_access(page * 8, now_ps, for_write=False)
+        """Block-layer page read (through the DRAM cache).
+
+        In read-only degraded mode a miss that cannot fault (no free
+        slot, or the eviction's writeback was refused) falls back to a
+        direct media read — committed data stays readable all the way
+        down the ladder until fail-stop.
+        """
+        try:
+            mapping = self.device_access(page * 8, now_ps, for_write=False)
+        except FailStopError:
+            raise
+        except DegradedModeError:
+            return self._degraded_read(page, now_ps)
         data = self.dram.peek(mapping.paddr, PAGE_4K)
         return data, mapping.end_ps
+
+    def _degraded_read(self, page: int, now_ps: int) -> tuple[bytes, int]:
+        """Serve an uncacheable read-only-mode miss from the media.
+
+        No cache allocation, no CP exchange — the same direct path the
+        §V-C recovery flow uses.  Only reached for pages that are *not*
+        cached, so the NAND copy is the current one.
+        """
+        data, end_ps = self.nvmc.nand.read_page(page, now_ps)
+        if data is None:
+            data, end_ps = bytes(PAGE_4K), now_ps
+        self.stats.degraded_reads += 1
+        if self.tracer.enabled:
+            self.tracer.emit(end_ps, "nvdc.degraded",
+                             f"direct media read of page {page}",
+                             owner=self.trace_owner, page=page)
+        return data, end_ps
 
     def write_page(self, page: int, data: bytes, now_ps: int) -> int:
         """Block-layer page write (dirties the DRAM cache slot)."""

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import DegradedModeError, FTLError, UncorrectableError
+from repro.errors import (DegradedModeError, FailStopError, FTLError,
+                          UncorrectableError)
+from repro.health.monitor import HealthMonitor, HealthPolicy
+from repro.health.retry import policy_for
 from repro.nand.device import NANDDie
 from repro.nand.ecc import ECCCodec
 from repro.nand.ftl import FlashTranslationLayer, PhysOp
@@ -43,7 +46,8 @@ class NANDController:
                  channels: int = 2, dies_total: int | None = None,
                  seed: int = 7, firmware_overhead_ps: int = 0,
                  read_retry_limit: int = 3,
-                 degraded_bad_block_limit: int = 16) -> None:
+                 degraded_bad_block_limit: int = 16,
+                 health: HealthMonitor | None = None) -> None:
         spec.validate()
         self.spec = spec
         self.channels = channels
@@ -64,7 +68,35 @@ class NANDController:
         #: device tolerates before refusing further writes.
         self.read_retry_limit = read_retry_limit
         self.degraded_bad_block_limit = degraded_bad_block_limit
-        self.read_only = False
+        #: Shared module-health ladder.  Auto-created for standalone
+        #: constructions; system composition passes one monitor that
+        #: driver, NVMC, controller and FTL all share.  ``read_only``
+        #: is a view of it — the PR 3 bool became ladder state.
+        if health is None:
+            # Standalone construction: a private monitor whose bad-block
+            # threshold mirrors the controller knob.
+            health = HealthMonitor(policy=HealthPolicy(
+                read_only_bad_blocks=degraded_bad_block_limit))
+        self.health = health
+        self.ftl.health = health
+        #: Read-retry schedule from the taxonomy budget for
+        #: :class:`~repro.errors.UncorrectableError` (back-to-back
+        #: shifted-voltage re-senses; the attempt bound is what the
+        #: controller knob pins).
+        self.read_retry_policy = policy_for(
+            UncorrectableError, max_attempts=1 + read_retry_limit,
+            base_ps=0, cap_ps=0, site="nand-read")
+
+    @property
+    def read_only(self) -> bool:
+        """Writes refused?  A view of the shared health ladder."""
+        return self.health.read_only
+
+    @read_only.setter
+    def read_only(self, value: bool) -> None:
+        # Back-compat escape hatch for tests that force degraded mode.
+        if value and not self.health.read_only:
+            self.health.record("nand", "remap-exhausted")
 
     def channel_of_die(self, die_index: int) -> int:
         """Dies are striped across channels."""
@@ -78,24 +110,34 @@ class NANDController:
         Never-written pages return ``(None, start_ps)`` — the driver
         materialises them as zeros without touching the media.
         """
+        if self.health.failed:
+            raise FailStopError(
+                "device is fail-stop; reads refused",
+                reason=self.health.reason or "fail-stop")
         data, ppa, ops = self.ftl.read_page(lpn)
         if data is None:
             return None, start_ps
         end_ps = self._account(ops, start_ps)
         assert ppa is not None
-        attempt = 0
+        attempts = 0
         while True:
+            attempts += 1
             try:
                 data = self._ecc_pass(data, ppa.die, ppa.plane, ppa.block)
                 break
             except UncorrectableError:
-                attempt += 1
-                if attempt > self.read_retry_limit:
+                if not self.read_retry_policy.allows(attempts):
                     self.stats.unrecovered_reads += 1
+                    # An unrecoverable read on an already-degraded
+                    # module means data can no longer be trusted: the
+                    # monitor escalates to fail-stop.
+                    self.health.record("nand", "unrecovered-read",
+                                       time_ps=end_ps)
                     raise
                 # Read retry: re-sense the page with shifted read
                 # reference voltages — another tR plus the transfer.
                 self.stats.read_retries += 1
+                self.health.record("nand", "read-retry", time_ps=end_ps)
                 end_ps += self.spec.tr_ps + self.spec.transfer_ps_per_page
         self.stats.page_reads += 1
         return data, end_ps
@@ -107,20 +149,31 @@ class NANDController:
         either the FTL ran out of remap candidates mid-write, or grown
         bad blocks crossed ``degraded_bad_block_limit``.
         """
-        if self.read_only:
+        health = self.health
+        if health.failed:
+            raise FailStopError(
+                "device is fail-stop; all operations refused",
+                reason=health.reason or "fail-stop")
+        if health.read_only:
             raise DegradedModeError(
                 "device is in read-only degraded mode "
-                f"({self.ftl.stats.grown_bad_blocks} grown bad blocks)")
+                f"({self.ftl.stats.grown_bad_blocks} grown bad blocks)",
+                reason=health.reason or "read-only")
+        health.note_time(start_ps)
         try:
             _ppa, ops = self.ftl.write_page(lpn, data)
+        except DegradedModeError:
+            raise
         except FTLError as exc:
-            self.read_only = True
+            health.record("nand", "space-exhausted")
             raise DegradedModeError(
-                f"entering read-only degraded mode: {exc}") from exc
-        if self.ftl.stats.grown_bad_blocks >= self.degraded_bad_block_limit:
+                f"entering read-only degraded mode: {exc}",
+                reason="space-exhausted") from exc
+        if (self.ftl.stats.grown_bad_blocks >= self.degraded_bad_block_limit
+                and not health.read_only):
             # This write landed (it was remapped), but the device stops
             # accepting new ones before the media is truly exhausted.
-            self.read_only = True
+            health.record("nand", "bad-block-budget")
         end_ps = self._account(ops, start_ps)
         self.stats.page_programs += 1
         return end_ps

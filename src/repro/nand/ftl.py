@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import FTLError, MediaError
+from repro.errors import DegradedModeError, FTLError, MediaError
+from repro.health.retry import budget_for
 from repro.nand.device import NANDDie
 from repro.nand.spec import ZNANDSpec
 
@@ -58,6 +59,10 @@ class FTLStats:
     grown_bad_blocks: int = 0
     #: Program attempts that failed and were remapped to another block.
     program_retries: int = 0
+    #: Pages proactively rewritten by the patrol scrubber.
+    scrub_relocations: int = 0
+    #: Live pages copied out of a grown-bad block at retirement.
+    rescued_pages: int = 0
 
     @property
     def write_amplification(self) -> float:
@@ -102,6 +107,13 @@ class FlashTranslationLayer:
         #: :class:`repro.faults.clock.FaultClock`); the FTL is timeless,
         #: so GC cuts are count-scheduled via ``tick``.
         self.fault_clock = None
+        #: Shared :class:`repro.health.monitor.HealthMonitor`, installed
+        #: by the owning controller.  The FTL is timeless, so its events
+        #: inherit the monitor's clock.
+        self.health = None
+        #: Remap attempts per logical write, from the taxonomy budget
+        #: for generic media failures.
+        self.remap_budget = budget_for(MediaError).attempts
         self._discover_blocks()
         self._check_capacity()
 
@@ -149,6 +161,32 @@ class FlashTranslationLayer:
         ops.extend(program_ops)
         return ppa, ops
 
+    def relocate(self, lpn: int) -> list[PhysOp]:
+        """Proactively rewrite a logical page to a fresh block.
+
+        The patrol scrubber's remap primitive: the current copy is
+        read die-side (the stored payload is always recoverable there)
+        and appended elsewhere, invalidating the decaying location.
+        Refused with :class:`DegradedModeError` once the module is
+        read-only — scrub must not consume the last healthy blocks.
+        """
+        self._check_lpn(lpn)
+        if self.health is not None and self.health.read_only:
+            raise DegradedModeError(
+                f"relocation of lpn {lpn} refused; module is read-only",
+                reason=self.health.reason or "read-only")
+        ppa = self._l2p.get(lpn)
+        if ppa is None:
+            return []
+        ops: list[PhysOp] = []
+        ops.extend(self._maybe_collect_garbage())
+        data = self.dies[ppa.die].read_page(ppa.plane, ppa.block, ppa.page)
+        ops.append(PhysOp("read", ppa.die))
+        _, program_ops = self._append(lpn, data, gc=True)
+        ops.extend(program_ops)
+        self.stats.scrub_relocations += 1
+        return ops
+
     def trim(self, lpn: int) -> None:
         """Drop the mapping for a logical page (discard)."""
         self._check_lpn(lpn)
@@ -176,8 +214,12 @@ class FlashTranslationLayer:
         attempts = 0
         while True:
             attempts += 1
-            if attempts > 8:
-                raise FTLError("repeated program failures; media exhausted?")
+            if attempts > self.remap_budget:
+                if self.health is not None:
+                    self.health.record("ftl", "remap-exhausted")
+                raise DegradedModeError(
+                    f"write of lpn {lpn} failed {attempts - 1} remaps; "
+                    "media exhausted", reason="remap-exhausted")
             die_index = self._pick_die()
             meta = self._open_block(die_index)
             page = self.dies[die_index].block_info(
@@ -189,7 +231,9 @@ class FlashTranslationLayer:
                 # Grown bad block: retire it and remap the write to a
                 # fresh block — the paper's bad-block handling path.
                 self.stats.program_retries += 1
-                self._retire(meta)
+                if self.health is not None:
+                    self.health.record("ftl", "remap")
+                ops.extend(self._retire(meta))
                 continue
             break
         ops.append(PhysOp("program", die_index))
@@ -247,13 +291,38 @@ class FlashTranslationLayer:
         if meta.lpns.pop(ppa.page, None) is not None:
             meta.valid -= 1
 
-    def _retire(self, meta: _BlockMeta) -> None:
-        """Mark a block grown-bad and forget it."""
+    def _retire(self, meta: _BlockMeta) -> list[PhysOp]:
+        """Retire a grown-bad block: rescue its live pages, fence it off.
+
+        Bad-block management must copy surviving valid pages out
+        *before* the block is marked bad (reads from bad blocks are
+        refused); otherwise every earlier write that landed in the
+        block becomes silent data loss the next host read trips over.
+        The rescue is bounded recursion: a rescue program that fails
+        retires another (distinct) block, and every ``_append`` carries
+        its own remap budget.
+        """
         die = self.dies[meta.die]
+        survivors = [
+            (lpn, die.read_page(meta.plane, meta.block, page),
+             PPA(meta.die, meta.plane, meta.block, page))
+            for page, lpn in sorted(meta.lpns.items())]
         die.mark_bad(meta.plane, meta.block)
         self.stats.grown_bad_blocks += 1
+        if self.health is not None:
+            self.health.record("ftl", "bad-block")
         if self._open.get(meta.die) is meta:
             self._open[meta.die] = None
+        meta.lpns.clear()
+        meta.valid = 0
+        ops: list[PhysOp] = [PhysOp("read", meta.die) for _ in survivors]
+        for lpn, data, old_ppa in survivors:
+            if self._l2p.get(lpn) != old_ppa:
+                continue   # rewritten elsewhere since the read above
+            _, program_ops = self._append(lpn, data, gc=True)
+            ops.extend(program_ops)
+            self.stats.rescued_pages += 1
+        return ops
 
     # -- garbage collection --------------------------------------------------------------
 
@@ -308,7 +377,7 @@ class FlashTranslationLayer:
         try:
             die.erase_block(victim.plane, victim.block)
         except MediaError:
-            self._retire(victim)
+            ops.extend(self._retire(victim))
             self._blocks.pop(key, None)
             return ops
         ops.append(PhysOp("erase", victim.die))

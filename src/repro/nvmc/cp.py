@@ -105,6 +105,10 @@ class CPAck:
     #: The device polled a word it could not decode (corrupted opcode
     #: bits); no operation was performed.  The driver re-issues.
     DECODE_ERROR = 2
+    #: The device refused the operation because it is in a degraded
+    #: mode (read-only or fail-stop).  Retrying is pointless; the
+    #: driver consults the health monitor for the reason.
+    DEGRADED = 3
 
     def encode(self) -> int:
         return (int(self.phase) << 4) | (self.status & 0xF)

@@ -30,7 +30,8 @@ from typing import Protocol
 
 from repro.ddr.device import DRAMDevice
 from repro.ddr.imc import RefreshTimeline, RefreshWindow
-from repro.errors import CPProtocolError, FaultInjectionError, MediaError
+from repro.errors import (CPProtocolError, DegradedModeError,
+                          FaultInjectionError, MediaError)
 from repro.nand.controller import NANDController
 from repro.nvmc.cp import CPAck, CPArea, CPCommand, Opcode, Phase
 from repro.nvmc.dma import DMAEngine
@@ -162,10 +163,16 @@ class NVMCModel:
                  window_bytes: int = PAGE_4K,
                  firmware: FirmwareModel | None = None,
                  cp_queue_depth: int = 1,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 health=None) -> None:
         self.timeline = timeline
         self.nand = nand
         self.dram = dram
+        #: Shared :class:`repro.health.monitor.HealthMonitor`; defaults
+        #: to the NAND controller's, so the driver (which reads
+        #: ``nvmc.health``) and the media always agree on the ladder.
+        self.health = health if health is not None \
+            else getattr(nand, "health", None)
         self.slot_base = slot_base
         self.dma = DMAEngine(timeline.spec, window_bytes=window_bytes)
         self.firmware = firmware if firmware is not None else FirmwareModel()
@@ -295,6 +302,19 @@ class NVMCModel:
                                windows + ack_windows, 0,
                                status=CPAck.MEDIA_ERROR)
 
+    def _degraded_ack(self, opcode: Opcode, submit_ps: int,
+                      fail_ps: int, windows: int) -> OperationResult:
+        """Publish-path for an operation the degraded media refused.
+
+        The 4-bit ack status can only say DEGRADED; the driver pulls
+        the machine-readable reason from the shared health monitor.
+        """
+        ready = self.firmware.ready_after(fail_ps)
+        end, ack_windows = self._ack(ready)
+        return OperationResult(opcode, submit_ps, end,
+                               windows + ack_windows, 0,
+                               status=CPAck.DEGRADED)
+
     def _run_cachefill(self, command: CPCommand, submit_ps: int,
                        start_ps: int) -> OperationResult:
         ready, windows = self._poll(start_ps)
@@ -303,6 +323,9 @@ class NVMCModel:
         self._clock(ready, "nvmc.cachefill.read")
         try:
             data, nand_end = self.nand.read_page(command.nand_page, ready)
+        except DegradedModeError:
+            return self._degraded_ack(Opcode.CACHEFILL, submit_ps,
+                                      ready, windows)
         except MediaError:
             return self._media_error_ack(Opcode.CACHEFILL, submit_ps,
                                          ready, windows)
@@ -341,6 +364,9 @@ class NVMCModel:
         self._clock(end, "nvmc.writeback.program")
         try:
             nand_end = self.nand.program_page(command.nand_page, data, end)
+        except DegradedModeError:
+            return self._degraded_ack(Opcode.WRITEBACK, submit_ps,
+                                      end, windows)
         except MediaError:
             return self._media_error_ack(Opcode.WRITEBACK, submit_ps,
                                          end, windows)
@@ -376,6 +402,9 @@ class NVMCModel:
             self._fsm_to(NVMCState.NAND_READ, wb_end)
             self._clock(wb_end, "nvmc.cachefill.read")
             data, read_end = self.nand.read_page(command.nand_page, ready)
+        except DegradedModeError:
+            return self._degraded_ack(Opcode.MERGED, submit_ps,
+                                      wb_end, windows)
         except MediaError:
             return self._media_error_ack(Opcode.MERGED, submit_ps,
                                          wb_end, windows)
@@ -451,6 +480,9 @@ class NVMCModel:
             if remaining <= 0:
                 return end, windows_used
             self.dma.stats.partial_transfers += 1
+            if self.health is not None:
+                self.health.record("nvmc", "dma-partial",
+                                   time_ps=window.end_ps)
             window = self.timeline.next_window(window.end_ps)
 
     def _slot_addr(self, slot_id: int) -> int:

@@ -104,3 +104,42 @@ class TestCLI:
         out = capsys.readouterr().out
         for name in injector_names():
             assert name in out
+
+
+class TestOnly:
+    """The ``--only`` matrix restriction (CLI and library)."""
+
+    def test_restricted_campaign_keeps_cell_seeds(self, quick_result):
+        restricted = run_campaign(seed=0, quick=True, only=["cp-corrupt"])
+        assert {cell.fault for cell in restricted.cells} == {"cp-corrupt"}
+        full_cells = {(c.fault, c.workload): c for c in quick_result.cells}
+        for cell in restricted.cells:
+            twin = full_cells[(cell.fault, cell.workload)]
+            # Same cell, same seed, same outcome as in the full matrix.
+            assert (cell.injected, cell.detected, cell.recovered,
+                    cell.lost) == (twin.injected, twin.detected,
+                                   twin.recovered, twin.lost)
+
+    def test_unknown_injector_raises(self):
+        with pytest.raises(ValueError, match="no-such-fault"):
+            run_campaign(seed=0, quick=True, only=["no-such-fault"])
+
+    def test_cli_only_runs_the_named_cells(self, tmp_path, capsys):
+        rc = faults_main(["run", "--quick", "--seed", "0",
+                          "--only", "cp-corrupt",
+                          "--out", str(tmp_path)])
+        assert rc == 0
+        [report] = list(tmp_path.glob("FAULTS_*.json"))
+        payload = json.loads(report.read_text())
+        assert {cell["fault"] for cell in payload["cells"]} == {"cp-corrupt"}
+        assert "only cp-corrupt" in capsys.readouterr().out
+
+    def test_cli_unknown_id_lists_the_known_ones(self, tmp_path, capsys):
+        rc = faults_main(["run", "--quick", "--only", "bogus,cp-corrupt",
+                          "--out", str(tmp_path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown fault ids: bogus" in err
+        for name in injector_names():
+            assert name in err
+        assert not list(tmp_path.glob("FAULTS_*.json"))

@@ -1,0 +1,131 @@
+"""Property tests for the deterministic retry/backoff policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (ConfigError, CPProtocolError, CPTimeoutError,
+                          DegradedModeError, FailStopError, KernelError,
+                          MediaError, UncorrectableError)
+from repro.health.retry import (BUDGETS, RetryPolicy, budget_for,
+                                jitter_fraction, policy_for)
+
+def _build(max_attempts, base_ps, cap_ps, multiplier, jitter, seed, site):
+    """Clamp free-form draws into a valid policy (builds can't raise)."""
+    return RetryPolicy(max_attempts=max_attempts, base_ps=base_ps,
+                       cap_ps=max(base_ps, cap_ps), multiplier=multiplier,
+                       jitter=min(jitter, multiplier - 1.0),
+                       seed=seed, site=site)
+
+
+#: Arbitrary-but-valid policy shapes for the property tests.
+_policies = st.builds(
+    _build,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_ps=st.integers(min_value=0, max_value=10**9),
+    cap_ps=st.integers(min_value=0, max_value=10**12),
+    multiplier=st.floats(min_value=1.0, max_value=4.0,
+                         allow_nan=False, allow_infinity=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    site=st.text(max_size=16),
+)
+
+
+class TestDeterminism:
+    @given(_policies)
+    @settings(max_examples=80)
+    def test_identical_seeds_replay_identical_schedules(self, policy):
+        twin = RetryPolicy(
+            max_attempts=policy.max_attempts, base_ps=policy.base_ps,
+            cap_ps=policy.cap_ps, multiplier=policy.multiplier,
+            jitter=policy.jitter, seed=policy.seed, site=policy.site)
+        assert twin.schedule() == policy.schedule()
+        assert twin.total_budget_ps() == policy.total_budget_ps()
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.text(max_size=16), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=80)
+    def test_jitter_fraction_is_pure_and_bounded(self, seed, site, attempt):
+        first = jitter_fraction(seed, site, attempt)
+        assert first == jitter_fraction(seed, site, attempt)
+        assert 0.0 <= first < 1.0
+
+    def test_different_seeds_decorrelate_jittered_schedules(self):
+        base = dict(max_attempts=6, base_ps=1_000_000, cap_ps=10**12,
+                    multiplier=2.0, jitter=0.5, site="cp")
+        a = RetryPolicy(seed=1, **base)
+        b = RetryPolicy(seed=2, **base)
+        assert a.schedule() != b.schedule()
+
+
+class TestMonotonicity:
+    @given(_policies)
+    @settings(max_examples=120)
+    def test_schedule_is_non_decreasing(self, policy):
+        schedule = policy.schedule()
+        assert all(earlier <= later for earlier, later
+                   in zip(schedule, schedule[1:]))
+
+    @given(_policies)
+    @settings(max_examples=120)
+    def test_cap_is_respected(self, policy):
+        assert all(backoff <= policy.cap_ps for backoff in policy.schedule())
+
+    @given(_policies, st.text(max_size=16))
+    @settings(max_examples=80)
+    def test_site_override_keeps_both_properties(self, policy, site):
+        schedule = policy.schedule(site=site)
+        assert all(earlier <= later for earlier, later
+                   in zip(schedule, schedule[1:]))
+        assert all(backoff <= policy.cap_ps for backoff in schedule)
+
+
+class TestAttemptBudget:
+    def test_allows_counts_the_first_try(self):
+        policy = RetryPolicy(max_attempts=3, base_ps=0, cap_ps=0)
+        assert policy.allows(0) and policy.allows(2)
+        assert not policy.allows(3)
+        assert len(policy.schedule()) == 2
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0, base_ps=0, cap_ps=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=1, base_ps=10, cap_ps=5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=1, base_ps=0, cap_ps=0,
+                        multiplier=2.0, jitter=1.5)
+
+
+class TestTaxonomyBudgets:
+    def test_most_specific_ancestor_wins(self):
+        assert budget_for(CPTimeoutError) is BUDGETS[CPTimeoutError.code]
+        assert budget_for(CPProtocolError) is BUDGETS[CPProtocolError.code]
+        assert budget_for(UncorrectableError) is \
+            BUDGETS[UncorrectableError.code]
+        # Unregistered subclasses inherit their nearest registered base.
+        assert budget_for(DegradedModeError) is BUDGETS[MediaError.code]
+        assert budget_for(FailStopError) is BUDGETS[MediaError.code]
+
+    def test_instances_resolve_like_classes(self):
+        err = CPTimeoutError("no ack", attempts=2)
+        assert budget_for(err) is BUDGETS[CPTimeoutError.code]
+
+    def test_unregistered_error_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            budget_for(KernelError)
+
+    def test_policy_for_applies_caller_overrides(self):
+        trefi = 7_800_000
+        policy = policy_for(CPTimeoutError, trefi_ps=trefi, seed=3,
+                            site="cp")
+        budget = BUDGETS[CPTimeoutError.code]
+        assert policy.max_attempts == budget.attempts
+        assert policy.base_ps == round(budget.base_windows * trefi)
+        assert policy.cap_ps == round(budget.cap_windows * trefi)
+        pinned = policy_for(CPTimeoutError, max_attempts=2,
+                            base_ps=111, cap_ps=999, site="cp")
+        assert (pinned.max_attempts, pinned.base_ps, pinned.cap_ps) == \
+            (2, 111, 999)
