@@ -21,6 +21,8 @@ Commands:
   the injector registry.
 * ``soak`` — the long-run health soak: composed faults marching one
   module down the recovery ladder, writing ``SOAK_<timestamp>.json``.
+* ``crash`` — the crash-point explorer: a power cut at every event
+  index, cold remount, invariant checks, ``RECOVERY_<timestamp>.json``.
 """
 
 from __future__ import annotations
@@ -156,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
     build_faults_parser(sub)
     from repro.health.cli import build_parser as build_soak_parser
     build_soak_parser(sub)
+    from repro.recovery.cli import build_parser as build_crash_parser
+    build_crash_parser(sub)
     return parser
 
 

@@ -179,14 +179,23 @@ class NVDIMMCSystem(DaxSystem):
 
     # -- reboot (§V-C recovery) ---------------------------------------------------------
 
-    def remount(self) -> "NVDIMMCSystem":
+    def remount(self,
+                health: HealthMonitor | None = None) -> "NVDIMMCSystem":
         """Boot-time remount after a power cycle.
 
         DRAM contents are gone; the Z-NAND (and its FTL mapping state,
         which lives on the persistent media) survives.  Returns a fresh
         system — empty cache, zeroed metadata, same NAND — exactly what
         the nvdc driver sees when the module is re-probed.
+
+        ``health`` replaces the module's monitor for the new mount: a
+        *warm* remount (the ladder survived, e.g. a driver reload)
+        passes ``None`` and keeps the live monitor; a *cold* mount after
+        a power cut passes a fresh monitor re-seeded from media
+        evidence (see :func:`repro.recovery.recover_mount`) — the old
+        one's volatile state died with the power.
         """
+        monitor = health if health is not None else self.health
         fresh = object.__new__(NVDIMMCSystem)
         dram = DRAMDevice(self.spec, capacity_bytes=self.dram.capacity_bytes,
                           name="dram-cache")
@@ -197,7 +206,7 @@ class NVDIMMCSystem(DaxSystem):
                          firmware=self.nvmc.firmware,
                          cp_queue_depth=self.nvmc.cp.queue_depth,
                          tracer=self.nvmc.tracer,
-                         health=self.health)
+                         health=monitor)
         cpu_cache = (CPUCache(_DramBackend(dram))
                      if self.cpu_cache is not None else None)
         driver = NvdcDriver(region, nvmc, dram, cpu_cache=cpu_cache,
@@ -216,11 +225,13 @@ class NVDIMMCSystem(DaxSystem):
         fresh.nvmc = nvmc
         fresh.cpu_cache = cpu_cache
         fresh.driver = driver
-        # Health is a property of the *module*, not of one mount: the
-        # ladder (and its timeline) survives the power cycle.
-        fresh.health = self.health
+        # On a warm remount health is a property of the *module* and
+        # the ladder survives; a cold mount hands in its own monitor.
+        fresh.health = monitor
+        fresh.nand.health = monitor
+        fresh.nand.ftl.health = monitor
         fresh.scrubber = PatrolScrubber(nvmc, driver=driver,
-                                        monitor=self.health,
+                                        monitor=monitor,
                                         config=self.scrubber.config)
         return fresh
 

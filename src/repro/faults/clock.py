@@ -19,12 +19,16 @@ in-flight work is abandoned mid-call the way a real power cut abandons
 it, and the campaign layer catches the interrupt and runs the §V-C
 battery-backed drain.
 
-Two scheduling modes:
+Three scheduling modes:
 
 * **time** — fire the first moment simulated time at a matching site
   reaches ``time_ps``;
 * **count** — fire on the N-th ``check``/``tick`` at a matching site
-  (for timeless layers such as the FTL's GC loop).
+  (for timeless layers such as the FTL's GC loop);
+* **event** — fire on the N-th hook-site visit *overall*, regardless of
+  site.  The clock numbers every visit with a global ``events_seen``
+  counter, so the crash-point explorer can sweep a cut across the whole
+  event space ("cut at event 137") instead of only the named sites.
 
 The clock is deterministic by construction: it holds no randomness, and
 sites are visited in simulation order.
@@ -44,6 +48,7 @@ class _Cut:
     site: str | None          # site prefix filter; None = any site
     time_ps: int | None       # fire when now_ps >= time_ps (time mode)
     count: int | None         # fire on the count-th matching visit
+    event: int | None = None  # fire on the event-th global visit
     fired: bool = False
     seen: int = 0             # matching visits so far (count mode)
 
@@ -60,6 +65,8 @@ class FaultClock:
     #: campaign cell ("which hook sites did this run actually cross?").
     visits: list[tuple[str, int]] = field(default_factory=list)
     record_visits: bool = False
+    #: Global hook-site visit counter; event cuts index into this.
+    events_seen: int = 0
 
     # -- arming ---------------------------------------------------------------
 
@@ -78,16 +85,38 @@ class FaultClock:
         self._cuts.append(_Cut(site=site, time_ps=None, count=count))
         return self
 
+    def cut_on_event(self, index: int) -> "FaultClock":
+        """Arm a power cut on the ``index``-th hook-site visit overall.
+
+        Event indices are 1-based and count *every* ``check``/``tick``
+        across *every* site, in simulation order — the whole event space
+        a deterministic run crosses.  Re-running the same seed with
+        ``cut_on_event(i)`` for each ``i`` in ``1..events_seen`` is the
+        crash-point explorer's sweep.
+        """
+        if index < 1:
+            raise FaultInjectionError(f"event index must be >= 1: {index}")
+        self._cuts.append(_Cut(site=None, time_ps=None, count=None,
+                               event=index))
+        return self
+
     # -- firing ---------------------------------------------------------------
 
     def check(self, now_ps: int, site: str) -> None:
         """Hook-site entry point for layers that carry simulated time."""
+        self.events_seen += 1
         if self.record_visits:
             self.visits.append((site, now_ps))
         for cut in self._cuts:
             if cut.fired or not cut.matches_site(site):
                 continue
-            if cut.time_ps is not None:
+            if cut.event is not None:
+                if self.events_seen >= cut.event:
+                    cut.fired = True
+                    raise PowerLossInterrupt(
+                        f"power loss at event {self.events_seen} ({site})",
+                        time_ps=now_ps, site=site)
+            elif cut.time_ps is not None:
                 if now_ps >= cut.time_ps:
                     cut.fired = True
                     raise PowerLossInterrupt(

@@ -200,6 +200,30 @@ class HealthMonitor:
                 self._transition(HealthState.FAIL_STOP, t,
                                  "unrecoverable-read-degraded", component)
 
+    def reseed(self, counts: dict[str, int], time_ps: int = 0,
+               component: str = "recovery") -> None:
+        """Re-seed the ladder from media evidence after a cold mount.
+
+        A power cut wipes the live monitor with the rest of the
+        module's volatile state; what survives is what the media can
+        testify to — bad blocks visible on the dies, torn pages the
+        mount quarantined.  The lifetime counters are rebuilt from
+        those totals and the *sticky* rungs re-derived: crossing the
+        bad-block budget re-enters ``read_only``.  Rolling (windowed)
+        rungs are not re-entered — their transient evidence died with
+        the power.
+        """
+        self.note_time(time_ps)
+        for kind in sorted(counts):
+            total = counts[kind]
+            if total > 0:
+                self.counters.counts[kind] = self.counters.get(kind) + total
+        if (self.counters.get("bad-block")
+                >= self.policy.read_only_bad_blocks
+                and self.state < HealthState.READ_ONLY):
+            self._transition(HealthState.READ_ONLY, time_ps,
+                             "bad-block-budget", component)
+
     def maybe_relax(self, now_ps: int) -> None:
         """Decay ``retry``/``remap`` back to ``ok`` after quiet time.
 

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from repro.cpu.cache import CPUCache
 from repro.ddr.device import DRAMDevice
 from repro.errors import (CPTimeoutError, DegradedModeError, FailStopError,
-                          KernelError, MediaError)
+                          KernelError, MediaError, PowerLossInterrupt)
 from repro.health.retry import policy_for
 from repro.kernel.blockdev import (BlockDevice, DaxMapping, sector_to_page)
 from repro.kernel.eviction import EvictionPolicy, make_policy
@@ -230,7 +230,13 @@ class NvdcDriver(BlockDevice):
                 self.inflight_writeback = (victim, victim_page)
                 try:
                     t = self._writeback(victim, victim_page, t)
-                except (MediaError, CPTimeoutError):
+                except (MediaError, CPTimeoutError, PowerLossInterrupt):
+                    # Error *or* power cut mid-writeback: the slot still
+                    # holds the only current copy, so re-instate the
+                    # mapping.  For a cut this is what lets the §V-C
+                    # drain (which snapshots slot_to_page) cover the
+                    # victim — the finally below clears the journal
+                    # field before the drain ever looks at it.
                     self._rollback_eviction(victim, victim_page, dirty=True)
                     raise
                 finally:
@@ -245,7 +251,7 @@ class NvdcDriver(BlockDevice):
             self.inflight_writeback = (slot, victim_page)
             try:
                 t = self._merged(slot, page, slot, victim_page, t)
-            except (MediaError, CPTimeoutError):
+            except (MediaError, CPTimeoutError, PowerLossInterrupt):
                 self._rollback_eviction(slot, victim_page, dirty=True)
                 raise
             finally:
@@ -253,7 +259,7 @@ class NvdcDriver(BlockDevice):
         else:
             try:
                 t = self._cachefill(slot, page, t)
-            except (MediaError, CPTimeoutError):
+            except (MediaError, CPTimeoutError, PowerLossInterrupt):
                 self.free_slots.appendleft(slot)   # do not leak the slot
                 raise
         self.page_to_slot[page] = slot

@@ -20,7 +20,7 @@ from repro.health.monitor import HealthMonitor, HealthPolicy
 from repro.health.retry import policy_for
 from repro.nand.device import NANDDie
 from repro.nand.ecc import ECCCodec
-from repro.nand.ftl import FlashTranslationLayer, PhysOp
+from repro.nand.ftl import FlashTranslationLayer, FTLRecoveryStats, PhysOp
 from repro.nand.spec import ZNANDSpec
 
 
@@ -186,6 +186,37 @@ class NANDController:
         simulated time (models content that existed before t=0)."""
         self.ftl.write_page(lpn, data)
         self.stats.page_programs += 1
+
+    # -- mount-time recovery -----------------------------------------------------------
+
+    def rebuild_from_media(self,
+                           health: HealthMonitor | None = None,
+                           ) -> FTLRecoveryStats:
+        """Cold-mount recovery: rebuild the FTL from the dies' OOB.
+
+        Replaces ``self.ftl`` with one reconstructed from what actually
+        reached flash (see
+        :meth:`~repro.nand.ftl.FlashTranslationLayer.recover_from_media`)
+        and re-attaches the health monitor.  The old FTL's volatile
+        state — L2P, open blocks, stats — is discarded, exactly as a
+        power cut discards the FTL core's SRAM.
+        """
+        if health is not None:
+            self.health = health
+        capacity = self.ftl.logical_pages * self.spec.page_bytes
+        self.ftl, stats = FlashTranslationLayer.recover_from_media(
+            self.dies, capacity)
+        self.ftl.health = self.health
+        return stats
+
+    def media_bad_blocks(self) -> int:
+        """Bad blocks visible on the media — the evidence a cold mount
+        has for re-seeding the health ladder (factory + grown)."""
+        return sum(
+            1 for die in self.dies
+            for plane in range(self.spec.planes_per_die)
+            for block in range(self.spec.blocks_per_plane)
+            if die.block_info(plane, block).bad)
 
     # -- timing -------------------------------------------------------------------------
 

@@ -10,6 +10,18 @@ NAND's physical rules shape everything above it and are enforced here:
 Data is stored sparsely per programmed page.  Addresses within a die are
 ``(plane, block, page)``; flattening across dies/channels is the
 controller's and FTL's business.
+
+Each page also carries an **out-of-band spare area** (OOB): real NAND
+pages are ``page_bytes + spare_bytes`` wide, and controllers stash
+logical metadata in the spare so flash is self-describing after a power
+cut.  The die stores whatever opaque object the caller programs
+alongside the payload and hands it back on :meth:`read_oob`; the FTL
+stamps ``(lpn, seq, crc)`` there (see :class:`repro.nand.ftl.OOB`).
+
+A power cut mid-program tears the page: :meth:`program_torn` models the
+half-written cells (leading bytes programmed, the rest still erased
+0xFF) while keeping the *intended* OOB stamp, so mount-time recovery can
+detect the tear by CRC mismatch.
 """
 
 from __future__ import annotations
@@ -47,9 +59,11 @@ class NANDDie:
         self.die_index = die_index
         self.blocks: dict[tuple[int, int], BlockInfo] = {}
         self._data: dict[tuple[int, int, int], bytes] = {}
+        self._oob: dict[tuple[int, int, int], object] = {}
         self.reads = 0
         self.programs = 0
         self.erases = 0
+        self.torn_programs = 0
         #: Armed by fault injectors: the next N program/erase operations
         #: fail with :class:`MediaError` before mutating any state, the
         #: way a worn cell fails status-check on real silicon.
@@ -104,8 +118,13 @@ class NANDDie:
             return b"\xff" * self.spec.page_bytes
         return data
 
+    def read_oob(self, plane: int, block: int, page: int) -> object | None:
+        """Read a page's spare area; ``None`` if never stamped."""
+        self._check_page(plane, block, page)
+        return self._oob.get((plane, block, page))
+
     def program_page(self, plane: int, block: int, page: int,
-                     data: bytes) -> None:
+                     data: bytes, oob: object | None = None) -> None:
         """Program a page; must target the block's next erased page."""
         self._check_page(plane, block, page)
         if len(data) != self.spec.page_bytes:
@@ -133,7 +152,23 @@ class NANDDie:
                 f"({plane},{block})")
         info.next_page += 1
         self._data[(plane, block, page)] = bytes(data)
+        if oob is not None:
+            self._oob[(plane, block, page)] = oob
         self.programs += 1
+
+    def program_torn(self, plane: int, block: int, page: int,
+                     data: bytes, oob: object | None = None) -> None:
+        """Program a page torn by a power cut mid-operation.
+
+        The leading half of the payload reaches the cells; the trailing
+        half stays erased (0xFF).  The OOB stamp is the one the full
+        program *intended* — recovery must notice the payload no longer
+        matches the stamp's CRC and quarantine the page.
+        """
+        half = len(data) // 2
+        torn = bytes(data[:half]) + b"\xff" * (len(data) - half)
+        self.program_page(plane, block, page, torn, oob=oob)
+        self.torn_programs += 1
 
     def erase_block(self, plane: int, block: int) -> None:
         """Erase a whole block, aging it; wears out at endurance limit."""
@@ -151,6 +186,7 @@ class NANDDie:
                 f"({plane},{block})")
         for page in range(self.spec.pages_per_block):
             self._data.pop((plane, block, page), None)
+            self._oob.pop((plane, block, page), None)
         info.erase_count += 1
         info.next_page = 0
         self.erases += 1

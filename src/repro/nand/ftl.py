@@ -16,13 +16,26 @@ page-mapped FTL:
 
 Every public operation returns the list of physical operations it
 performed so the controller can convert work into simulated time.
+
+**Crash consistency.**  The L2P map is volatile (it lives in the FTL
+core's SRAM), so every program stamps the page's spare area with an
+:class:`OOB` record ``(lpn, seq, crc, kind)``: flash is self-describing
+and :meth:`FlashTranslationLayer.recover_from_media` can rebuild the map
+after any power cut by electing, per LPN, the stamped copy with the
+highest sequence number whose payload still matches its CRC (torn pages
+are quarantined).  ``trim`` is durable through the same mechanism: it
+appends a *tombstone* page (``kind="trim"``) that outvotes every older
+data copy, and tombstones stay GC-live so reclaiming their block cannot
+resurrect stale data.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
-from repro.errors import DegradedModeError, FTLError, MediaError
+from repro.errors import (DegradedModeError, FTLError, MediaError,
+                          PowerLossInterrupt)
 from repro.health.retry import budget_for
 from repro.nand.device import NANDDie
 from repro.nand.spec import ZNANDSpec
@@ -46,6 +59,23 @@ class PhysOp:
     die: int
 
 
+@dataclass(frozen=True)
+class OOB:
+    """Out-of-band (spare-area) stamp programmed alongside every page.
+
+    ``seq`` is a module-wide monotonic program counter: among multiple
+    stamped copies of one LPN, the highest ``seq`` whose payload matches
+    ``crc`` wins at mount time.  ``kind`` distinguishes data pages from
+    trim tombstones (a tombstone outvotes older data: the LPN reads as
+    never-written after recovery).
+    """
+
+    lpn: int
+    seq: int
+    crc: int                  # zlib.crc32 of the full page payload
+    kind: str = "data"        # "data" | "trim"
+
+
 @dataclass
 class FTLStats:
     """Externally visible FTL counters."""
@@ -63,6 +93,10 @@ class FTLStats:
     scrub_relocations: int = 0
     #: Live pages copied out of a grown-bad block at retirement.
     rescued_pages: int = 0
+    #: Durable trim tombstones appended on behalf of the host.
+    trim_tombstones: int = 0
+    #: Programs torn mid-operation by a power cut.
+    torn_programs: int = 0
 
     @property
     def write_amplification(self) -> float:
@@ -80,6 +114,38 @@ class _BlockMeta:
     block: int
     valid: int = 0
     lpns: dict[int, int] = field(default_factory=dict)  # page -> lpn
+    #: A partially-programmed block closed by recovery: its remaining
+    #: erased pages are unusable (the program cursor must stay honest),
+    #: so GC may reclaim it even though it never filled.
+    sealed: bool = False
+
+
+@dataclass
+class FTLRecoveryStats:
+    """What :meth:`FlashTranslationLayer.recover_from_media` found."""
+
+    scanned_pages: int = 0      # programmed pages walked
+    mapped: int = 0             # LPNs with an elected data copy
+    tombstones: int = 0         # LPNs whose winner is a trim tombstone
+    stale: int = 0              # intact pages outvoted by a newer seq
+    torn_quarantined: int = 0   # CRC-mismatched pages (power cut mid-program)
+    unstamped: int = 0          # programmed pages with no OOB stamp
+    sealed_blocks: int = 0      # partial blocks closed for GC reclaim
+    reopened_blocks: int = 0    # partial blocks resumed as open blocks
+    max_seq: int = 0            # highest sequence number seen on media
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "scanned_pages": self.scanned_pages,
+            "mapped": self.mapped,
+            "tombstones": self.tombstones,
+            "stale": self.stale,
+            "torn_quarantined": self.torn_quarantined,
+            "unstamped": self.unstamped,
+            "sealed_blocks": self.sealed_blocks,
+            "reopened_blocks": self.reopened_blocks,
+            "max_seq": self.max_seq,
+        }
 
 
 class FlashTranslationLayer:
@@ -98,11 +164,23 @@ class FlashTranslationLayer:
         self.spec: ZNANDSpec = dies[0].spec
         self.logical_pages = logical_capacity_bytes // self.spec.page_bytes
         self._l2p: dict[int, PPA] = {}
+        #: Durable trim markers: lpn -> PPA of its live tombstone page.
+        #: Tracked so GC relocates tombstones like live pages — erasing
+        #: the only tombstone while an older data copy survives would
+        #: resurrect the trimmed LPN at the next mount.
+        self._tombstones: dict[int, PPA] = {}
         self._blocks: dict[tuple[int, int, int], _BlockMeta] = {}
         self._free: list[tuple[int, int, int]] = []
         self._open: dict[int, _BlockMeta | None] = {}
         self._next_die = 0
+        #: Module-wide monotonic program counter stamped into every OOB.
+        self._seq = 1
+        self._zero_page = bytes(self.spec.page_bytes)
         self.stats = FTLStats()
+        #: Optional observer called after every successful program:
+        #: ``on_commit(lpn, crc, kind)``.  The crash-point explorer uses
+        #: it as ground truth for what is durably committed.
+        self.on_commit = None
         #: Installed by fault campaigns (duck-typed
         #: :class:`repro.faults.clock.FaultClock`); the FTL is timeless,
         #: so GC cuts are count-scheduled via ``tick``.
@@ -133,6 +211,87 @@ class FlashTranslationLayer:
                 "not enough physical capacity for the logical space "
                 "plus over-provisioning: "
                 f"{physical_pages} pages < {self.logical_pages} logical")
+
+    # -- mount-time recovery ------------------------------------------------------
+
+    @classmethod
+    def recover_from_media(
+            cls, dies: list[NANDDie], logical_capacity_bytes: int,
+    ) -> tuple["FlashTranslationLayer", FTLRecoveryStats]:
+        """Rebuild an FTL from what actually reached flash.
+
+        The cold-mount path after a power cut: walk every programmed
+        page of every good block, verify its payload against the OOB
+        CRC (mismatch = torn by the cut: quarantine), and elect, per
+        LPN, the intact copy with the highest sequence number.  A trim
+        tombstone winner leaves the LPN unmapped — durably trimmed.
+
+        Partially-programmed blocks are resumed: the emptiest one per
+        die becomes the open block again; the rest are *sealed* so GC
+        can reclaim them (their program cursor is mid-block, and the
+        erased tail must never be silently reused without an erase).
+        """
+        ftl = cls(dies, logical_capacity_bytes)
+        stats = FTLRecoveryStats()
+        # lpn -> (seq, kind, ppa): the election scoreboard.
+        best: dict[int, tuple[int, str, PPA]] = {}
+        for die_index, die in enumerate(ftl.dies):
+            for plane, block in die.good_blocks():
+                info = die.block_info(plane, block)
+                if info.next_page == 0:
+                    continue   # pristine or fully erased: stays free
+                key = (die_index, plane, block)
+                ftl._free.remove(key)
+                ftl._blocks[key] = _BlockMeta(
+                    die=die_index, plane=plane, block=block)
+                for page in range(info.next_page):
+                    stats.scanned_pages += 1
+                    oob = die.read_oob(plane, block, page)
+                    if not isinstance(oob, OOB):
+                        stats.unstamped += 1
+                        continue
+                    stats.max_seq = max(stats.max_seq, oob.seq)
+                    data = die.read_page(plane, block, page)
+                    if zlib.crc32(data) != oob.crc:
+                        stats.torn_quarantined += 1
+                        continue
+                    cur = best.get(oob.lpn)
+                    if cur is None or oob.seq > cur[0]:
+                        best[oob.lpn] = (
+                            oob.seq, oob.kind,
+                            PPA(die_index, plane, block, page))
+        for lpn in sorted(best):
+            seq, kind, ppa = best[lpn]
+            meta = ftl._blocks[(ppa.die, ppa.plane, ppa.block)]
+            meta.lpns[ppa.page] = lpn
+            meta.valid += 1
+            if kind == "trim":
+                ftl._tombstones[lpn] = ppa
+                stats.tombstones += 1
+            else:
+                ftl._l2p[lpn] = ppa
+                stats.mapped += 1
+        stats.stale = (stats.scanned_pages - stats.torn_quarantined
+                       - stats.unstamped - stats.mapped - stats.tombstones)
+        ftl._seq = stats.max_seq + 1
+        for die_index, die in enumerate(ftl.dies):
+            partials = [
+                meta for key, meta in ftl._blocks.items()
+                if key[0] == die_index
+                and die.block_info(meta.plane, meta.block).next_page
+                < ftl.spec.pages_per_block]
+            if not partials:
+                continue
+            reopen = min(partials, key=lambda m: (
+                die.block_info(m.plane, m.block).next_page,
+                m.plane, m.block))
+            ftl._open[die_index] = reopen
+            stats.reopened_blocks += 1
+            for meta in partials:
+                if meta is not reopen:
+                    meta.sealed = True
+                    stats.sealed_blocks += 1
+        return ftl, stats
 
     # -- host API ----------------------------------------------------------------------
 
@@ -187,12 +346,25 @@ class FlashTranslationLayer:
         self.stats.scrub_relocations += 1
         return ops
 
-    def trim(self, lpn: int) -> None:
-        """Drop the mapping for a logical page (discard)."""
+    def trim(self, lpn: int) -> list[PhysOp]:
+        """Drop the mapping for a logical page (discard), durably.
+
+        A volatile ``pop`` would resurrect the LPN at the next mount
+        (the old data copy still sits on flash with the winning seq), so
+        trim appends a tombstone page whose OOB stamp outvotes every
+        older copy.  Idempotent: re-trimming, or trimming a never-written
+        LPN, programs nothing.
+        """
         self._check_lpn(lpn)
-        ppa = self._l2p.pop(lpn, None)
-        if ppa is not None:
-            self._invalidate(ppa)
+        if lpn not in self._l2p:
+            return []   # never written, or already durably tombstoned
+        ops: list[PhysOp] = []
+        ops.extend(self._maybe_collect_garbage())
+        _, program_ops = self._append(lpn, self._zero_page, gc=False,
+                                      kind="trim")
+        ops.extend(program_ops)
+        self.stats.trim_tombstones += 1
+        return ops
 
     def mapping(self, lpn: int) -> PPA | None:
         """Current physical location of a logical page, if any."""
@@ -206,10 +378,15 @@ class FlashTranslationLayer:
     def mapped_pages(self) -> int:
         return len(self._l2p)
 
+    @property
+    def tombstoned_pages(self) -> int:
+        """LPNs whose live durable record is a trim tombstone."""
+        return len(self._tombstones)
+
     # -- allocation --------------------------------------------------------------------
 
-    def _append(self, lpn: int, data: bytes,
-                gc: bool) -> tuple[PPA, list[PhysOp]]:
+    def _append(self, lpn: int, data: bytes, gc: bool,
+                kind: str = "data") -> tuple[PPA, list[PhysOp]]:
         ops: list[PhysOp] = []
         attempts = 0
         while True:
@@ -224,9 +401,29 @@ class FlashTranslationLayer:
             meta = self._open_block(die_index)
             page = self.dies[die_index].block_info(
                 meta.plane, meta.block).next_page
+            stamp = OOB(lpn=lpn, seq=self._seq, crc=zlib.crc32(data),
+                        kind=kind)
+            self._seq += 1
+            if self.fault_clock is not None:
+                try:
+                    self.fault_clock.tick("ftl.program")
+                except PowerLossInterrupt:
+                    # The cut lands mid-program: the page tears — its
+                    # leading bytes reach the cells under the intended
+                    # OOB stamp, and the L2P never learns of it.
+                    try:
+                        self.dies[die_index].program_torn(
+                            meta.plane, meta.block, page, data, oob=stamp)
+                    except MediaError:
+                        pass   # the block failed outright instead
+                    else:
+                        self.stats.torn_programs += 1
+                        if page + 1 >= self.spec.pages_per_block:
+                            self._open[die_index] = None
+                    raise
             try:
                 self.dies[die_index].program_page(
-                    meta.plane, meta.block, page, data)
+                    meta.plane, meta.block, page, data, oob=stamp)
             except MediaError:
                 # Grown bad block: retire it and remap the write to a
                 # fresh block — the paper's bad-block handling path.
@@ -244,12 +441,21 @@ class FlashTranslationLayer:
         old = self._l2p.get(lpn)
         if old is not None:
             self._invalidate(old)
+        old_tomb = self._tombstones.pop(lpn, None)
+        if old_tomb is not None:
+            self._invalidate(old_tomb)
         ppa = PPA(die_index, meta.plane, meta.block, page)
-        self._l2p[lpn] = ppa
+        if kind == "trim":
+            self._l2p.pop(lpn, None)
+            self._tombstones[lpn] = ppa
+        else:
+            self._l2p[lpn] = ppa
         meta.valid += 1
         meta.lpns[page] = lpn
         if page + 1 >= self.spec.pages_per_block:
             self._open[die_index] = None   # block is full; close it
+        if self.on_commit is not None:
+            self.on_commit(lpn, stamp.crc, kind)
         return ppa, ops
 
     def _pick_die(self) -> int:
@@ -317,6 +523,13 @@ class FlashTranslationLayer:
         meta.valid = 0
         ops: list[PhysOp] = [PhysOp("read", meta.die) for _ in survivors]
         for lpn, data, old_ppa in survivors:
+            if self._tombstones.get(lpn) == old_ppa:
+                # A live tombstone: rewrite it, or the trim un-commits.
+                _, program_ops = self._append(lpn, self._zero_page,
+                                              gc=True, kind="trim")
+                ops.extend(program_ops)
+                self.stats.rescued_pages += 1
+                continue
             if self._l2p.get(lpn) != old_ppa:
                 continue   # rewritten elsewhere since the read above
             _, program_ops = self._append(lpn, data, gc=True)
@@ -350,7 +563,7 @@ class FlashTranslationLayer:
                 continue
             if key in self._free:
                 continue
-            full = self.dies[meta.die].block_info(
+            full = meta.sealed or self.dies[meta.die].block_info(
                 meta.plane, meta.block).next_page >= self.spec.pages_per_block
             if not full:
                 continue
@@ -366,6 +579,14 @@ class FlashTranslationLayer:
         for page, lpn in sorted(victim.lpns.items()):
             if self.fault_clock is not None:
                 self.fault_clock.tick("ftl.gc")
+            old_ppa = PPA(victim.die, victim.plane, victim.block, page)
+            if self._tombstones.get(lpn) == old_ppa:
+                # Relocate the tombstone: erasing the only durable
+                # record of a trim would resurrect the LPN at mount.
+                _, program_ops = self._append(lpn, self._zero_page,
+                                              gc=True, kind="trim")
+                ops.extend(program_ops)
+                continue
             data = die.read_page(victim.plane, victim.block, page)
             ops.append(PhysOp("read", victim.die))
             self.stats.gc_reads += 1

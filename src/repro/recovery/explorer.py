@@ -1,0 +1,387 @@
+"""The crash-point explorer: a power cut at every event index.
+
+CrashMonkey and ALICE exhaustively crash filesystems at every journal
+operation; this is the NVDIMM-C equivalent.  A fixed, seeded workload is
+run once under a counting :class:`~repro.faults.clock.FaultClock` to
+number every hook-site visit — the driver's CP exchanges and DMA
+windows, the FTL's page programs and GC relocations, and the §V-C
+battery drain itself.  The explorer then re-runs the workload
+deterministically with ``cut_on_event(i)`` sweeping ``i`` across that
+whole space, cold-mounts after each cut
+(:func:`~repro.recovery.mount.recover_mount`), and checks the recovery
+invariants:
+
+* **no committed page lost** — every LPN whose program reached flash
+  (observed via the FTL's ``on_commit`` hook) reads back with its last
+  committed content;
+* **no torn page served** — a page torn mid-program by the cut must be
+  quarantined by its OOB CRC, never returned as live data (readback
+  must always be some payload the host actually wrote, or zeros);
+* **bounded loss** — an acked-but-uncommitted write may be missing only
+  when the cut interrupted the drain itself (the double failure the
+  battery cannot cover);
+* **sanitizers quiet**, and the remounted module accepts new writes.
+
+``--quick`` samples the event space at a fixed stride (plus explicit
+in-drain points), then bisects between neighbouring samples whose
+outcome signatures differ, CrashMonkey-style: uniform regions cost one
+probe per stride, behaviour boundaries get binary-searched to the exact
+event.  Everything is deterministic for a fixed seed — the report is
+byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.check.sanitizer import default_suite
+from repro.device.nvdimmc import NVDIMMCSystem
+from repro.device.power import PowerFailureModel
+from repro.errors import PowerLossInterrupt
+from repro.faults.clock import FaultClock
+from repro.recovery.mount import recover_mount
+from repro.sim.trace import Tracer, use_tracer
+from repro.units import PAGE_4K, kb, mb, us
+
+#: Pages the workload touches; > cache slots so every run evicts.
+FOOTPRINT_PAGES = 40
+_CACHE_BYTES = kb(96)      # 20 cache slots
+_DEVICE_BYTES = mb(1)
+#: ``--quick`` samples at least this many cut points before bisection.
+QUICK_TARGET = 56
+
+_ZERO_CRC = zlib.crc32(bytes(PAGE_4K))
+
+
+@dataclass
+class RunOutcome:
+    """One explored cut point, remounted and verified."""
+
+    index: int                    # 1-based event index of the cut
+    cut_site: str = ""            # hook site where the cut landed
+    fired: bool = False
+    drain_interrupted: bool = False
+    committed_lost: int = 0       # durable pages that read back wrong
+    torn_served: int = 0          # readback neither acked content nor zeros
+    acked_uncommitted: int = 0    # acked writes missing after remount
+    torn_quarantined: int = 0     # pages the mount quarantined by CRC
+    replay_recovered: int = 0
+    replay_lost: int = 0
+    sanitizer_violations: int = 0
+    remount_writable: bool = True
+
+    @property
+    def ok(self) -> bool:
+        """All invariants hold for this cut point."""
+        return (self.committed_lost == 0
+                and self.torn_served == 0
+                and self.sanitizer_violations == 0
+                and self.remount_writable
+                and (self.acked_uncommitted == 0 or self.drain_interrupted))
+
+    def signature(self) -> tuple:
+        """Boolean outcome shape; bisection splits where it changes."""
+        return (self.committed_lost > 0, self.torn_served > 0,
+                self.acked_uncommitted > 0, self.drain_interrupted,
+                self.sanitizer_violations > 0, self.remount_writable)
+
+
+@dataclass
+class ExplorerResult:
+    """Everything one ``repro crash`` sweep learned."""
+
+    seed: int
+    quick: bool
+    total_events: int = 0
+    workload_events: int = 0
+    baseline_ok: bool = False
+    outcomes: list[RunOutcome] = field(default_factory=list)
+
+    def windows(self) -> list[dict]:
+        """Consecutive tested cut points folded by identical signature."""
+        out: list[dict] = []
+        for outcome in sorted(self.outcomes, key=lambda o: o.index):
+            if out and out[-1]["_sig"] == outcome.signature():
+                win = out[-1]
+                win["end"] = outcome.index
+                win["runs"] += 1
+                win["committed_lost"] += outcome.committed_lost
+                win["torn_served"] += outcome.torn_served
+                win["acked_uncommitted"] += outcome.acked_uncommitted
+                win["violations"] += outcome.sanitizer_violations
+                continue
+            out.append({
+                "start": outcome.index,
+                "end": outcome.index,
+                "runs": 1,
+                "committed_lost": outcome.committed_lost,
+                "torn_served": outcome.torn_served,
+                "acked_uncommitted": outcome.acked_uncommitted,
+                "drain_interrupted": outcome.drain_interrupted,
+                "remount_writable": outcome.remount_writable,
+                "violations": outcome.sanitizer_violations,
+                "_sig": outcome.signature(),
+            })
+        for win in out:
+            del win["_sig"]
+        return out
+
+    def sites(self) -> dict[str, int]:
+        """Histogram of hook sites the explored cuts landed on."""
+        hist: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.fired:
+                site = outcome.cut_site or "?"
+                hist[site] = hist.get(site, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def totals(self) -> dict[str, int]:
+        drain_cuts = sum(1 for o in self.outcomes
+                         if o.index > self.workload_events)
+        return {
+            "cut_points": len(self.outcomes),
+            "drain_cuts": drain_cuts,
+            "committed_lost": sum(o.committed_lost for o in self.outcomes),
+            "torn_served": sum(o.torn_served for o in self.outcomes),
+            "acked_uncommitted": sum(o.acked_uncommitted
+                                     for o in self.outcomes),
+            "torn_quarantined": sum(o.torn_quarantined
+                                    for o in self.outcomes),
+            "sanitizer_violations": sum(o.sanitizer_violations
+                                        for o in self.outcomes),
+            "replay_recovered": sum(o.replay_recovered
+                                    for o in self.outcomes),
+            "replay_lost": sum(o.replay_lost for o in self.outcomes),
+            "failed_runs": sum(1 for o in self.outcomes if not o.ok),
+        }
+
+    @property
+    def ok(self) -> bool:
+        totals = self.totals()
+        return (self.baseline_ok
+                and totals["failed_runs"] == 0
+                and totals["drain_cuts"] >= 1)
+
+    def to_dict(self) -> dict:
+        from repro.recovery.report import SCHEMA
+        return {
+            "schema": SCHEMA,
+            "generated_at": None,
+            "seed": self.seed,
+            "quick": self.quick,
+            "events": {
+                "total": self.total_events,
+                "workload": self.workload_events,
+                "drain": self.total_events - self.workload_events,
+            },
+            "cut_points": sorted(o.index for o in self.outcomes),
+            "windows": self.windows(),
+            "sites": self.sites(),
+            "totals": self.totals(),
+            "ok": self.ok,
+        }
+
+
+# -- the deterministic workload ------------------------------------------------
+
+
+def _payload(page: int, version: int) -> bytes:
+    head = page.to_bytes(4, "little") + version.to_bytes(4, "little")
+    return head + bytes([(page * 197 + version * 31) % 256]) * (PAGE_4K - 8)
+
+
+def _workload(driver, rng: random.Random, acked: dict[int, int],
+              history: dict[int, set[int]], t: int) -> int:
+    """Seq-fill then mixed read/write; records every *acked* version."""
+
+    def ack(page: int, data: bytes) -> None:
+        crc = zlib.crc32(data)
+        acked[page] = crc
+        history.setdefault(page, set()).add(crc)
+
+    for page in range(FOOTPRINT_PAGES):
+        data = _payload(page, 0)
+        t = driver.write_page(page, data, t)
+        ack(page, data)
+    for step in range(FOOTPRINT_PAGES):
+        if rng.random() < 0.3:
+            page = rng.randrange(FOOTPRINT_PAGES)
+            _data, t = driver.read_page(page, t)
+        else:
+            page = rng.randrange(FOOTPRINT_PAGES)
+            data = _payload(page, 1 + step)
+            t = driver.write_page(page, data, t)
+            ack(page, data)
+    return t
+
+
+# -- one explored cut ----------------------------------------------------------
+
+
+def _verify(driver, acked: dict[int, int], history: dict[int, set[int]],
+            durable: dict[int, int], t: int, outcome: RunOutcome) -> None:
+    """Check the recovery invariants against the remounted module."""
+    for page in range(FOOTPRINT_PAGES):
+        try:
+            data, t = driver.read_page(page, t)
+        except Exception:
+            # Any read refusal after remount loses whatever was there.
+            if page in durable:
+                outcome.committed_lost += 1
+            continue
+        crc = zlib.crc32(data)
+        allowed = history.get(page, set()) | {_ZERO_CRC}
+        if crc not in allowed:
+            outcome.torn_served += 1
+            continue
+        want = durable.get(page)
+        if want is not None and crc != want:
+            outcome.committed_lost += 1
+            continue
+        last = acked.get(page)
+        if last is not None and crc != last:
+            outcome.acked_uncommitted += 1
+    try:
+        probe = _payload(0, 424242)
+        t = driver.write_page(0, probe, t)
+        back, t = driver.read_page(0, t)
+        outcome.remount_writable = back == probe
+    except Exception:
+        outcome.remount_writable = False
+
+
+def _run_cut(seed: int, capacity: int,
+             cut_index: int | None) -> tuple[RunOutcome, int, int]:
+    """One deterministic run; ``cut_index=None`` is the counting baseline.
+
+    Returns ``(outcome, workload_events, total_events)`` — the event
+    counts are only meaningful for the baseline (a fired cut truncates
+    the run), but every run shares the same pre-cut prefix, so the
+    baseline's counts number the whole explorable space.
+    """
+    rng = random.Random(seed)
+    tracer = Tracer(enabled=True, capacity=capacity)
+    suite = default_suite(strict=False)
+    outcome = RunOutcome(index=cut_index if cut_index is not None else 0)
+    with use_tracer(tracer):
+        with suite.attach(tracer):
+            clock = FaultClock()
+            if cut_index is not None:
+                clock.cut_on_event(cut_index)
+            # No CPU cache: a cut abandons CP exchanges mid-bracket by
+            # design, which the coherence rules (correctly) flag; the
+            # §V-B bracket has its own dedicated coverage.
+            system = NVDIMMCSystem(cache_bytes=_CACHE_BYTES,
+                                   device_bytes=_DEVICE_BYTES,
+                                   with_cpu_cache=False,
+                                   seed=seed % 100003,
+                                   tracer=tracer)
+            system.nvmc.fault_clock = clock
+            system.nand.ftl.fault_clock = clock
+            acked: dict[int, int] = {}
+            history: dict[int, set[int]] = {}
+            durable: dict[int, int] = {}
+
+            def on_commit(lpn: int, crc: int, kind: str) -> None:
+                if kind == "trim":
+                    durable.pop(lpn, None)
+                else:
+                    durable[lpn] = crc
+
+            # Ground truth for "committed": the FTL reports every page
+            # that actually reached flash.  The hook survives into the
+            # drain (preload programs through the same FTL) and dies
+            # with it at the mount — exactly the durability boundary.
+            system.nand.ftl.on_commit = on_commit
+            t = round(us(1))
+            try:
+                t = _workload(system.driver, rng, acked, history, t)
+            except PowerLossInterrupt as exc:
+                outcome.fired = True
+                outcome.cut_site = exc.site or ""
+                t = max(t, exc.time_ps)
+            workload_events = clock.events_seen
+            power = PowerFailureModel(system.driver)
+            power.fault_clock = clock
+            try:
+                power.power_fail(now_ps=t)
+            except PowerLossInterrupt as exc:
+                outcome.fired = True
+                outcome.drain_interrupted = True
+                outcome.cut_site = exc.site or ""
+            total_events = clock.events_seen
+            mounted, mount_report = recover_mount(
+                system, journal=power.journal, now_ps=t)
+            outcome.torn_quarantined = mount_report.ftl.torn_quarantined
+            outcome.replay_recovered = mount_report.replay_recovered
+            outcome.replay_lost = mount_report.replay_lost
+            _verify(mounted.driver, acked, history, durable, t, outcome)
+    outcome.sanitizer_violations = len(suite.violations)
+    return outcome, workload_events, total_events
+
+
+# -- the sweep -----------------------------------------------------------------
+
+
+def _quick_points(total: int, workload_events: int) -> list[int]:
+    """Stride samples plus explicit in-drain probes."""
+    stride = max(1, total // QUICK_TARGET)
+    points = set(range(1, total + 1, stride))
+    points.update({1, total})
+    if total > workload_events:
+        # At least one cut inside the drain itself, plus its boundary.
+        points.add(workload_events + 1)
+        points.add(workload_events + max(1, (total - workload_events) // 2))
+    return sorted(p for p in points if 1 <= p <= total)
+
+
+def explore(seed: int = 0, quick: bool = False,
+            capacity: int = 200_000,
+            progress: Callable[[int, int], None] | None = None,
+            ) -> ExplorerResult:
+    """Sweep a power cut across the workload's whole event space.
+
+    Full mode re-runs once per event index.  ``quick`` samples at a
+    stride (>= :data:`QUICK_TARGET` points) and bisects every pair of
+    neighbouring samples whose outcome signatures differ, until each
+    behaviour boundary is pinned to an exact event index.
+    """
+    result = ExplorerResult(seed=seed, quick=quick)
+    baseline, workload_events, total = _run_cut(seed, capacity, None)
+    result.total_events = total
+    result.workload_events = workload_events
+    # With no cut the drain completes: everything acked must be intact.
+    result.baseline_ok = (baseline.ok and not baseline.fired
+                          and baseline.acked_uncommitted == 0)
+    if total < 1:
+        return result
+
+    if quick:
+        pending = _quick_points(total, workload_events)
+    else:
+        pending = list(range(1, total + 1))
+    explored: dict[int, RunOutcome] = {}
+    planned = len(pending)
+    while pending:
+        for index in pending:
+            outcome, _, _ = _run_cut(seed, capacity, index)
+            explored[index] = outcome
+            if progress is not None:
+                progress(len(explored), planned)
+        if not quick:
+            break
+        # Bisect every adjacent pair whose outcome signatures differ:
+        # behaviour boundaries get pinned to the exact event index.
+        pending = []
+        tested = sorted(explored)
+        for left, right in zip(tested, tested[1:]):
+            if right - left <= 1:
+                continue
+            if explored[left].signature() != explored[right].signature():
+                pending.append((left + right) // 2)
+        planned += len(pending)
+    result.outcomes = [explored[i] for i in sorted(explored)]
+    return result

@@ -1,0 +1,85 @@
+"""The cold-mount path: rebuild the module from what survived the cut.
+
+A power cut wipes everything volatile at once: the DRAM cache, the
+driver's slot metadata, the FTL core's SRAM (the L2P map), and the live
+health monitor.  What survives is the Z-NAND — every page stamped with
+its :class:`~repro.nand.ftl.OOB` record — plus, when the battery did its
+job, the drained cache contents and the 16 MB metadata-area journal.
+
+:func:`recover_mount` sequences the pieces in dependency order:
+
+1. **media scan** — the NAND controller rebuilds its FTL from the OOB
+   stamps (:meth:`~repro.nand.controller.NANDController.rebuild_from_media`):
+   max-seq election per LPN, CRC quarantine for pages torn mid-program,
+   trim tombstones honoured, partial blocks resumed or sealed;
+2. **health re-seed** — a fresh :class:`~repro.health.monitor.HealthMonitor`
+   fed the evidence the media can testify to (bad blocks, torn pages);
+   sticky rungs (read-only past the bad-block budget) are re-entered,
+   rolling rungs are not — their transient evidence died with the power;
+3. **driver bring-up** — :meth:`~repro.device.nvdimmc.NVDIMMCSystem.remount`
+   with the re-seeded monitor: fresh DRAM, fresh slot metadata, same NAND;
+4. **journal audit** — when the §V-C drain ran, its metadata journal is
+   replayed against the recovered media so the mount reports honestly
+   which drained pages made it and which the dying battery dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.nvdimmc import NVDIMMCSystem
+from repro.device.power import MetadataJournal, RecoveredDevice
+from repro.health.monitor import HealthMonitor
+from repro.nand.ftl import FTLRecoveryStats
+
+
+@dataclass
+class MountReport:
+    """What one cold mount found and rebuilt."""
+
+    ftl: FTLRecoveryStats
+    health_state: str
+    bad_blocks: int = 0
+    #: Journal audit (zeros when no drain journal was handed in).
+    replay_recovered: int = 0
+    replay_lost: int = 0
+    replay_crc_mismatches: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "ftl": self.ftl.to_dict(),
+            "health_state": self.health_state,
+            "bad_blocks": self.bad_blocks,
+            "replay_recovered": self.replay_recovered,
+            "replay_lost": self.replay_lost,
+            "replay_crc_mismatches": self.replay_crc_mismatches,
+        }
+
+
+def recover_mount(system: NVDIMMCSystem,
+                  journal: MetadataJournal | None = None,
+                  now_ps: int = 0) -> tuple[NVDIMMCSystem, MountReport]:
+    """Cold-mount ``system``'s module after a power cut.
+
+    Returns ``(fresh_system, report)``: a remounted system over the
+    same NAND with a rebuilt FTL and a re-seeded health monitor, plus
+    the mount's findings.  ``journal`` is the drain's metadata journal
+    when the §V-C battery ran; passing it enables the replay audit.
+    """
+    ftl_stats = system.nand.rebuild_from_media()
+    monitor = HealthMonitor(policy=system.health.policy,
+                            tracer=system.nvmc.tracer)
+    bad_blocks = system.nand.media_bad_blocks()
+    monitor.reseed({"bad-block": bad_blocks,
+                    "torn-page": ftl_stats.torn_quarantined},
+                   time_ps=now_ps)
+    fresh = system.remount(health=monitor)
+    report = MountReport(ftl=ftl_stats,
+                         health_state=monitor.state.label,
+                         bad_blocks=bad_blocks)
+    if journal is not None:
+        replay = RecoveredDevice(fresh.driver, journal).replay()
+        report.replay_recovered = replay.pages_recovered
+        report.replay_lost = replay.pages_lost
+        report.replay_crc_mismatches = len(replay.crc_mismatches)
+    return fresh, report

@@ -1,0 +1,119 @@
+"""The schema-pinned ``RECOVERY_*.json`` crash-exploration report.
+
+Same contract as the faults and soak reports: :data:`SCHEMA` names the
+revision, :func:`render_report` serialises with sorted keys and a
+trailing newline — byte-identical for identical sweeps, since the
+wall-clock timestamp is injected by the caller (pass ``None`` for
+byte-stable output) — and :func:`validate_report` checks a parsed
+report against the pinned shape.
+
+Shape notes:
+
+``events``
+    the explorable space: total hook-site visits of the fault-free
+    baseline, split into the workload's and the §V-C drain's share.
+``cut_points``
+    every event index actually explored (full mode: all of them;
+    ``--quick``: stride samples plus bisected boundaries).
+``windows``
+    consecutive cut points folded while their outcome signature is
+    unchanged — the compressed behaviour map of the event space.
+``totals.committed_lost`` / ``totals.torn_served``
+    the two always-illegal outcomes; a clean sweep reports zero for
+    both (``acked_uncommitted`` is legal only under an interrupted
+    drain, and ``failed_runs`` counts cut points where any invariant
+    broke).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+SCHEMA = "repro.recovery/1"
+
+_REPORT_KEYS = frozenset(
+    {"schema", "generated_at", "seed", "quick", "events", "cut_points",
+     "windows", "sites", "totals", "ok"})
+_EVENT_KEYS = frozenset({"total", "workload", "drain"})
+_WINDOW_KEYS = frozenset(
+    {"start", "end", "runs", "committed_lost", "torn_served",
+     "acked_uncommitted", "drain_interrupted", "remount_writable",
+     "violations"})
+_TOTAL_KEYS = frozenset(
+    {"cut_points", "drain_cuts", "committed_lost", "torn_served",
+     "acked_uncommitted", "torn_quarantined", "sanitizer_violations",
+     "replay_recovered", "replay_lost", "failed_runs"})
+
+
+def render_report(result: Any, timestamp: str | None = None) -> str:
+    """Serialise an :class:`~repro.recovery.explorer.ExplorerResult`.
+
+    ``timestamp`` is stamped into ``generated_at`` verbatim; pass None
+    (the default) for byte-stable output.
+    """
+    payload = result.to_dict()
+    payload["generated_at"] = timestamp
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def validate_report(payload: Any) -> list[str]:
+    """Problems with a parsed report; an empty list means valid."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != SCHEMA:
+        problems.append(
+            f"schema must be {SCHEMA!r}: {payload.get('schema')!r}")
+    missing = _REPORT_KEYS - payload.keys()
+    if missing:
+        problems.append(f"missing report keys: {sorted(missing)}")
+    extra = payload.keys() - _REPORT_KEYS
+    if extra:
+        problems.append(f"unknown report keys: {sorted(extra)}")
+    events = payload.get("events")
+    if not isinstance(events, dict) or events.keys() != _EVENT_KEYS:
+        problems.append(f"events keys must be {sorted(_EVENT_KEYS)}")
+    else:
+        for key in sorted(_EVENT_KEYS):
+            if not isinstance(events[key], int) or events[key] < 0:
+                problems.append(f"events.{key} must be a non-negative int")
+    cut_points = payload.get("cut_points")
+    if not isinstance(cut_points, list) or any(
+            not isinstance(p, int) or p < 1 for p in cut_points):
+        problems.append("cut_points must be a list of positive ints")
+    elif cut_points != sorted(set(cut_points)):
+        problems.append("cut_points must be sorted and distinct")
+    windows = payload.get("windows")
+    if not isinstance(windows, list):
+        problems.append("windows must be a list")
+        windows = []
+    for index, window in enumerate(windows):
+        if not isinstance(window, dict):
+            problems.append(f"windows[{index}] must be an object")
+            continue
+        if window.keys() != _WINDOW_KEYS:
+            problems.append(
+                f"windows[{index}] keys {sorted(window.keys())} != "
+                f"{sorted(_WINDOW_KEYS)}")
+            continue
+        for key in ("start", "end", "runs", "committed_lost",
+                    "torn_served", "acked_uncommitted", "violations"):
+            if not isinstance(window[key], int) or window[key] < 0:
+                problems.append(
+                    f"windows[{index}].{key} must be a non-negative int")
+    sites = payload.get("sites")
+    if not isinstance(sites, dict) or any(
+            not isinstance(count, int) or count < 0
+            for count in sites.values()):
+        problems.append("sites must map site -> non-negative int")
+    totals = payload.get("totals")
+    if not isinstance(totals, dict) or totals.keys() != _TOTAL_KEYS:
+        problems.append(f"totals keys must be {sorted(_TOTAL_KEYS)}")
+    else:
+        for key in sorted(_TOTAL_KEYS):
+            if not isinstance(totals[key], int) or totals[key] < 0:
+                problems.append(f"totals.{key} must be a non-negative int")
+    if not isinstance(payload.get("ok"), bool):
+        problems.append("ok must be a bool")
+    return problems

@@ -70,6 +70,54 @@ class TestScheduling:
             FaultClock().cut_on_visit(0)
 
 
+class TestEventCuts:
+    def test_event_cut_fires_at_exact_global_index(self):
+        clock = FaultClock().cut_on_event(3)
+        clock.check(100, "engine")
+        clock.tick("ftl.gc")             # any site counts
+        with pytest.raises(PowerLossInterrupt) as exc:
+            clock.check(300, "nvmc.dma.fill")
+        assert clock.events_seen == 3
+        assert exc.value.site == "nvmc.dma.fill"
+
+    def test_events_seen_numbers_every_visit(self):
+        clock = FaultClock()
+        for site in ("engine", "ftl.gc", "power.drain", "nvmc.dma.fill"):
+            clock.check(0, site)
+        clock.tick("ftl.program")
+        assert clock.events_seen == 5
+
+    def test_event_cut_fires_once(self):
+        clock = FaultClock().cut_on_event(1)
+        with pytest.raises(PowerLossInterrupt):
+            clock.check(0, "engine")
+        clock.check(0, "engine")         # already fired: counts, no raise
+        assert clock.events_seen == 2
+        assert clock.fired == 1 and not clock.armed
+
+    def test_event_cut_is_site_agnostic(self):
+        # Same index, different sites on replay: still fires at index 2.
+        clock = FaultClock().cut_on_event(2)
+        clock.check(0, "nvmc.dma.fill")
+        with pytest.raises(PowerLossInterrupt):
+            clock.tick("ftl.program")
+
+    def test_late_arming_catches_up(self):
+        # An index already passed fires on the next visit, not never.
+        clock = FaultClock()
+        clock.check(0, "engine")
+        clock.check(0, "engine")
+        clock.cut_on_event(1)
+        with pytest.raises(PowerLossInterrupt):
+            clock.check(0, "engine")
+
+    def test_bad_event_index_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultClock().cut_on_event(0)
+        with pytest.raises(FaultInjectionError):
+            FaultClock().cut_on_event(-3)
+
+
 class TestEngineHook:
     def test_engine_cut_interrupts_dispatch(self):
         engine = Engine()

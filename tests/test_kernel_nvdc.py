@@ -177,3 +177,74 @@ class TestDeviceAccess:
     def test_capacity_is_device_bytes(self):
         system = small_system()
         assert system.driver.capacity_bytes == mb(32)
+
+
+class TestPowerCutRollback:
+    """A cut between eviction and cachefill must not strand the victim:
+    the mapping rolls back so the §V-C drain snapshot still covers it."""
+
+    def cut_system(self):
+        from repro.units import kb
+        return small_system(cache_bytes=kb(96),    # 20 slots
+                            device_bytes=mb(1),
+                            with_cpu_cache=False)
+
+    def fill_cache(self, system):
+        t = 0
+        for page in range(system.region.num_slots):
+            t = system.driver.write_page(page, page_of(page), t)
+        assert system.driver.free_slot_count == 0
+        return t
+
+    def test_cut_mid_writeback_rolls_back_the_eviction(self):
+        from repro.device.power import PowerFailureModel
+        from repro.errors import PowerLossInterrupt
+        from repro.faults.clock import FaultClock
+        from repro.recovery import recover_mount
+        system = self.cut_system()
+        driver = system.driver
+        t = self.fill_cache(system)
+        system.nvmc.fault_clock = FaultClock().cut_on_visit(
+            1, site="nvmc.writeback.program")
+        with pytest.raises(PowerLossInterrupt):
+            driver.fault(100, t, False)
+        assert driver.stats.eviction_rollbacks == 1
+        assert driver.inflight_writeback is None
+        # The victim's only current copy is the cache slot: mapping back.
+        assert driver.lookup(0) is not None
+        assert driver.lookup(100) is None
+        assert driver.free_slot_count == 0
+        # ...which is exactly what lets the drain snapshot cover it.
+        power = PowerFailureModel(driver)
+        power.power_fail(now_ps=t)
+        fresh, report = recover_mount(system, journal=power.journal,
+                                      now_ps=t)
+        assert report.replay_lost == 0
+        for page in range(system.region.num_slots):
+            data, t = fresh.driver.read_page(page, t)
+            assert data == page_of(page)
+
+    def test_cut_mid_cachefill_returns_the_slot(self):
+        from repro.device.power import PowerFailureModel
+        from repro.errors import PowerLossInterrupt
+        from repro.faults.clock import FaultClock
+        from repro.recovery import recover_mount
+        system = self.cut_system()
+        driver = system.driver
+        t = self.fill_cache(system)
+        system.nvmc.fault_clock = FaultClock().cut_on_visit(
+            1, site="nvmc.cachefill.read")
+        with pytest.raises(PowerLossInterrupt):
+            driver.fault(100, t, False)
+        # The writeback completed: the victim is durably on media, the
+        # eviction stands, and the freed slot is back on the free list.
+        assert driver.stats.eviction_rollbacks == 0
+        assert driver.inflight_writeback is None
+        assert driver.lookup(0) is None
+        assert driver.lookup(100) is None
+        assert driver.free_slot_count == 1
+        power = PowerFailureModel(driver)
+        power.power_fail(now_ps=t)
+        fresh, _ = recover_mount(system, journal=power.journal, now_ps=t)
+        data, t = fresh.driver.read_page(0, t)
+        assert data == page_of(0)   # written back before the cut

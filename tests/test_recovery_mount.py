@@ -1,0 +1,312 @@
+"""Tests for crash-consistent recovery: OOB election, torn pages,
+durable trim, sealed blocks, health re-seeding and the cold mount."""
+
+import zlib
+
+import pytest
+
+from repro.device.nvdimmc import NVDIMMCSystem
+from repro.device.power import PowerFailureModel
+from repro.errors import PowerLossInterrupt
+from repro.faults.clock import FaultClock
+from repro.health.monitor import HealthMonitor, HealthPolicy
+from repro.nand.device import NANDDie
+from repro.nand.ftl import OOB, FlashTranslationLayer
+from repro.nand.spec import ZNANDSpec
+from repro.recovery import recover_mount
+from repro.units import PAGE_4K, kb, mb, us
+
+
+def tiny_spec(pages_per_block=16, blocks=24):
+    return ZNANDSpec(
+        name="test", capacity_bytes=blocks * pages_per_block * kb(4),
+        page_bytes=kb(4), pages_per_block=pages_per_block,
+        planes_per_die=1, dies=1, initial_bad_block_ppm=0)
+
+
+def make_ftl(logical_blocks=8, pages_per_block=16, blocks=24, dies=1):
+    spec = tiny_spec(pages_per_block, blocks)
+    nand = [NANDDie(spec, die_index=i) for i in range(dies)]
+    logical = logical_blocks * pages_per_block * kb(4)
+    return FlashTranslationLayer(nand, logical)
+
+
+def page_of(tag: int) -> bytes:
+    return bytes([tag % 256]) * kb(4)
+
+
+def recovered(ftl):
+    """Cold-mount twin: a fresh FTL rebuilt from the same dies."""
+    return FlashTranslationLayer.recover_from_media(
+        ftl.dies, ftl.logical_pages * ftl.spec.page_bytes)
+
+
+class TestOOBStamping:
+    def test_every_program_stamps_the_spare_area(self):
+        ftl = make_ftl()
+        ppa, _ = ftl.write_page(3, page_of(7))
+        oob = ftl.dies[ppa.die].read_oob(ppa.plane, ppa.block, ppa.page)
+        assert isinstance(oob, OOB)
+        assert oob.lpn == 3 and oob.kind == "data"
+        assert oob.crc == zlib.crc32(page_of(7))
+
+    def test_seq_is_monotonic_across_programs(self):
+        ftl = make_ftl()
+        seqs = []
+        for i in range(5):
+            ppa, _ = ftl.write_page(i, page_of(i))
+            oob = ftl.dies[ppa.die].read_oob(ppa.plane, ppa.block, ppa.page)
+            seqs.append(oob.seq)
+        assert seqs == sorted(seqs) and len(set(seqs)) == 5
+
+    def test_erase_clears_oob(self):
+        die = NANDDie(tiny_spec(), die_index=0)
+        stamp = OOB(lpn=0, seq=1, crc=zlib.crc32(page_of(1)))
+        die.program_page(0, 0, 0, page_of(1), oob=stamp)
+        assert die.read_oob(0, 0, 0) == stamp
+        die.erase_block(0, 0)
+        assert die.read_oob(0, 0, 0) is None
+
+
+class TestMediaRecovery:
+    def test_rebuilds_mappings_and_data(self):
+        ftl = make_ftl()
+        for i in range(10):
+            ftl.write_page(i, page_of(i))
+        fresh, stats = recovered(ftl)
+        assert stats.mapped == 10
+        assert stats.torn_quarantined == 0
+        for i in range(10):
+            data, _, _ = fresh.read_page(i)
+            assert data == page_of(i)
+
+    def test_max_seq_wins_on_overwrite(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        ftl.write_page(0, page_of(2))
+        ftl.write_page(0, page_of(3))
+        fresh, stats = recovered(ftl)
+        data, _, _ = fresh.read_page(0)
+        assert data == page_of(3)
+        assert stats.mapped == 1
+        assert stats.stale == 2
+
+    def test_torn_page_is_quarantined_not_served(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        # A cut mid-overwrite: the new copy tears under its full stamp.
+        die = ftl.dies[0]
+        meta = ftl._open[0]
+        page = die.block_info(meta.plane, meta.block).next_page
+        stamp = OOB(lpn=0, seq=ftl._seq, crc=zlib.crc32(page_of(2)))
+        die.program_torn(meta.plane, meta.block, page, page_of(2),
+                         oob=stamp)
+        fresh, stats = recovered(ftl)
+        assert stats.torn_quarantined == 1
+        data, _, _ = fresh.read_page(0)
+        assert data == page_of(1)    # the older intact copy wins
+
+    def test_torn_first_write_leaves_lpn_unmapped(self):
+        ftl = make_ftl()
+        die = ftl.dies[0]
+        clock = FaultClock().cut_on_visit(1, site="ftl.program")
+        ftl.fault_clock = clock
+        with pytest.raises(PowerLossInterrupt):
+            ftl.write_page(5, page_of(9))
+        assert die.torn_programs == 1
+        fresh, stats = recovered(ftl)
+        assert stats.torn_quarantined == 1
+        data, _, _ = fresh.read_page(5)
+        assert data is None
+
+    def test_unstamped_pages_are_ignored(self):
+        ftl = make_ftl()
+        ftl.dies[0].program_page(0, 0, 0, page_of(1))   # raw, no OOB
+        fresh, stats = recovered(ftl)
+        assert stats.unstamped == 1
+        assert fresh.mapped_pages == 0
+
+    def test_partial_block_is_reopened_and_writable(self):
+        ftl = make_ftl()
+        for i in range(3):
+            ftl.write_page(i, page_of(i))
+        fresh, stats = recovered(ftl)
+        assert stats.reopened_blocks == 1
+        assert stats.sealed_blocks == 0
+        # The resumed open block accepts further appends.
+        fresh.write_page(3, page_of(3))
+        for i in range(4):
+            data, _, _ = fresh.read_page(i)
+            assert data == page_of(i)
+
+    def test_recovery_seq_resumes_past_media_max(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        fresh, stats = recovered(ftl)
+        ppa, _ = fresh.write_page(0, page_of(2))
+        oob = fresh.dies[ppa.die].read_oob(ppa.plane, ppa.block, ppa.page)
+        assert oob.seq > stats.max_seq
+        twice, _ = recovered(fresh)
+        data, _, _ = twice.read_page(0)
+        assert data == page_of(2)
+
+
+class TestDurableTrim:
+    def test_trim_survives_remount(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        ops = ftl.trim(0)
+        assert any(op.kind == "program" for op in ops)
+        assert ftl.stats.trim_tombstones == 1
+        fresh, stats = recovered(ftl)
+        assert stats.tombstones == 1
+        data, _, _ = fresh.read_page(0)
+        assert data is None    # no resurrection of the old copy
+
+    def test_trim_is_idempotent(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        ftl.trim(0)
+        assert ftl.trim(0) == []
+        assert ftl.trim(1) == []    # never written: nothing to forget
+        assert ftl.stats.trim_tombstones == 1
+
+    def test_write_after_trim_supersedes_tombstone(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        ftl.trim(0)
+        ftl.write_page(0, page_of(2))
+        assert ftl.tombstoned_pages == 0
+        fresh, _ = recovered(ftl)
+        data, _, _ = fresh.read_page(0)
+        assert data == page_of(2)
+
+    def test_gc_relocates_tombstone_no_resurrection(self):
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        ftl.trim(0)
+        original = ftl._tombstones[0]
+        # Fill the rest of the tombstone's block so it closes, then
+        # collect it: the tombstone must relocate, never vanish.
+        for lpn in range(1, 15):
+            ftl.write_page(lpn, page_of(lpn))
+        meta = ftl._blocks[(original.die, original.plane, original.block)]
+        ftl._collect(meta)
+        assert ftl.stats.erases >= 1
+        assert ftl._tombstones[0] != original    # relocated, not dropped
+        fresh, stats = recovered(ftl)
+        assert stats.tombstones == 1
+        data, _, _ = fresh.read_page(0)
+        assert data is None                      # still durably trimmed
+        data, _, _ = fresh.read_page(1)
+        assert data == page_of(1)                # neighbours survived GC
+
+    def test_trim_then_cut_then_mount_regression(self):
+        """The satellite regression: a cut right after (or during) the
+        tombstone program must never resurrect the trimmed LPN with
+        *newer* standing than the host observed."""
+        ftl = make_ftl()
+        ftl.write_page(0, page_of(1))
+        clock = FaultClock().cut_on_visit(1, site="ftl.program")
+        ftl.fault_clock = clock
+        # Cut lands mid-tombstone-program: trim was never acked.
+        with pytest.raises(PowerLossInterrupt):
+            ftl.trim(0)
+        fresh, stats = recovered(ftl)
+        assert stats.torn_quarantined == 1    # the torn tombstone
+        data, _, _ = fresh.read_page(0)
+        assert data == page_of(1)   # un-acked trim: old data legal
+        # Now commit the trim, cut *later*, and remount: the tombstone
+        # must hold.
+        fresh.trim(0)
+        clock2 = FaultClock().cut_on_visit(1, site="ftl.program")
+        fresh.fault_clock = clock2
+        with pytest.raises(PowerLossInterrupt):
+            fresh.write_page(7, page_of(7))
+        final, stats2 = recovered(fresh)
+        assert stats2.tombstones == 1
+        data, _, _ = final.read_page(0)
+        assert data is None    # committed trim survives the later cut
+
+
+class TestHealthReseed:
+    def test_reseed_below_budget_stays_ok(self):
+        monitor = HealthMonitor(policy=HealthPolicy(read_only_bad_blocks=16))
+        monitor.reseed({"bad-block": 3, "torn-page": 2})
+        assert monitor.state.label == "ok"
+        assert monitor.counters.get("bad-block") == 3
+        assert monitor.counters.get("torn-page") == 2
+
+    def test_reseed_past_bad_block_budget_enters_read_only(self):
+        monitor = HealthMonitor(policy=HealthPolicy(read_only_bad_blocks=4))
+        monitor.reseed({"bad-block": 4}, time_ps=123)
+        assert monitor.read_only
+        assert monitor.timeline[-1].to_state == "read_only"
+
+
+class TestColdMount:
+    def make_system(self):
+        return NVDIMMCSystem(cache_bytes=kb(96), device_bytes=mb(1),
+                             with_cpu_cache=False, seed=11)
+
+    def test_recover_mount_after_clean_drain(self):
+        system = self.make_system()
+        t = round(us(1))
+        for page in range(30):
+            t = system.driver.write_page(page, page_of(page), t)
+        power = PowerFailureModel(system.driver)
+        power.power_fail(now_ps=t)
+        fresh, report = recover_mount(system, journal=power.journal,
+                                      now_ps=t)
+        assert report.replay_lost == 0
+        assert report.replay_crc_mismatches == 0
+        assert report.ftl.torn_quarantined == 0
+        assert report.health_state == "ok"
+        for page in range(30):
+            data, t = fresh.driver.read_page(page, t)
+            assert data == page_of(page)
+
+    def test_recover_mount_after_interrupted_drain(self):
+        system = self.make_system()
+        clock = FaultClock().cut_on_visit(5, site="power.drain")
+        t = round(us(1))
+        for page in range(30):
+            t = system.driver.write_page(page, page_of(page), t)
+        power = PowerFailureModel(system.driver)
+        power.fault_clock = clock
+        with pytest.raises(PowerLossInterrupt):
+            power.power_fail(now_ps=t)
+        fresh, report = recover_mount(system, journal=power.journal,
+                                      now_ps=t)
+        # The journal reports the undrained slots honestly...
+        assert report.replay_lost > 0
+        # ...and every page the mount *does* serve is a real payload.
+        for page in range(30):
+            data, t = fresh.driver.read_page(page, t)
+            assert data == page_of(page) or data == bytes(PAGE_4K)
+
+    def test_cold_mount_monitor_is_fresh_and_reseeded(self):
+        system = self.make_system()
+        t = round(us(1))
+        for page in range(5):
+            t = system.driver.write_page(page, page_of(page), t)
+        old_monitor = system.health
+        power = PowerFailureModel(system.driver)
+        power.power_fail(now_ps=t)
+        fresh, report = recover_mount(system, journal=power.journal)
+        assert fresh.health is not old_monitor
+        assert fresh.nand.health is fresh.health
+        assert fresh.nand.ftl.health is fresh.health
+        assert report.to_dict()["health_state"] == "ok"
+
+    def test_remounted_system_accepts_new_writes(self):
+        system = self.make_system()
+        t = round(us(1))
+        for page in range(10):
+            t = system.driver.write_page(page, page_of(page), t)
+        power = PowerFailureModel(system.driver)
+        power.power_fail(now_ps=t)
+        fresh, _ = recover_mount(system, journal=power.journal)
+        t = fresh.driver.write_page(3, page_of(99), t)
+        data, t = fresh.driver.read_page(3, t)
+        assert data == page_of(99)
