@@ -48,7 +48,7 @@ def to_json(records: Iterable[ExperimentRecord]) -> str:
             ],
             "notes": list(record.notes),
         })
-    return json.dumps(payload, indent=2)
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def load_json(text: str) -> list[ExperimentRecord]:

@@ -64,7 +64,7 @@ class ExperimentRecord:
         return worst
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), indent=2)
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
 
     def __str__(self) -> str:
         lines = [f"== {self.experiment_id}: {self.title} =="]

@@ -19,9 +19,20 @@ hardware is exposed to:
   variables, paper-source comments on calibration constants, DES process
   generators yielding only engine events, paired resource acquire/release.
 
+A third, whole-program half sits on top of the per-module lint:
+
+* **Cross-module static analysis** (:mod:`repro.check.xstatic`)
+  extracts a registry of every hook-site and trace-event string in the
+  tree, cross-checks producers against consumers (sanitizer-expected
+  events, fault-cut filters), and runs crash-safety and determinism
+  dataflow rules REPRO006–REPRO012 over the crash-exposed modules.
+  ``repro check --static`` is the entry point; CI runs it blocking
+  against the committed ``baselines/static.json``.
+
 Entry points::
 
     python -m repro check lint [paths...]
+    python -m repro check --static [--format json] [--baseline FILE]
     python -m repro check run --sanitize <experiment>
 
 and the pytest suite enables the sanitizers for every test via an

@@ -1,10 +1,21 @@
-"""``python -m repro check``: lint and sanitized experiment runs.
+"""``python -m repro check``: lint, static analysis, sanitized runs.
 
-Subcommands:
+Modes:
 
-* ``lint [paths...]`` — run the AST invariant passes (default over
-  ``src/repro``, falling back to the installed ``repro`` package when
-  no source tree is present).  Exits 1 when findings exist.
+* ``lint [paths...]`` — run the per-module AST invariant passes
+  (default over ``src/repro``, falling back to the installed ``repro``
+  package when no source tree is present).  Exits 1 when findings
+  exist.
+* ``--static`` — run the whole-program pass
+  (:mod:`repro.check.xstatic`): hook-site/trace-event registry
+  extraction with producer/consumer cross-checks (REPRO011/012),
+  crash-safety dataflow rules (REPRO006/007) and determinism rules
+  (REPRO008/009/010).  ``--format json`` emits a machine-readable
+  report; ``--baseline FILE`` suppresses previously accepted findings
+  (``--write-baseline`` records the current findings into it); the
+  exit status is non-zero only for non-baselined findings.
+  ``--registry-out FILE`` writes the generated registry markdown
+  (``docs/hook_registry.md`` in this repo).
 * ``run --sanitize <experiment> [...]`` — execute experiments with an
   enabled ambient tracer and the full sanitizer suite attached; prints
   the tracer retention summary (including dropped records) and exits
@@ -14,15 +25,20 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 
-def _default_lint_paths() -> list[Path]:
+def _package_root() -> Path:
     import repro
     package_dir = Path(repro.__file__).resolve().parent
     src_tree = Path.cwd() / "src" / "repro"
-    return [src_tree if src_tree.is_dir() else package_dir]
+    return src_tree if src_tree.is_dir() else package_dir
+
+
+def _default_lint_paths() -> list[Path]:
+    return [_package_root()]
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -42,6 +58,81 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 1
     print("repro check lint: clean")
     return 0
+
+
+def cmd_static(args: argparse.Namespace) -> int:
+    from repro.check.xstatic import (analyze_tree, load_baseline,
+                                     render_baseline,
+                                     render_registry_markdown,
+                                     split_by_baseline)
+    root = Path(args.root) if args.root else _package_root()
+    if not root.is_dir():
+        print(f"repro check --static: no such package tree: {root}",
+              file=sys.stderr)
+        return 2
+    report = analyze_tree(root)
+    if args.registry_out:
+        Path(args.registry_out).write_text(
+            render_registry_markdown(report.registry), encoding="utf-8")
+        print(f"registry written to {args.registry_out}")
+    if args.write_baseline:
+        if not args.baseline:
+            print("repro check --static: --write-baseline requires "
+                  "--baseline FILE", file=sys.stderr)
+            return 2
+        Path(args.baseline).write_text(render_baseline(report),
+                                       encoding="utf-8")
+        print(f"baseline written to {args.baseline} "
+              f"({len(report.findings)} finding(s) recorded)")
+        return 0
+    new, baselined = report.findings, []
+    if args.baseline:
+        try:
+            fingerprints = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro check --static: bad baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+        new, baselined = split_by_baseline(report, fingerprints)
+    if args.format == "json":
+        payload = report.to_dict()
+        suppressed = {f.fingerprint for f in baselined}
+        for entry in payload["findings"]:
+            entry["baselined"] = entry["fingerprint"] in suppressed
+        payload["summary"] = {
+            "total": len(report.findings),
+            "baselined": len(baselined),
+            "new": len(new),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding)
+        registry = report.registry
+        hook_sites = (len(registry.hook_producers)
+                      + len(registry.hook_producer_prefixes))
+        trace_events = (len(registry.trace_producers)
+                        + len(registry.trace_producer_prefixes))
+        print(f"repro check --static: {hook_sites} hook sites, "
+              f"{trace_events} trace events, "
+              f"{len(registry.schemas)} schemas")
+        if baselined:
+            print(f"{len(baselined)} baselined finding(s) suppressed")
+        if new:
+            print(f"repro check --static: {len(new)} new finding(s)",
+                  file=sys.stderr)
+        else:
+            print("repro check --static: clean")
+    return 1 if new else 0
+
+
+def _cmd_check_default(args: argparse.Namespace) -> int:
+    """The ``check`` command without a subcommand: ``--static`` or help."""
+    if args.static:
+        return cmd_static(args)
+    print("repro check: choose a subcommand (lint, run) or pass --static",
+          file=sys.stderr)
+    return 2
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -91,11 +182,31 @@ def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
     """Build the ``check`` parser, standalone or under a parent CLI."""
     if sub_or_none is None:
         parser = argparse.ArgumentParser(prog="repro check")
-        sub = parser.add_subparsers(dest="check_command", required=True)
     else:
         parser = sub_or_none.add_parser(
-            "check", help="sanitizers and static lint")
-        sub = parser.add_subparsers(dest="check_command", required=True)
+            "check", help="sanitizers, lint and whole-program static "
+                          "analysis")
+    parser.add_argument("--static", action="store_true",
+                        help="run the whole-program static pass "
+                             "(registry cross-checks, REPRO006-012)")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="package tree to analyze "
+                             "(default: src/repro or the installed "
+                             "package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="static findings output format")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="suppression baseline: findings recorded "
+                             "in FILE do not fail the run")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record the current static findings into "
+                             "--baseline FILE and exit 0")
+    parser.add_argument("--registry-out", default=None, metavar="FILE",
+                        help="write the extracted hook/trace registry "
+                             "as markdown to FILE")
+    parser.set_defaults(fn=_cmd_check_default)
+    sub = parser.add_subparsers(dest="check_command", required=False)
 
     p_lint = sub.add_parser("lint", help="AST invariant passes")
     p_lint.add_argument("paths", nargs="*",

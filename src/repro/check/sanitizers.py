@@ -209,7 +209,9 @@ class CoherenceSanitizer(Sanitizer):
                 record=self._last_fill_record.get(owner), addrs=addrs)
 
     def finalize(self) -> None:
-        for owner in list(self._active):
+        # Sorted: ``_active`` is a set of owner strings, and violation
+        # order must not depend on the hash seed.
+        for owner in sorted(self._active):
             self._check_pending_fills(owner)
 
 

@@ -14,7 +14,9 @@ Commands:
 * ``fio`` — an ad-hoc FIO run against a chosen device tier.
 * ``validate`` — the §VII-A aging test.
 * ``check`` — correctness tooling: ``check lint`` (AST invariant
-  passes) and ``check run --sanitize <experiment>`` (sanitized run).
+  passes), ``check --static`` (whole-program hook/trace registry
+  cross-checks plus the REPRO006–012 crash-safety and determinism
+  rules) and ``check run --sanitize <experiment>`` (sanitized run).
 * ``faults`` — deterministic fault-injection campaigns:
   ``faults run [--quick] [--only ids]`` executes the (fault x workload)
   matrix and writes ``FAULTS_<timestamp>.json``; ``faults list`` prints

@@ -113,7 +113,7 @@ def write_bench(payload: dict, out_dir: str = ".") -> str:
         path = os.path.join(out_dir, f"BENCH_{stamp}_{counter}.json")
         counter += 1
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
 
