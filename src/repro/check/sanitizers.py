@@ -39,6 +39,8 @@ class BusRaceSanitizer(Sanitizer):
     window with *no* drain declared is still a violation.
     """
 
+    CATEGORIES = ("power.drain", "ddr.collision", "ddr.cmd")
+
     #: Reservations older than this per bus are pruned.
     HORIZON_PS = 10_000_000
     #: Commands that leave the bus electrically idle.
@@ -48,6 +50,11 @@ class BusRaceSanitizer(Sanitizer):
         super().__init__()
         # owner -> lane name -> recent (master, start, end) intervals.
         self._lanes: dict[str, dict[str, deque]] = {}
+        # (owner, lane) -> {master: latest interval end}.  An overlap
+        # with a new span needs some *other* master's end past the
+        # span's start; when no recorded end qualifies, the deque scan
+        # is provably empty-handed and is skipped.
+        self._max_end: dict[tuple[str, str], dict[str, int]] = {}
         # owner -> (win_start, win_end) of the latest observed REF.
         self._window: dict[str, tuple[int, int]] = {}
         # owners currently inside a declared power-loss drain.
@@ -85,18 +92,27 @@ class BusRaceSanitizer(Sanitizer):
             owner, {"CA": deque(maxlen=256), "DQ": deque(maxlen=256)})
         for lane_name, start, end in spans:
             lane = lanes[lane_name]
-            for other_master, other_start, other_end in lane:
-                if (other_master != master and other_start < end
-                        and start < other_end):
-                    self.violation(
-                        "bus-collision",
-                        f"{master} ({kind}) overlaps {other_master} on "
-                        f"{lane_name} in [{start}, {end}) ps",
-                        record=record, lane=lane_name, master=master,
-                        other=other_master, start_ps=start, end_ps=end)
+            ends = self._max_end.setdefault((owner, lane_name), {})
+            # Overlap needs another master's interval to end *after* our
+            # start; ``ends`` upper-bounds every recorded interval end
+            # (including pruned ones), so a miss here proves the scan
+            # would find nothing.
+            if any(other_end > start for other_master, other_end
+                   in ends.items() if other_master != master):
+                for other_master, other_start, other_end in lane:
+                    if (other_master != master and other_start < end
+                            and start < other_end):
+                        self.violation(
+                            "bus-collision",
+                            f"{master} ({kind}) overlaps {other_master} on "
+                            f"{lane_name} in [{start}, {end}) ps",
+                            record=record, lane=lane_name, master=master,
+                            other=other_master, start_ps=start, end_ps=end)
             while lane and lane[0][2] < start - self.HORIZON_PS:
                 lane.popleft()
             lane.append((master, start, end))
+            if end > ends.get(master, -1):
+                ends[master] = end
         if master.lower().startswith("nvmc") and kind not in self._IDLE_KINDS:
             if owner in self._draining:
                 return   # §V-C battery drain: tRFC rule suspended
@@ -135,6 +151,8 @@ class CoherenceSanitizer(Sanitizer):
             without a preceding flush + sfence pair since the last post.
     """
 
+    CATEGORIES = ("nvdc.", "nvmc.dma", "cp.post")
+
     _WRITE_OPCODES = ("WRITEBACK", "MERGED")
 
     def __init__(self) -> None:
@@ -147,7 +165,7 @@ class CoherenceSanitizer(Sanitizer):
         self._last_fill_record: dict[str, TraceRecord] = {}
 
     def observe(self, record: TraceRecord) -> None:
-        owner = self.owner_of(record)
+        owner = str(record.fields.get("owner", "?"))   # owner_of, inlined
         category = record.category
         if category == "nvdc.attach":
             if record.fields.get("coherent"):
@@ -232,18 +250,83 @@ class ProtocolSanitizer(Sanitizer):
             precharged when refresh starts).
     """
 
+    CATEGORIES = ("cp.", "nvmc.dma", "ddr.cmd")
+
+    #: Per-owner window entries retained for budget / sharing checks.
+    #: The DMA engine consumes refresh windows forward in time (a
+    #: shortfall retry moves to the *next* window), so a window older
+    #: than the most recent ``WINDOW_MEMORY`` can never receive another
+    #: transfer — pruning it cannot reset a budget that could still be
+    #: exceeded.  Bounding these tables keeps long runs (and simulation
+    #: snapshots, which serialize sanitizer state) from growing with
+    #: every window ever used.
+    WINDOW_MEMORY = 512
+
     def __init__(self) -> None:
         super().__init__()
         self._outstanding: dict[str, int] = {}
         self._depth: dict[str, int] = {}
-        self._window_bytes: dict[tuple[str, int], int] = {}
-        self._window_cmds: dict[tuple[str, int], set[int]] = {}
+        # owner -> {window index: bytes scheduled} (insertion-ordered,
+        # pruned FIFO per owner — see WINDOW_MEMORY).
+        self._window_bytes: dict[str, dict[int, int]] = {}
+        self._window_cmds: dict[str, dict[int, set[int]]] = {}
         self._open_banks: dict[str, set[int]] = {}
 
     def observe(self, record: TraceRecord) -> None:
-        owner = self.owner_of(record)
+        # ``owner_of`` inlined: this observe runs for every bus command.
+        owner = str(record.fields.get("owner", "?"))
         category = record.category
-        if category == "cp.post":
+        # Dispatched most-frequent-first: bus commands outnumber DMA
+        # records, which outnumber CP mailbox traffic.  The branches are
+        # mutually exclusive on ``category``, so order is behaviour-free.
+        if category == "ddr.cmd":
+            kind = str(record.fields.get("kind", "?"))
+            bank = record.fields.get("bank")
+            open_banks = self._open_banks.setdefault(owner, set())
+            if kind == "ACT" and bank is not None:
+                open_banks.add(int(bank))
+            elif kind in ("PRE", "RDA", "WRA") and bank is not None:
+                open_banks.discard(int(bank))
+            elif kind == "PREA":
+                open_banks.clear()
+            elif kind == "REF" and open_banks:
+                self.violation(
+                    "ref-open-banks",
+                    f"REF issued with banks {sorted(open_banks)} still "
+                    "open (PREA must precede REF, Fig. 2b)",
+                    record=record, banks=sorted(open_banks))
+                open_banks.clear()
+        elif category == "nvmc.dma":
+            window = int(record.fields["window"])
+            nbytes = int(record.fields["bytes"])
+            budget = int(record.fields["budget"])
+            windows = self._window_bytes.setdefault(owner, {})
+            total = windows.get(window, 0) + nbytes
+            windows[window] = total
+            if total > budget:
+                self.violation(
+                    "window-budget",
+                    f"{total} bytes scheduled into window {window} "
+                    f"exceeds the {budget}-byte per-window budget",
+                    record=record, window=window, total=total,
+                    budget=budget)
+            owner_cmds = self._window_cmds.setdefault(owner, {})
+            cmds = owner_cmds.setdefault(window, set())
+            cmds.add(int(record.fields.get("cmd", 0)))
+            depth = self._depth.get(owner, 1)
+            if len(cmds) > depth:
+                self.violation(
+                    "window-sharing",
+                    f"window {window} served {len(cmds)} distinct CP "
+                    "commands; the PoC serves one per window "
+                    f"(queue depth {depth})",
+                    record=record, window=window, commands=sorted(cmds),
+                    depth=depth)
+            while len(windows) > self.WINDOW_MEMORY:
+                del windows[next(iter(windows))]
+            while len(owner_cmds) > self.WINDOW_MEMORY:
+                del owner_cmds[next(iter(owner_cmds))]
+        elif category == "cp.post":
             depth = int(record.fields.get("depth", 1))
             self._depth[owner] = depth
             outstanding = self._outstanding.get(owner, 0) + 1
@@ -269,47 +352,6 @@ class ProtocolSanitizer(Sanitizer):
             outstanding = self._outstanding.get(owner, 0)
             if outstanding > 0:
                 self._outstanding[owner] = outstanding - 1
-        elif category == "nvmc.dma":
-            key = (owner, int(record.fields["window"]))
-            nbytes = int(record.fields["bytes"])
-            budget = int(record.fields["budget"])
-            total = self._window_bytes.get(key, 0) + nbytes
-            self._window_bytes[key] = total
-            if total > budget:
-                self.violation(
-                    "window-budget",
-                    f"{total} bytes scheduled into window {key[1]} "
-                    f"exceeds the {budget}-byte per-window budget",
-                    record=record, window=key[1], total=total,
-                    budget=budget)
-            cmds = self._window_cmds.setdefault(key, set())
-            cmds.add(int(record.fields.get("cmd", 0)))
-            depth = self._depth.get(owner, 1)
-            if len(cmds) > depth:
-                self.violation(
-                    "window-sharing",
-                    f"window {key[1]} served {len(cmds)} distinct CP "
-                    "commands; the PoC serves one per window "
-                    f"(queue depth {depth})",
-                    record=record, window=key[1], commands=sorted(cmds),
-                    depth=depth)
-        elif category == "ddr.cmd":
-            kind = str(record.fields.get("kind", "?"))
-            bank = record.fields.get("bank")
-            open_banks = self._open_banks.setdefault(owner, set())
-            if kind == "ACT" and bank is not None:
-                open_banks.add(int(bank))
-            elif kind in ("PRE", "RDA", "WRA") and bank is not None:
-                open_banks.discard(int(bank))
-            elif kind == "PREA":
-                open_banks.clear()
-            elif kind == "REF" and open_banks:
-                self.violation(
-                    "ref-open-banks",
-                    f"REF issued with banks {sorted(open_banks)} still "
-                    "open (PREA must precede REF, Fig. 2b)",
-                    record=record, banks=sorted(open_banks))
-                open_banks.clear()
 
 
 class ScrubSanitizer(Sanitizer):
@@ -331,6 +373,8 @@ class ScrubSanitizer(Sanitizer):
             scrub ran in a window the host was using.
     """
 
+    CATEGORIES = ("health.scrub", "nvmc.dma")
+
     #: Per-owner window indices retained for cross-correlation.
     WINDOW_MEMORY = 4096
 
@@ -342,7 +386,7 @@ class ScrubSanitizer(Sanitizer):
 
     def observe(self, record: TraceRecord) -> None:
         if record.category == "health.scrub":
-            owner = self.owner_of(record)
+            owner = str(record.fields.get("owner", "?"))
             window = int(record.fields["window"])
             win_start = int(record.fields["win_start"])
             win_end = int(record.fields["win_end"])
@@ -363,7 +407,7 @@ class ScrubSanitizer(Sanitizer):
                     record=record, window=window)
             self._remember(self._scrub_windows, owner, window)
         elif record.category == "nvmc.dma":
-            owner = self.owner_of(record)
+            owner = str(record.fields.get("owner", "?"))
             window = int(record.fields["window"])
             if window in self._scrub_windows.get(owner, {}):
                 self.violation(
@@ -396,6 +440,10 @@ class TimeSanitizer(Sanitizer):
     #: Streams whose emitters guarantee non-decreasing emission times.
     MONOTONIC = ("ddr.cmd", "imc.refresh", "cp.ack", "nvmc.dma")
 
+    #: ``MONOTONIC`` as a set — this sanitizer sees *every* record, so
+    #: the membership test is one of the hottest lines in the suite.
+    _MONOTONIC_SET = frozenset(MONOTONIC)
+
     def __init__(self) -> None:
         super().__init__()
         self._last: dict[tuple[str, str], int] = {}
@@ -416,7 +464,7 @@ class TimeSanitizer(Sanitizer):
                 f"record {record.category} at negative time {t} ps",
                 record=record, time=t)
             return
-        if record.category in self.MONOTONIC:
+        if record.category in self._MONOTONIC_SET:
             key = (self.owner_of(record), record.category)
             last = self._last.get(key)
             if last is not None and t < last:

@@ -67,6 +67,23 @@ Determinism dataflow rules (scope: every package except ``check``)
         differ byte-wise and break the byte-identity contracts the
         bench/faults/soak/crash reports are diffed under.
 
+Snapshot coverage rule (scope: *snapshot-registered* modules — those
+defining a :class:`~repro.sim.snapshot.SnapshotMixin` subclass, a class
+with both ``snapshot`` and ``restore`` methods, or registering a
+reducer with a ``SnapshotRegistry``)
+    ``REPRO013`` — mutable state that lives *outside* the object graph a
+        snapshot captures: a module-level mutable binding (dict/list/set
+        literal, ``itertools.count`` token mill, ...), a module global
+        rebound via ``global``, or a class-level attribute (mutable, or
+        a counter mutated through ``Cls.attr``).  A fork restored from a
+        snapshot silently aliases such state with the golden run, so a
+        replayed tail is no longer the same simulation.  Referencing the
+        name inside a ``snapshot`` / ``restore`` / ``__getstate__`` /
+        ``__setstate__`` / ``__reduce__`` body discharges the
+        obligation; deliberately process-wide meters belong in the
+        committed baseline with a justification (see
+        :mod:`repro.sim.snapshot`'s module docstring for the contract).
+
 Suppression: every rule honours ``# noqa`` / ``# noqa: REPRO00x`` on
 the flagged line, same contract as :mod:`repro.check.lint`.  Findings
 carry a line-number-free :attr:`StaticFinding.fingerprint` so a
@@ -113,6 +130,16 @@ _ORDER_SINKS = frozenset({"emit", "call_at", "call_at_many", "schedule",
 _ORDERING_CALLS = frozenset({"sorted"})
 _TRANSPARENT_CALLS = frozenset({"list", "tuple", "enumerate", "reversed",
                                 "iter"})
+
+#: Constructors whose module/class-level result is shared mutable state
+#: (REPRO013); ``count`` covers ``itertools.count`` token mills.
+_MUTABLE_CTORS = frozenset({"dict", "list", "set", "defaultdict", "deque",
+                            "Counter", "OrderedDict", "count"})
+
+#: Function names whose bodies discharge REPRO013 coverage: state they
+#: reference is part of some capture/restore path by construction.
+_SNAPSHOT_FUNCS = frozenset({"snapshot", "restore", "__getstate__",
+                             "__setstate__", "__reduce__"})
 
 #: Module-level constant names that pin a report schema id.
 _SCHEMA_NAME_RE = re.compile(r"SCHEMA")
@@ -380,6 +407,17 @@ class _Extractor(ast.NodeVisitor):
         self._class_set_attrs: set[str] = set()
         self._local_sets: list[set[str]] = []
         self._func_params: list[list[str]] = []
+        # REPRO013 state: snapshot-registration evidence, candidate
+        # bindings, and the names discharged by capture/restore bodies.
+        self._class_stack: list[str] = []
+        self._snapshot_module = False
+        self._snapshot_classes: set[str] = set()
+        self._snapshot_class_attrs: dict[str, dict[str, ast.stmt]] = {}
+        self._class_attr_mutations: dict[tuple[str, str], ast.AST] = {}
+        self._snapshot_candidates: list[tuple[str, ast.AST, str]] = []
+        self._snapshot_covered: set[str] = set()
+        self._module_assigns: dict[str, ast.AST] = {}
+        self._global_rebinds: dict[str, ast.AST] = {}
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -412,11 +450,25 @@ class _Extractor(ast.NodeVisitor):
             name = None
             if isinstance(target, ast.Name):
                 name = target.id
+                self._note_snapshot_binding(name, node)
             elif isinstance(target, ast.Attribute):
                 name = target.attr
+                self._note_class_attr_write(target, node)
             if name is None:
                 continue
             elements = _string_elements(node.value)
+            if elements is None:
+                # Derived constants: ``_FOO_SET = frozenset(FOO)`` (and
+                # the set/tuple/list equivalents) inherit the elements
+                # of the constant they wrap — sanitizers hoist hot
+                # membership tuples into sets this way.
+                value = node.value
+                if (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id in ("frozenset", "set",
+                                              "tuple", "list")
+                        and len(value.args) == 1 and not value.keywords):
+                    elements = self._resolve_elements(value.args[0])
             if elements is not None:
                 self._constants[name] = elements
             if (_SCHEMA_NAME_RE.search(name)
@@ -428,10 +480,59 @@ class _Extractor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._note_snapshot_binding(node.target.id, node)
         if node.value is not None:
             self._note_set_binding(node.target, node.value)
         elif self._annotation_is_set(node.annotation):
             self._note_set_target(node.target)
+        self.generic_visit(node)
+
+    # -- snapshot coverage bookkeeping (REPRO013) --------------------------------
+
+    @staticmethod
+    def _value_is_mutable(value: ast.expr | None) -> bool:
+        """Does this binding alias shared mutable state at runtime?"""
+        if value is None:
+            return False
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                              ast.ListComp, ast.SetComp)):
+            return True
+        return (isinstance(value, ast.Call)
+                and _call_name(value.func) in _MUTABLE_CTORS)
+
+    def _note_snapshot_binding(self, name: str,
+                               node: ast.Assign | ast.AnnAssign) -> None:
+        """Record module-level bindings as REPRO013 candidates."""
+        if self._class_stack or self._func_params:
+            return
+        self._module_assigns.setdefault(name, node)
+        if self._value_is_mutable(node.value):
+            self._snapshot_candidates.append((
+                name, node,
+                f"module-level mutable state '{name}' in a "
+                "snapshot-registered module is outside every snapshot: "
+                "restored forks alias it with the golden run (capture it "
+                "in snapshot/restore, or baseline it as deliberately "
+                "process-wide)"))
+
+    def _note_class_attr_write(self, target: ast.Attribute,
+                               node: ast.AST) -> None:
+        """``Cls.attr = ...`` inside a function mutates class state."""
+        if (self._func_params and isinstance(target.value, ast.Name)
+                and target.value.id in self._snapshot_classes):
+            self._class_attr_mutations.setdefault(
+                (target.value.id, target.attr), node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Attribute):
+            self._note_class_attr_write(target, node)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self._global_rebinds.setdefault(name, node)
         self.generic_visit(node)
 
     # -- set bindings (REPRO008) -------------------------------------------------
@@ -491,13 +592,59 @@ class _Extractor(ast.NodeVisitor):
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         saved = self._class_set_attrs
         self._class_set_attrs = set()
+        if not self._class_stack and not self._func_params:
+            self._note_snapshot_class(node)
+        self._class_stack.append(node.name)
         self.generic_visit(node)
+        self._class_stack.pop()
         self._class_set_attrs = saved
+
+    def _note_snapshot_class(self, node: ast.ClassDef) -> None:
+        """Snapshot-registration evidence plus class-attr candidates."""
+        defined = {stmt.name for stmt in node.body
+                   if isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        is_snapshot = ({"snapshot", "restore"} <= defined
+                       or any((isinstance(base, ast.Name)
+                               and base.id == "SnapshotMixin")
+                              or (isinstance(base, ast.Attribute)
+                                  and base.attr == "SnapshotMixin")
+                              for base in node.bases))
+        if not is_snapshot:
+            return
+        self._snapshot_module = True
+        self._snapshot_classes.add(node.name)
+        attrs = self._snapshot_class_attrs.setdefault(node.name, {})
+        for stmt in node.body:
+            name = None
+            value = None
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                name, value = stmt.targets[0].id, stmt.value
+            elif (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                name, value = stmt.target.id, stmt.value
+            if name is None:
+                continue
+            attrs[name] = stmt
+            if self._value_is_mutable(value):
+                self._snapshot_candidates.append((
+                    name, stmt,
+                    f"class-level mutable state '{node.name}.{name}' on a "
+                    "snapshot class: pickled instances do not carry class "
+                    "attributes, so every restored fork aliases the live "
+                    "object"))
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         params = [a.arg for a in node.args.args]
         if params and params[0] in ("self", "cls"):
             params = params[1:]
+        if node.name in _SNAPSHOT_FUNCS:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name):
+                    self._snapshot_covered.add(sub.id)
+                elif isinstance(sub, ast.Attribute):
+                    self._snapshot_covered.add(sub.attr)
         self._func_params.append(params)
         self._local_sets.append(set())
         self._check_program_stamp_gap(node)
@@ -535,6 +682,12 @@ class _Extractor(ast.NodeVisitor):
             if exact is not None:
                 Registry._add(self.registry.trace_consumer_prefixes, exact,
                               self._ref(node))
+        elif (attr == "register"
+                and ("registry" in receiver.lower()
+                     or "snapshot" in receiver.lower())):
+            # SnapshotRegistry reducer registration counts as snapshot
+            # support even without a SnapshotMixin subclass.
+            self._snapshot_module = True
         elif (attr == "startswith" and isinstance(func, ast.Attribute)
                 and _is_category_expr(func.value)
                 and self.is_sanitizer_module and node.args):
@@ -815,6 +968,43 @@ class _Extractor(ast.NodeVisitor):
                        "iterates in a different order every run")
         self.generic_visit(node)
 
+    # -- REPRO013: state outside the snapshot graph ------------------------------
+
+    def finalize(self) -> None:
+        """Emit the snapshot-coverage findings once the module is read.
+
+        Runs after the whole tree is visited so class-attribute
+        mutations (``Engine.total_events_executed += 1``) and
+        ``global`` rebinds seen anywhere in the module can anchor their
+        finding at the binding's definition site.
+        """
+        for (cls, attr), _node in sorted(self._class_attr_mutations.items()):
+            site = self._snapshot_class_attrs.get(cls, {}).get(attr)
+            if site is not None:
+                self._snapshot_candidates.append((
+                    attr, site,
+                    f"class-level counter '{cls}.{attr}' is mutated in "
+                    "place but captured by no snapshot: restored forks "
+                    "keep writing the golden run's meter"))
+        for name, node in sorted(self._global_rebinds.items()):
+            self._snapshot_candidates.append((
+                name, self._module_assigns.get(name, node),
+                f"module state '{name}' is rebound via 'global' in a "
+                "snapshot-registered module but captured by no "
+                "snapshot/restore: forks and the golden run race on one "
+                "binding"))
+        if not self._snapshot_module:
+            return
+        seen: set[tuple[str, int]] = set()
+        for name, node, message in self._snapshot_candidates:
+            if name in self._snapshot_covered:
+                continue
+            key = (name, getattr(node, "lineno", 0))
+            if key in seen:
+                continue
+            seen.add(key)
+            self._flag(node, "REPRO013", message)
+
     # -- REPRO010: unpinned report serialisation ---------------------------------
 
     def _check_json_dump(self, node: ast.Call) -> None:
@@ -953,6 +1143,7 @@ def analyze_tree(root: str | Path) -> StaticReport:
         extractor = _Extractor(facts, registry, is_sanitizer,
                                in_determinism_scope)
         extractor.visit(facts.tree)
+        extractor.finalize()
         modules.append(facts)
 
     _resolve_wrapper_calls(modules, registry)

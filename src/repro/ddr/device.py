@@ -18,6 +18,7 @@ from repro.ddr.bank import Bank, BankState
 from repro.ddr.commands import Command, CommandKind
 from repro.ddr.spec import DDR4Spec
 from repro.errors import ProtocolError
+from repro.sim.snapshot import SnapshotMixin
 
 
 @dataclass
@@ -29,7 +30,7 @@ class AddressParts:
     column_byte: int
 
 
-class DRAMDevice:
+class DRAMDevice(SnapshotMixin):
     """One rank of DDR4 DRAM behind the shared bus.
 
     Address mapping is row-interleaved across banks (consecutive rows of

@@ -23,13 +23,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 
 from repro.ddr.bus import SharedBus
 from repro.ddr.controller import DDR4Controller
 from repro.ddr.spec import DDR4Spec
 from repro.errors import ConfigError
 from repro.sim.engine import Engine
-from repro.sim.process import Process, Timeout, spawn
+from repro.sim.snapshot import SnapshotMixin
 from repro.sim.trace import Tracer, default_tracer, next_owner
 
 
@@ -174,7 +175,7 @@ class WritePendingQueue:
         return len(self.entries)
 
 
-class IntegratedMemoryController:
+class IntegratedMemoryController(SnapshotMixin):
     """Host-side master on the shared bus.
 
     ``start_refresh_process`` spawns the periodic PREA+REF loop on a DES
@@ -196,7 +197,7 @@ class IntegratedMemoryController:
         self.timeline = RefreshTimeline(spec)
         self.wpq = WritePendingQueue()
         self.refreshes_issued = 0
-        self._refresh_process: Process | None = None
+        self._refresh_process: _RefreshScheduler | None = None
 
     # -- BIOS / kernel-programmable registers (§II-B) ------------------------------
 
@@ -223,37 +224,13 @@ class IntegratedMemoryController:
     #: heap order — and therefore the simulation — is unchanged.
     REFRESH_BATCH = 64
 
-    def start_refresh_process(self) -> Process:
-        """Spawn the periodic refresh loop on the engine."""
+    def start_refresh_process(self) -> "_RefreshScheduler":
+        """Start the periodic refresh loop on the engine."""
         if self._refresh_process is not None:
             return self._refresh_process
-        self._refresh_process = spawn(
-            self.engine, self._refresh_loop(), name=f"{self.name}.refresh")
+        self._refresh_process = _RefreshScheduler(self)
+        self.engine.call_after(0, self._refresh_process)
         return self._refresh_process
-
-    def _refresh_loop(self):
-        """Arm refreshes a batch at a time via ``Engine.call_at_many``.
-
-        Each iteration schedules the next ``REFRESH_BATCH`` PREA+REF
-        slots directly as engine callbacks, then sleeps until the last
-        one has fired before arming the next batch.  ``issue_refresh``
-        derives all command times from the timeline (not from the
-        callback's wakeup time), so a late start simply issues the
-        overdue refresh immediately — the same behaviour the one-wakeup-
-        per-tREFI loop had.
-        """
-        index = 0
-        while True:
-            now = self.engine.now
-            items = []
-            for i in range(index, index + self.REFRESH_BATCH):
-                prea_ps = self.timeline.refresh_time(i) - self.spec.trp_ps
-                items.append((max(prea_ps, now),
-                              lambda i=i: self.issue_refresh(i)))
-            self.engine.call_at_many(items)
-            index += self.REFRESH_BATCH
-            last_ps = items[-1][0]
-            yield Timeout(max(0, last_ps - now))
 
     def issue_refresh(self, index: int) -> None:
         """PREA then REF at the timeline's scheduled instant (Fig. 2b)."""
@@ -310,3 +287,42 @@ class IntegratedMemoryController:
         if not self.engine.running:
             self.engine.run(until=t)
         return t
+
+
+class _RefreshScheduler:
+    """Self-rescheduling batch armer behind ``start_refresh_process``.
+
+    Replaces the generator process the loop used to run on: a suspended
+    generator frame cannot be pickled, and the refresh loop must ride
+    along when :mod:`repro.sim.snapshot` captures a protocol stack
+    mid-run.  The whole loop state is one integer (the next refresh
+    index), so the object round-trips through a snapshot and resumes
+    arming exactly where the golden run left off.
+
+    Event ordering is identical to the process version: each wakeup
+    pushes the next ``REFRESH_BATCH`` PREA+REF slots via
+    ``Engine.call_at_many`` and then schedules its own next wakeup, so
+    at equal timestamps the REF callbacks (queued first) still dispatch
+    before the re-arm.  ``issue_refresh`` derives all command times
+    from the timeline, so a late wakeup simply issues the overdue
+    refresh immediately.
+    """
+
+    __slots__ = ("imc", "index")
+
+    def __init__(self, imc: IntegratedMemoryController) -> None:
+        self.imc = imc
+        self.index = 0
+
+    def __call__(self) -> None:
+        imc = self.imc
+        engine = imc.engine
+        now = engine.now
+        trp_ps = imc.spec.trp_ps
+        items = []
+        for i in range(self.index, self.index + imc.REFRESH_BATCH):
+            prea_ps = imc.timeline.refresh_time(i) - trp_ps
+            items.append((max(prea_ps, now), partial(imc.issue_refresh, i)))
+        engine.call_at_many(items)
+        self.index += imc.REFRESH_BATCH
+        engine.call_after(max(0, items[-1][0] - now), self)

@@ -28,6 +28,7 @@ from repro.health.monitor import HealthMonitor, HealthPolicy
 from repro.health.scrub import PatrolScrubber, ScrubConfig
 from repro.kernel.memmap import ReservedRegion
 from repro.kernel.nvdc import NvdcDriver
+from repro.sim.snapshot import SnapshotMixin
 from repro.kernel.pmem import PmemDriver
 from repro.nand.controller import NANDController
 from repro.nand.spec import ZNANDSpec
@@ -41,7 +42,7 @@ from repro.units import PAGE_4K, gb, kb, mb
 
 
 @dataclass
-class DaxSystem:
+class DaxSystem(SnapshotMixin):
     """The surface workload runners see.
 
     Concrete systems populate ``timeline``/``cost_model``/``channel``

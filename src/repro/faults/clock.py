@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import FaultInjectionError, PowerLossInterrupt
+from repro.sim.snapshot import SnapshotMixin
 
 
 @dataclass
@@ -57,8 +58,13 @@ class _Cut:
 
 
 @dataclass
-class FaultClock:
-    """Armed cut points consulted by the model layers' hook sites."""
+class FaultClock(SnapshotMixin):
+    """Armed cut points consulted by the model layers' hook sites.
+
+    The clock is part of every whole-system snapshot: ``events_seen``
+    must travel with the fork so that event-indexed cuts armed after a
+    restore fire at the same absolute indices a from-zero run sees.
+    """
 
     _cuts: list[_Cut] = field(default_factory=list)
     #: Every (site, time_ps) visit, for post-mortem debugging of a

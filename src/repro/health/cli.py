@@ -30,7 +30,7 @@ def cmd_soak(args: argparse.Namespace) -> int:
     print(f"repro soak: {mode} run, seed {args.seed}")
     result = run_soak(seed=args.seed, quick=args.quick,
                       capacity=args.capacity, p99_bound=args.p99_bound,
-                      progress=progress)
+                      progress=progress, snapshot=not args.no_snapshot)
     timestamp = time.strftime("%Y%m%d-%H%M%S")
     payload = render_report(result, timestamp=timestamp)
     problems = validate_report(json.loads(payload))
@@ -95,6 +95,10 @@ def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
     parser.add_argument("--p99-bound", type=float,
                         default=DEFAULT_P99_BOUND,
                         help="max faulted/clean p99 latency ratio")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="run the fault-free twin from zero instead of "
+                             "forking it from the shared prefix snapshot "
+                             "(reports are byte-identical either way)")
     parser.set_defaults(fn=cmd_soak)
     return parser
 

@@ -39,6 +39,7 @@ import enum
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.sim.snapshot import SnapshotMixin
 from repro.sim.trace import Tracer, default_tracer, next_owner
 from repro.units import ms
 
@@ -121,7 +122,7 @@ class HealthCounters:
         return self.counts.get(kind, 0)
 
 
-class HealthMonitor:
+class HealthMonitor(SnapshotMixin):
     """Shared, traced health state for one NVDIMM-C module.
 
     One instance spans the whole stack: the nvdc driver, the NVMC, the

@@ -47,6 +47,7 @@ from repro.errors import FailStopError, MediaError
 from repro.health.monitor import HealthPolicy
 from repro.health.report import SCHEMA
 from repro.nvmc.nvmc import CPFaultPort
+from repro.sim.snapshot import SimSnapshot
 from repro.sim.trace import Tracer, use_tracer
 from repro.units import PAGE_4K, kb, mb, us
 
@@ -304,9 +305,19 @@ def _run_twin(seed: int, footprint: int, steps: int,
 def run_soak(seed: int = 0, quick: bool = False,
              capacity: int = 400_000,
              p99_bound: float = DEFAULT_P99_BOUND,
-             progress: Callable[[SoakRound], None] | None = None
-             ) -> SoakResult:
-    """Execute the five-round soak under a sanitized tracer."""
+             progress: Callable[[SoakRound], None] | None = None,
+             snapshot: bool = True) -> SoakResult:
+    """Execute the five-round soak under a sanitized tracer.
+
+    ``snapshot=True`` (the default) runs the shared prefix — system
+    bring-up plus the sequential fill, which consumes no round RNG —
+    exactly once, captures a :class:`~repro.sim.snapshot.SimSnapshot`,
+    and *forks* the fault-free latency twin from the capture instead of
+    re-executing the prefix on a second system.  ``snapshot=False``
+    keeps the legacy run-the-twin-from-zero path; both render
+    byte-identical reports (the twin's prefix is deterministic, so
+    forking it and re-running it are the same simulation).
+    """
     soak_seed = zlib.crc32(f"{seed}:soak".encode("ascii"))
     footprint = FOOTPRINT_PAGES_QUICK if quick else FOOTPRINT_PAGES
     steps = footprint
@@ -314,28 +325,102 @@ def run_soak(seed: int = 0, quick: bool = False,
     result = SoakResult(seed=seed, quick=quick, p99_bound=p99_bound)
     tracer = Tracer(enabled=True, capacity=capacity)
     suite = default_suite(strict=False)
+    if not snapshot:
+        with use_tracer(tracer):
+            with suite.attach(tracer):
+                twin_latencies = _run_twin(soak_seed, footprint, steps,
+                                           tracer)
+                _run_rounds(result, soak_seed, footprint, steps,
+                            scrub_windows, tracer, progress)
+        result.violations = len(suite.violations)
+        result.clean_p50_ps = _percentile(twin_latencies, 0.50)
+        result.clean_p99_ps = _percentile(twin_latencies, 0.99)
+        return result
+
     with use_tracer(tracer):
         with suite.attach(tracer):
-            twin_latencies = _run_twin(soak_seed, footprint, steps, tracer)
-            _run_rounds(result, soak_seed, footprint, steps, scrub_windows,
-                        tracer, progress)
-    result.violations = len(suite.violations)
+            system, leg, rnd, t = _soak_prefix(soak_seed, footprint, tracer)
+            snap = _capture_prefix(system, tracer, suite, leg, t)
+            _run_rounds_from(result, system, leg, rnd, t, soak_seed,
+                             footprint, steps, scrub_windows, progress)
+    twin_latencies = _fork_twin(snap, soak_seed, steps)
+    # The legacy path runs the prefix twice (once per system) under one
+    # suite; here the main run and the twin fork each observed it once,
+    # so the two suites together see the same record population.
+    result.violations = len(suite.violations) + result.violations
     result.clean_p50_ps = _percentile(twin_latencies, 0.50)
     result.clean_p99_ps = _percentile(twin_latencies, 0.99)
     return result
 
 
+def _soak_prefix(seed: int, footprint: int, tracer: Tracer,
+                 ) -> tuple[NVDIMMCSystem, "_Leg", SoakRound, int]:
+    """Bring-up plus the sequential fill: the RNG-free shared prefix."""
+    system = _build_system(seed, tracer)
+    shadow: dict[int, bytes] = {}
+    leg = _Leg(system.driver, shadow, footprint)
+    rnd = SoakRound(name="baseline",
+                    health_before=system.health.state.label)
+    t = round(us(1))
+    t = leg.seq_write(t, 0, rnd, sample=True)
+    return system, leg, rnd, t
+
+
+def _capture_prefix(system: NVDIMMCSystem, tracer: Tracer, suite,
+                    leg: "_Leg", t: int) -> SimSnapshot:
+    """Snapshot the post-prefix graph (see ``explorer._capture``)."""
+    nvmc = system.nvmc
+    saved = (tracer.records, nvmc.operations, nvmc.fsm.history)
+    tracer.records = []
+    nvmc.operations = []
+    nvmc.fsm.history = []
+    try:
+        return SimSnapshot.capture(
+            {"system": system, "tracer": tracer, "suite": suite,
+             "leg": leg, "t": t},
+            label="soak-prefix")
+    finally:
+        tracer.records, nvmc.operations, nvmc.fsm.history = saved
+
+
+def _fork_twin(snap: SimSnapshot, seed: int, steps: int) -> list[int]:
+    """The fault-free twin, forked from the shared prefix.
+
+    Mirrors :func:`_run_twin` past the fill: a fresh ``Random(seed)``
+    (the prefix consumed none of it) drives the two mixed legs; the
+    restored leg already carries the prefix latency samples.  The fork's
+    suite runs its finalizers so end-of-run invariants are checked for
+    the twin exactly as the legacy single-suite path did.
+    """
+    state = snap.restore()
+    rng = random.Random(seed)
+    leg = state["leg"]
+    scratch = SoakRound(name="twin")
+    t = state["t"]
+    with use_tracer(state["tracer"]):
+        t = leg.rand_rw(t, rng, steps, 1_000, scratch, sample=True)
+        t = leg.rand_rw(t, rng, steps, 2_000, scratch, sample=True)
+        state["suite"].detach()
+    return leg.latencies
+
+
 def _run_rounds(result: SoakResult, seed: int, footprint: int, steps: int,
                 scrub_windows: int, tracer: Tracer,
                 progress: Callable[[SoakRound], None] | None) -> None:
+    system, leg, rnd, t = _soak_prefix(seed, footprint, tracer)
+    _run_rounds_from(result, system, leg, rnd, t, seed, footprint, steps,
+                     scrub_windows, progress)
+
+
+def _run_rounds_from(result: SoakResult, system: NVDIMMCSystem,
+                     leg: "_Leg", rnd: SoakRound, t: int, seed: int,
+                     footprint: int, steps: int, scrub_windows: int,
+                     progress: Callable[[SoakRound], None] | None) -> None:
     rng = random.Random(seed)
-    system = _build_system(seed, tracer)
     monitor = system.health
     port = system.nvmc.faults
-    shadow: dict[int, bytes] = {}
-    leg = _Leg(system.driver, shadow, footprint)
+    shadow = leg.shadow
     trefi = system.spec.trefi_ps
-    t = round(us(1))
 
     def close(rnd: SoakRound) -> None:
         rnd.health_after = monitor.state.label
@@ -343,9 +428,8 @@ def _run_rounds(result: SoakResult, seed: int, footprint: int, steps: int,
         if progress is not None:
             progress(rnd)
 
-    # Round 1 — baseline: committed data, patrol scrub, state stays ok.
-    rnd = SoakRound(name="baseline", health_before=monitor.state.label)
-    t = leg.seq_write(t, 0, rnd, sample=True)
+    # Round 1 — baseline (its fill already ran as the shared prefix):
+    # committed data, patrol scrub, state stays ok.
     idle_from = max(t, system.nvmc.ready_ps)
     system.scrubber.patrol(idle_from, idle_from + scrub_windows * trefi)
     t = max(idle_from + scrub_windows * trefi, system.nvmc.ready_ps)

@@ -34,6 +34,50 @@ class DevDaxMapping:
         return self.vaddr + offset
 
 
+class DevDaxFaultHandler:
+    """Per-mapping devdax fault callback.
+
+    A class rather than a closure so live mappings survive simulation
+    snapshots (closures capture frames, which cannot be serialized).
+    """
+
+    def __init__(self, device: "DevDaxDevice", mmu: MMU,
+                 vaddr: int) -> None:
+        self.device = device
+        self.mmu = mmu
+        self.vaddr = vaddr
+
+    def __call__(self, fault_vaddr: int) -> bool:
+        device = self.device
+        device.fault_count += 1
+        offset = fault_vaddr - self.vaddr
+        page = offset // PAGE_4K
+        slot = device.driver.page_to_slot.get(page)
+        if slot is None:
+            slot, end_ps = device.driver.fault(page, device.now_ps,
+                                               for_write=True)
+            device.now_ps = max(device.now_ps, end_ps)
+        paddr = device.driver.region.slot_paddr(slot)
+        self.mmu.map_page((self.vaddr + page * PAGE_4K) // PAGE_4K,
+                          paddr // PAGE_4K)
+        return True
+
+
+class DevDaxEvictUnmapper:
+    """Snapshot-safe eviction callback: drops the PTE so the next
+    access re-faults."""
+
+    def __init__(self, mmu: MMU, vaddr: int, length: int) -> None:
+        self.mmu = mmu
+        self.vaddr = vaddr
+        self.length = length
+
+    def __call__(self, device_page: int) -> None:
+        if device_page * PAGE_4K < self.length:
+            self.mmu.unmap_page(
+                (self.vaddr + device_page * PAGE_4K) // PAGE_4K)
+
+
 class DevDaxDevice:
     """Character-device front end over the nvdc driver."""
 
@@ -64,27 +108,9 @@ class DevDaxDevice:
                 f"devdax mapping length {length} invalid for "
                 f"{self.size_bytes}-byte device")
         mapping = DevDaxMapping(vaddr=vaddr, length=length)
-
-        def dax_fault(fault_vaddr: int) -> bool:
-            self.fault_count += 1
-            offset = fault_vaddr - vaddr
-            page = offset // PAGE_4K
-            slot = self.driver.page_to_slot.get(page)
-            if slot is None:
-                slot, end_ps = self.driver.fault(page, self.now_ps,
-                                                 for_write=True)
-                self.now_ps = max(self.now_ps, end_ps)
-            paddr = self.driver.region.slot_paddr(slot)
-            mmu.map_page((vaddr + page * PAGE_4K) // PAGE_4K,
-                         paddr // PAGE_4K)
-            return True
-
-        def on_evict(device_page: int) -> None:
-            if device_page * PAGE_4K < length:
-                mmu.unmap_page((vaddr + device_page * PAGE_4K) // PAGE_4K)
-
-        mmu.register_fault_handler(vaddr, length, dax_fault)
-        self.driver.on_evict.append(on_evict)
+        mmu.register_fault_handler(
+            vaddr, length, DevDaxFaultHandler(self, mmu, vaddr))
+        self.driver.on_evict.append(DevDaxEvictUnmapper(mmu, vaddr, length))
         return mapping
 
     def persist(self, core, vaddr: int, nbytes: int) -> None:

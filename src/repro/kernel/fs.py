@@ -52,6 +52,54 @@ class Mapping:
         return self.vaddr + offset
 
 
+class DaxFaultHandler:
+    """The per-mapping DAX fault callback (Fig. 6 step 3-5).
+
+    A class rather than a closure so established mappings survive
+    simulation snapshots: instances hold only references into the
+    snapshotted graph (filesystem, file handle, MMU) and re-bind
+    naturally on restore.
+    """
+
+    def __init__(self, fs: "DaxFilesystem", handle: DaxFile,
+                 mmu: MMU, vaddr: int) -> None:
+        self.fs = fs
+        self.handle = handle
+        self.mmu = mmu
+        self.vaddr = vaddr
+
+    def __call__(self, fault_vaddr: int) -> bool:
+        fs = self.fs
+        fs.fault_count += 1
+        delta = fault_vaddr - self.vaddr
+        offset = delta - delta % PAGE_4K
+        page = self.handle.device_page(offset)
+        dax = fs.device.device_access(
+            page * SECTORS_PER_PAGE, fs.now_ps, for_write=True)
+        fs.now_ps = max(fs.now_ps, dax.end_ps)
+        self.mmu.map_page((self.vaddr + offset) // PAGE_4K, dax.pfn)
+        return True
+
+
+class DaxEvictUnmapper:
+    """Tears down the PTE of an evicted page so the next access
+    re-faults (the driver keeps PTE pointers for this, §IV-B).
+    Snapshot-safe for the same reason as :class:`DaxFaultHandler`.
+    """
+
+    def __init__(self, handle: DaxFile, mmu: MMU, vaddr: int) -> None:
+        self.handle = handle
+        self.mmu = mmu
+        self.vaddr = vaddr
+
+    def __call__(self, device_page: int) -> None:
+        handle = self.handle
+        if handle.start_page <= device_page < (handle.start_page
+                                               + handle.num_pages):
+            offset = (device_page - handle.start_page) * PAGE_4K
+            self.mmu.unmap_page((self.vaddr + offset) // PAGE_4K)
+
+
 class DaxFilesystem:
     """Mounted-with ``-o dax`` filesystem over one block device."""
 
@@ -88,28 +136,11 @@ class DaxFilesystem:
         if vaddr % PAGE_4K:
             raise KernelError("mmap address must be page-aligned")
         mapping = Mapping(file=handle, vaddr=vaddr)
-
-        def dax_fault(fault_vaddr: int) -> bool:
-            self.fault_count += 1
-            offset = (fault_vaddr - vaddr) - (fault_vaddr - vaddr) % PAGE_4K
-            page = handle.device_page(offset)
-            dax = self.device.device_access(
-                page * SECTORS_PER_PAGE, self.now_ps, for_write=True)
-            self.now_ps = max(self.now_ps, dax.end_ps)
-            mmu.map_page((vaddr + offset) // PAGE_4K, dax.pfn)
-            return True
-
-        def on_evict(device_page: int) -> None:
-            # Tear down the PTE of an evicted page so the next access
-            # re-faults (the driver keeps PTE pointers for this, §IV-B).
-            if handle.start_page <= device_page < (handle.start_page
-                                                   + handle.num_pages):
-                offset = (device_page - handle.start_page) * PAGE_4K
-                mmu.unmap_page((vaddr + offset) // PAGE_4K)
-
-        mmu.register_fault_handler(vaddr, handle.size_bytes, dax_fault)
+        mmu.register_fault_handler(
+            vaddr, handle.size_bytes,
+            DaxFaultHandler(self, handle, mmu, vaddr))
         if hasattr(self.device, "on_evict"):
-            self.device.on_evict.append(on_evict)
+            self.device.on_evict.append(DaxEvictUnmapper(handle, mmu, vaddr))
         return mapping
 
     # -- buffered (non-DAX) I/O, used by the file-copy workload -------------------------------

@@ -39,6 +39,7 @@ from repro.kernel.blockdev import (BlockDevice, DaxMapping, sector_to_page)
 from repro.kernel.eviction import EvictionPolicy, make_policy
 from repro.kernel.memmap import ReservedRegion
 from repro.nvmc.cp import CPAck, CPCommand, Opcode
+from repro.sim.snapshot import SnapshotMixin
 from repro.nvmc.nvmc import NVMCModel, OperationResult
 from repro.perf.calibration import CalibrationConstants, DEFAULT_CALIBRATION
 from repro.units import PAGE_4K
@@ -77,7 +78,7 @@ class NvdcStats:
         return self.hits / total if total else 0.0
 
 
-class NvdcDriver(BlockDevice):
+class NvdcDriver(BlockDevice, SnapshotMixin):
     """Driver for /dev/nvdc0."""
 
     def __init__(self, region: ReservedRegion, nvmc: NVMCModel,

@@ -22,6 +22,7 @@ from repro.nand.device import NANDDie
 from repro.nand.ecc import ECCCodec
 from repro.nand.ftl import FlashTranslationLayer, FTLRecoveryStats, PhysOp
 from repro.nand.spec import ZNANDSpec
+from repro.sim.snapshot import SnapshotMixin
 
 
 @dataclass
@@ -39,7 +40,7 @@ class NANDControllerStats:
     unrecovered_reads: int = 0
 
 
-class NANDController:
+class NANDController(SnapshotMixin):
     """Two-channel (configurable) Z-NAND controller with FTL and ECC."""
 
     def __init__(self, spec: ZNANDSpec, logical_capacity_bytes: int,

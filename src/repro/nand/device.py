@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.errors import MediaError
 from repro.nand.spec import ZNANDSpec
+from repro.sim.snapshot import SnapshotMixin
 
 
 class PageState(enum.Enum):
@@ -40,7 +41,7 @@ class PageState(enum.Enum):
     PROGRAMMED = "programmed"
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockInfo:
     """Per-block wear and health bookkeeping."""
 
@@ -48,8 +49,12 @@ class BlockInfo:
     bad: bool = False
     next_page: int = 0    # program-in-order cursor
 
+    def __reduce__(self):
+        # One entry per touched block, snapshot-hot (see OOB.__reduce__).
+        return (BlockInfo, (self.erase_count, self.bad, self.next_page))
 
-class NANDDie:
+
+class NANDDie(SnapshotMixin):
     """One die: ``planes_per_die`` planes of ``blocks_per_plane`` blocks."""
 
     def __init__(self, spec: ZNANDSpec, die_index: int = 0,
@@ -57,6 +62,15 @@ class NANDDie:
         spec.validate()
         self.spec = spec
         self.die_index = die_index
+        # Geometry bounds and the erased-page pattern, denormalized from
+        # the spec: the bounds checks run on every media operation and
+        # the spec derives these through arithmetic properties.  The
+        # erased singleton also means every erased read aliases one
+        # immutable object instead of allocating a fresh page.
+        self._planes = spec.planes_per_die
+        self._blocks_per_plane = spec.blocks_per_plane
+        self._pages_per_block = spec.pages_per_block
+        self._erased_page = b"\xff" * spec.page_bytes
         self.blocks: dict[tuple[int, int], BlockInfo] = {}
         self._data: dict[tuple[int, int, int], bytes] = {}
         self._oob: dict[tuple[int, int, int], object] = {}
@@ -115,7 +129,7 @@ class NANDDie:
         self.reads += 1
         data = self._data.get((plane, block, page))
         if data is None:
-            return b"\xff" * self.spec.page_bytes
+            return self._erased_page
         return data
 
     def read_oob(self, plane: int, block: int, page: int) -> object | None:
@@ -220,14 +234,14 @@ class NANDDie:
     # -- bounds -------------------------------------------------------------------
 
     def _check_block(self, plane: int, block: int) -> None:
-        if not (0 <= plane < self.spec.planes_per_die
-                and 0 <= block < self.spec.blocks_per_plane):
+        if not (0 <= plane < self._planes
+                and 0 <= block < self._blocks_per_plane):
             raise MediaError(
                 f"die {self.die_index}: block address out of range "
                 f"({plane},{block})")
 
     def _check_page(self, plane: int, block: int, page: int) -> None:
         self._check_block(plane, block)
-        if not 0 <= page < self.spec.pages_per_block:
+        if not 0 <= page < self._pages_per_block:
             raise MediaError(
                 f"die {self.die_index}: page {page} out of range")

@@ -39,6 +39,7 @@ from repro.errors import (DegradedModeError, FTLError, MediaError,
 from repro.health.retry import budget_for
 from repro.nand.device import NANDDie
 from repro.nand.spec import ZNANDSpec
+from repro.sim.snapshot import SnapshotMixin
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,7 @@ class PhysOp:
     die: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OOB:
     """Out-of-band (spare-area) stamp programmed alongside every page.
 
@@ -74,6 +75,12 @@ class OOB:
     seq: int
     crc: int                  # zlib.crc32 of the full page payload
     kind: str = "data"        # "data" | "trim"
+
+    def __reduce__(self):
+        # Thousands of stamps live in a mid-run snapshot; rebuilding
+        # through the constructor beats the generic slots-dataclass
+        # state protocol (which walks dataclasses.fields per object).
+        return (OOB, (self.lpn, self.seq, self.crc, self.kind))
 
 
 @dataclass
@@ -148,7 +155,7 @@ class FTLRecoveryStats:
         }
 
 
-class FlashTranslationLayer:
+class FlashTranslationLayer(SnapshotMixin):
     """Page-mapped FTL over a set of dies."""
 
     #: GC starts when fewer free blocks than this remain (per pool).

@@ -36,6 +36,7 @@ from repro.nand.controller import NANDController
 from repro.nvmc.cp import CPAck, CPArea, CPCommand, Opcode, Phase
 from repro.nvmc.dma import DMAEngine
 from repro.nvmc.fsm import FirmwareModel, FSMTracker, NVMCState
+from repro.sim.snapshot import SnapshotMixin
 from repro.sim.trace import Tracer, default_tracer, next_owner
 from repro.units import CACHELINE, PAGE_4K
 
@@ -151,7 +152,7 @@ class CPFaultPort:
                     or self._dma_shortfalls)
 
 
-class NVMCModel:
+class NVMCModel(SnapshotMixin):
     """The device-side controller, at transaction granularity."""
 
     #: :attr:`OperationResult.status` when the device never published an

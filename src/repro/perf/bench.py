@@ -27,7 +27,9 @@ import time
 from dataclasses import asdict, dataclass
 
 #: BENCH file schema version (bump when the payload shape changes).
-SCHEMA_VERSION = 1
+#: v2: adds the ``scenarios`` section (harness sweeps measured in
+#: cuts/s rather than events/s).
+SCHEMA_VERSION = 2
 
 #: The ``--quick`` subset: one detector-heavy run (validation), one
 #: transaction-model run (fig8) and one command-accurate run
@@ -46,6 +48,46 @@ class BenchEntry:
     peak_trace_records: int
 
 
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """Timing of one harness scenario (a sweep, not an experiment).
+
+    ``cuts`` counts the scenario's unit of work — explored cut points
+    for the crash sweep, completed rounds for the soak — so ``cuts_per_s``
+    is the throughput number the snapshot/fork work is gated on.
+    """
+
+    scenario_id: str
+    wall_s: float
+    cuts: int
+    cuts_per_s: float
+    events_executed: int
+
+
+def _scenario_crash_quick() -> int:
+    from repro.recovery.explorer import explore
+    result = explore(seed=0, quick=True)
+    if not result.ok:
+        raise RuntimeError("crash-quick scenario: sweep not clean")
+    return len(result.outcomes)
+
+
+def _scenario_soak_quick() -> int:
+    from repro.health.soak import run_soak
+    result = run_soak(seed=0, quick=True)
+    if not result.ok:
+        raise RuntimeError("soak-quick scenario: run not clean")
+    return len(result.rounds)
+
+
+#: Harness scenarios timed alongside the experiments.  Each callable
+#: runs the scenario and returns its unit-of-work count.
+SCENARIOS = {
+    "crash-quick": _scenario_crash_quick,
+    "soak-quick": _scenario_soak_quick,
+}
+
+
 def run_bench(only: list[str] | None = None,
               verbose: bool = True) -> dict:
     """Time experiments and return the BENCH payload (a JSON-able dict).
@@ -58,13 +100,16 @@ def run_bench(only: list[str] | None = None,
     from repro.sim.trace import TraceMeter
 
     if only is not None:
-        unknown = sorted(set(only) - set(ALL_EXPERIMENTS))
+        unknown = sorted(set(only) - set(ALL_EXPERIMENTS)
+                         - set(SCENARIOS))
         if unknown:
             raise ValueError(
                 f"unknown experiment ids: {unknown}; "
-                f"valid ids: {sorted(ALL_EXPERIMENTS)}")
+                f"valid ids: {sorted(ALL_EXPERIMENTS) + sorted(SCENARIOS)}")
     ids = [exp_id for exp_id in ALL_EXPERIMENTS
            if only is None or exp_id in only]
+    scenario_ids = [sc_id for sc_id in SCENARIOS
+                    if only is None or sc_id in only]
 
     entries: list[BenchEntry] = []
     total_started = time.perf_counter()
@@ -87,6 +132,25 @@ def run_bench(only: list[str] | None = None,
             print(f"  {exp_id:16s} {entry.wall_s:8.3f}s "
                   f"{entry.events_executed:>10d} ev "
                   f"{entry.events_per_s:>12.0f} ev/s")
+
+    scenarios: list[ScenarioEntry] = []
+    for sc_id in scenario_ids:
+        events_before = Engine.total_events_executed
+        started = time.perf_counter()
+        cuts = SCENARIOS[sc_id]()
+        wall_s = time.perf_counter() - started
+        scenario = ScenarioEntry(
+            scenario_id=sc_id,
+            wall_s=round(wall_s, 4),
+            cuts=cuts,
+            cuts_per_s=round(cuts / wall_s, 2) if wall_s > 0 else 0.0,
+            events_executed=Engine.total_events_executed - events_before,
+        )
+        scenarios.append(scenario)
+        if verbose:
+            print(f"  {sc_id:16s} {scenario.wall_s:8.3f}s "
+                  f"{scenario.cuts:>10d} cuts "
+                  f"{scenario.cuts_per_s:>12.1f} cuts/s")
     total_wall = time.perf_counter() - total_started
 
     return {
@@ -99,6 +163,7 @@ def run_bench(only: list[str] | None = None,
         },
         "total_wall_s": round(total_wall, 4),
         "experiments": [asdict(entry) for entry in entries],
+        "scenarios": [asdict(scenario) for scenario in scenarios],
     }
 
 
@@ -139,13 +204,19 @@ def latest_bench(out_dir: str = ".",
     return paths[-1] if paths else None
 
 
+def _timed_rows(payload: dict) -> list[tuple[str, dict]]:
+    """Uniform (id, entry) rows over experiments plus scenarios."""
+    rows = [(e["experiment_id"], e) for e in payload["experiments"]]
+    rows += [(s["scenario_id"], s) for s in payload.get("scenarios", [])]
+    return rows
+
+
 def compare_table(baseline: dict, current: dict) -> list[str]:
     """Human-readable per-experiment comparison lines (current/baseline)."""
-    base_index = {e["experiment_id"]: e for e in baseline["experiments"]}
+    base_index = dict(_timed_rows(baseline))
     lines = [f"{'experiment':16s} {'wall_s':>8s} {'baseline':>9s} "
              f"{'ratio':>6s} {'events':>11s}"]
-    for entry in current["experiments"]:
-        exp_id = entry["experiment_id"]
+    for exp_id, entry in _timed_rows(current):
         base = base_index.get(exp_id)
         if base is None or base["wall_s"] <= 0:
             ratio = "new"
@@ -160,21 +231,22 @@ def compare_table(baseline: dict, current: dict) -> list[str]:
 
 def find_regressions(baseline: dict, current: dict,
                      max_ratio: float) -> list[str]:
-    """Experiments whose wall-clock regressed beyond ``max_ratio``.
+    """Experiments/scenarios whose wall-clock regressed beyond
+    ``max_ratio``.
 
     Only ids present in both payloads are compared; returns one line per
     offender (empty list = gate passes).
     """
-    base_index = {e["experiment_id"]: e for e in baseline["experiments"]}
+    base_index = dict(_timed_rows(baseline))
     failures = []
-    for entry in current["experiments"]:
-        base = base_index.get(entry["experiment_id"])
+    for exp_id, entry in _timed_rows(current):
+        base = base_index.get(exp_id)
         if base is None or base["wall_s"] <= 0:
             continue
         ratio = entry["wall_s"] / base["wall_s"]
         if ratio > max_ratio:
             failures.append(
-                f"{entry['experiment_id']}: {entry['wall_s']:.3f}s vs "
+                f"{exp_id}: {entry['wall_s']:.3f}s vs "
                 f"baseline {base['wall_s']:.3f}s "
                 f"({ratio:.2f}x > {max_ratio:.2f}x)")
     return failures
@@ -184,8 +256,9 @@ def main(args) -> int:
     """Entry point for ``repro bench`` (argparse namespace from the CLI)."""
     only: list[str] | None = list(args.ids) if args.ids else None
     if args.quick:
-        only = list(QUICK_SUBSET) + [i for i in (only or [])
-                                     if i not in QUICK_SUBSET]
+        quick_ids = list(QUICK_SUBSET) + list(SCENARIOS)
+        only = quick_ids + [i for i in (only or [])
+                            if i not in quick_ids]
     try:
         payload = run_bench(only=only)
     except ValueError as exc:

@@ -29,7 +29,8 @@ def cmd_crash(args: argparse.Namespace) -> int:
     mode = "quick" if args.quick else "full"
     print(f"repro crash: {mode} sweep, seed {args.seed}")
     result = explore(seed=args.seed, quick=args.quick,
-                     capacity=args.capacity, progress=progress)
+                     capacity=args.capacity, progress=progress,
+                     snapshot=not args.no_snapshot)
     timestamp = time.strftime("%Y%m%d-%H%M%S")
     payload = render_report(result, timestamp=timestamp)
     problems = validate_report(json.loads(payload))
@@ -90,6 +91,10 @@ def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
                         help="directory for RECOVERY_<timestamp>.json")
     parser.add_argument("--capacity", type=int, default=200_000,
                         help="per-run tracer retention bound (records)")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="re-run every cut from event zero instead of "
+                             "forking tails from mid-run snapshots "
+                             "(reports are byte-identical either way)")
     parser.set_defaults(fn=cmd_crash)
     return parser
 

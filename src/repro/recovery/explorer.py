@@ -28,6 +28,22 @@ outcome signatures differ, CrashMonkey-style: uniform regions cost one
 probe per stride, behaviour boundaries get binary-searched to the exact
 event.  Everything is deterministic for a fixed seed — the report is
 byte-identical across runs.
+
+Snapshot-based sweeping
+-----------------------
+
+By default the sweep is O(run + cuts x tail), not O(cuts x run): the
+counting baseline doubles as a *golden run* that captures a
+:class:`~repro.sim.snapshot.SimSnapshot` of the whole simulation graph
+(system, tracer, sanitizers, fault clock, workload RNG and ground-truth
+dicts) at periodic workload-op boundaries.  Each explored cut restores
+the nearest snapshot taken strictly before its event index, arms
+``cut_on_event`` on the restored clock — ``events_seen`` travels with
+the fork, so absolute indices line up — and replays only the tail.
+Retained trace records are excluded from the captures (no report reads
+them; sanitizer observation state *is* captured), keeping blobs small.
+``snapshot=False`` (CLI ``--no-snapshot``) keeps the legacy
+re-run-from-zero path; both produce byte-identical reports.
 """
 
 from __future__ import annotations
@@ -43,15 +59,28 @@ from repro.device.power import PowerFailureModel
 from repro.errors import PowerLossInterrupt
 from repro.faults.clock import FaultClock
 from repro.recovery.mount import recover_mount
+from repro.sim.snapshot import SimSnapshot, SnapshotTimeline
 from repro.sim.trace import Tracer, use_tracer
 from repro.units import PAGE_4K, kb, mb, us
 
 #: Pages the workload touches; > cache slots so every run evicts.
 FOOTPRINT_PAGES = 40
+#: Mixed read/write steps after the sequential fill.  Sized for a
+#: realistic churn phase (many overwrites per page, every slot evicted
+#: and refilled repeatedly): snapshot-based forking makes the sweep cost
+#: O(run + cuts x tail), so a long workload no longer multiplies the
+#: whole sweep the way it did when every cut re-ran from t=0.
+MIXED_STEPS = 800
 _CACHE_BYTES = kb(96)      # 20 cache slots
 _DEVICE_BYTES = mb(1)
 #: ``--quick`` samples at least this many cut points before bisection.
 QUICK_TARGET = 56
+#: Golden-run snapshot cadence in workload ops: full sweeps fork once
+#: per event index, so they amortize a dense timeline; quick sweeps
+#: explore two orders of magnitude fewer cuts and prefer fewer,
+#: cheaper captures over shorter tails.
+SNAP_CADENCE_FULL = 8
+SNAP_CADENCE_QUICK = 32
 
 _ZERO_CRC = zlib.crc32(bytes(PAGE_4K))
 
@@ -193,29 +222,70 @@ def _payload(page: int, version: int) -> bytes:
     return head + bytes([(page * 197 + version * 31) % 256]) * (PAGE_4K - 8)
 
 
+#: Total workload operations (seq fill + mixed phase): the op index
+#: space the golden run captures snapshots over.
+def _total_ops() -> int:
+    return FOOTPRINT_PAGES + MIXED_STEPS
+
+
+def _record_ack(acked: dict[int, int], history: dict[int, set[int]],
+                page: int, data: bytes) -> None:
+    crc = zlib.crc32(data)
+    acked[page] = crc
+    history.setdefault(page, set()).add(crc)
+
+
+def _workload_op(driver, rng: random.Random, acked: dict[int, int],
+                 history: dict[int, set[int]], t: int, op: int) -> int:
+    """Execute workload operation ``op`` (0-based); returns the new time.
+
+    Ops 0..FOOTPRINT_PAGES-1 are the sequential fill; the rest are the
+    mixed phase, drawing from ``rng`` exactly as the monolithic loop
+    did.  Op-granular execution is what makes the workload *resumable*:
+    a restored snapshot carries its op cursor and RNG, and replaying
+    from there is bit-identical to having run from zero.
+    """
+    if op < FOOTPRINT_PAGES:
+        data = _payload(op, 0)
+        t = driver.write_page(op, data, t)
+        _record_ack(acked, history, op, data)
+        return t
+    step = op - FOOTPRINT_PAGES
+    if rng.random() < 0.3:
+        page = rng.randrange(FOOTPRINT_PAGES)
+        _data, t = driver.read_page(page, t)
+    else:
+        page = rng.randrange(FOOTPRINT_PAGES)
+        data = _payload(page, 1 + step)
+        t = driver.write_page(page, data, t)
+        _record_ack(acked, history, page, data)
+    return t
+
+
 def _workload(driver, rng: random.Random, acked: dict[int, int],
               history: dict[int, set[int]], t: int) -> int:
     """Seq-fill then mixed read/write; records every *acked* version."""
-
-    def ack(page: int, data: bytes) -> None:
-        crc = zlib.crc32(data)
-        acked[page] = crc
-        history.setdefault(page, set()).add(crc)
-
-    for page in range(FOOTPRINT_PAGES):
-        data = _payload(page, 0)
-        t = driver.write_page(page, data, t)
-        ack(page, data)
-    for step in range(FOOTPRINT_PAGES):
-        if rng.random() < 0.3:
-            page = rng.randrange(FOOTPRINT_PAGES)
-            _data, t = driver.read_page(page, t)
-        else:
-            page = rng.randrange(FOOTPRINT_PAGES)
-            data = _payload(page, 1 + step)
-            t = driver.write_page(page, data, t)
-            ack(page, data)
+    for op in range(_total_ops()):
+        t = _workload_op(driver, rng, acked, history, t, op)
     return t
+
+
+class _CommitLog:
+    """The FTL ``on_commit`` hook as a picklable callable.
+
+    Ground truth for "committed": the FTL reports every page that
+    actually reached flash.  A class (not a closure) so the hook — and
+    the ``durable`` dict it feeds — survives simulation snapshots.
+    """
+
+    def __init__(self, durable: dict[int, int]) -> None:
+        self.durable = durable
+
+    def __call__(self, lpn: int, crc: int, kind: str) -> None:
+        if kind == "trim":
+            self.durable.pop(lpn, None)
+        else:
+            self.durable[lpn] = crc
 
 
 # -- one explored cut ----------------------------------------------------------
@@ -284,18 +354,10 @@ def _run_cut(seed: int, capacity: int,
             acked: dict[int, int] = {}
             history: dict[int, set[int]] = {}
             durable: dict[int, int] = {}
-
-            def on_commit(lpn: int, crc: int, kind: str) -> None:
-                if kind == "trim":
-                    durable.pop(lpn, None)
-                else:
-                    durable[lpn] = crc
-
-            # Ground truth for "committed": the FTL reports every page
-            # that actually reached flash.  The hook survives into the
-            # drain (preload programs through the same FTL) and dies
-            # with it at the mount — exactly the durability boundary.
-            system.nand.ftl.on_commit = on_commit
+            # The hook survives into the drain (preload programs through
+            # the same FTL) and dies with it at the mount — exactly the
+            # durability boundary.
+            system.nand.ftl.on_commit = _CommitLog(durable)
             t = round(us(1))
             try:
                 t = _workload(system.driver, rng, acked, history, t)
@@ -323,6 +385,141 @@ def _run_cut(seed: int, capacity: int,
     return outcome, workload_events, total_events
 
 
+# -- the snapshot-based sweep --------------------------------------------------
+
+
+def _capture(roots: dict, t: int, op: int, events_seen: int) -> SimSnapshot:
+    """Capture the whole run graph at a workload-op boundary.
+
+    Append-only observability logs — retained trace records, the NVMC's
+    per-command :class:`OperationResult` list, the FSM transition
+    history — are swapped out for the duration of the dump: no recovery
+    report reads them, forks resume with empty logs, and the blob
+    shrinks by the size of the prefix history.  Sanitizer observation
+    state (inside the suite) and the live FSM *state* stay in — those
+    feed post-cut behaviour.
+    """
+    tracer = roots["tracer"]
+    nvmc = roots["system"].nvmc
+    saved = (tracer.records, nvmc.operations, nvmc.fsm.history)
+    tracer.records = []
+    nvmc.operations = []
+    nvmc.fsm.history = []
+    try:
+        return SimSnapshot.capture(dict(roots, t=t, op=op),
+                                   event_index=events_seen,
+                                   label=f"op{op}")
+    finally:
+        tracer.records, nvmc.operations, nvmc.fsm.history = saved
+
+
+def _golden_run(seed: int, capacity: int, cadence: int,
+                ) -> tuple[RunOutcome, int, int, SnapshotTimeline]:
+    """The counting baseline, doubling as the snapshot producer.
+
+    Identical simulation to ``_run_cut(seed, capacity, None)`` —
+    captures are pure reads — plus a :class:`SnapshotTimeline` entry
+    every ``cadence`` workload ops and one at the workload/drain
+    boundary (so in-drain cuts fork without re-running any workload).
+    """
+    rng = random.Random(seed)
+    tracer = Tracer(enabled=True, capacity=capacity)
+    suite = default_suite(strict=False)
+    outcome = RunOutcome(index=0)
+    timeline = SnapshotTimeline()
+    with use_tracer(tracer):
+        with suite.attach(tracer):
+            clock = FaultClock()
+            system = NVDIMMCSystem(cache_bytes=_CACHE_BYTES,
+                                   device_bytes=_DEVICE_BYTES,
+                                   with_cpu_cache=False,
+                                   seed=seed % 100003,
+                                   tracer=tracer)
+            system.nvmc.fault_clock = clock
+            system.nand.ftl.fault_clock = clock
+            acked: dict[int, int] = {}
+            history: dict[int, set[int]] = {}
+            durable: dict[int, int] = {}
+            system.nand.ftl.on_commit = _CommitLog(durable)
+            roots = {"system": system, "tracer": tracer, "suite": suite,
+                     "clock": clock, "rng": rng, "acked": acked,
+                     "history": history, "durable": durable}
+            t = round(us(1))
+            for op in range(_total_ops()):
+                if op % cadence == 0:
+                    timeline.add(_capture(roots, t, op, clock.events_seen))
+                t = _workload_op(system.driver, rng, acked, history, t, op)
+            workload_events = clock.events_seen
+            timeline.add(_capture(roots, t, _total_ops(),
+                                  clock.events_seen))
+            power = PowerFailureModel(system.driver)
+            power.fault_clock = clock
+            power.power_fail(now_ps=t)
+            total_events = clock.events_seen
+            mounted, mount_report = recover_mount(
+                system, journal=power.journal, now_ps=t)
+            outcome.torn_quarantined = mount_report.ftl.torn_quarantined
+            outcome.replay_recovered = mount_report.replay_recovered
+            outcome.replay_lost = mount_report.replay_lost
+            _verify(mounted.driver, acked, history, durable, t, outcome)
+    outcome.sanitizer_violations = len(suite.violations)
+    return outcome, workload_events, total_events, timeline
+
+
+def _replay_cut(timeline: SnapshotTimeline, cut_index: int) -> RunOutcome:
+    """Fork the golden run at the nearest snapshot and replay the tail.
+
+    The restored fault clock carries the prefix's ``events_seen``, so
+    arming ``cut_on_event(cut_index)`` on it fires at the same absolute
+    event a from-zero run would see; everything downstream (drain,
+    remount, verification, sanitizer finalize) mirrors ``_run_cut``.
+    """
+    snap = timeline.nearest(cut_index)
+    if snap is None:
+        raise RuntimeError(f"no snapshot precedes cut index {cut_index}")
+    state = snap.restore()
+    system = state["system"]
+    tracer = state["tracer"]
+    suite = state["suite"]
+    clock = state["clock"]
+    rng = state["rng"]
+    acked = state["acked"]
+    history = state["history"]
+    durable = state["durable"]
+    t = state["t"]
+    op = state["op"]
+    outcome = RunOutcome(index=cut_index)
+    clock.cut_on_event(cut_index)
+    total_ops = _total_ops()
+    with use_tracer(tracer):
+        try:
+            driver = system.driver
+            while op < total_ops:
+                t = _workload_op(driver, rng, acked, history, t, op)
+                op += 1
+        except PowerLossInterrupt as exc:
+            outcome.fired = True
+            outcome.cut_site = exc.site or ""
+            t = max(t, exc.time_ps)
+        power = PowerFailureModel(system.driver)
+        power.fault_clock = clock
+        try:
+            power.power_fail(now_ps=t)
+        except PowerLossInterrupt as exc:
+            outcome.fired = True
+            outcome.drain_interrupted = True
+            outcome.cut_site = exc.site or ""
+        mounted, mount_report = recover_mount(
+            system, journal=power.journal, now_ps=t)
+        outcome.torn_quarantined = mount_report.ftl.torn_quarantined
+        outcome.replay_recovered = mount_report.replay_recovered
+        outcome.replay_lost = mount_report.replay_lost
+        _verify(mounted.driver, acked, history, durable, t, outcome)
+        suite.detach()
+    outcome.sanitizer_violations = len(suite.violations)
+    return outcome
+
+
 # -- the sweep -----------------------------------------------------------------
 
 
@@ -341,16 +538,28 @@ def _quick_points(total: int, workload_events: int) -> list[int]:
 def explore(seed: int = 0, quick: bool = False,
             capacity: int = 200_000,
             progress: Callable[[int, int], None] | None = None,
+            snapshot: bool = True,
             ) -> ExplorerResult:
     """Sweep a power cut across the workload's whole event space.
 
-    Full mode re-runs once per event index.  ``quick`` samples at a
+    Full mode runs once per event index.  ``quick`` samples at a
     stride (>= :data:`QUICK_TARGET` points) and bisects every pair of
     neighbouring samples whose outcome signatures differ, until each
     behaviour boundary is pinned to an exact event index.
+
+    ``snapshot=True`` (the default) explores each cut by forking the
+    golden run from the nearest op-boundary snapshot and replaying only
+    the tail; ``snapshot=False`` re-runs every cut from zero.  Both
+    paths produce byte-identical results.
     """
     result = ExplorerResult(seed=seed, quick=quick)
-    baseline, workload_events, total = _run_cut(seed, capacity, None)
+    timeline: SnapshotTimeline | None = None
+    if snapshot:
+        cadence = SNAP_CADENCE_QUICK if quick else SNAP_CADENCE_FULL
+        baseline, workload_events, total, timeline = _golden_run(
+            seed, capacity, cadence)
+    else:
+        baseline, workload_events, total = _run_cut(seed, capacity, None)
     result.total_events = total
     result.workload_events = workload_events
     # With no cut the drain completes: everything acked must be intact.
@@ -367,7 +576,10 @@ def explore(seed: int = 0, quick: bool = False,
     planned = len(pending)
     while pending:
         for index in pending:
-            outcome, _, _ = _run_cut(seed, capacity, index)
+            if timeline is not None:
+                outcome = _replay_cut(timeline, index)
+            else:
+                outcome, _, _ = _run_cut(seed, capacity, index)
             explored[index] = outcome
             if progress is not None:
                 progress(len(explored), planned)

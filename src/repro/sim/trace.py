@@ -32,10 +32,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.sim.snapshot import SnapshotMixin
 from repro.units import format_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One traced occurrence.
 
@@ -63,20 +64,26 @@ class TraceMeter:
     ``records_emitted`` counts every record that passed the enabled /
     category filters (whether or not retention kept it);
     ``peak_retained`` is the high-water mark of any single tracer's
-    retained record list.  Disabled tracers never touch these, so the
-    normal (tracing-off) hot path is unaffected.
+    retained record list; ``records_elided`` counts emissions that
+    skipped building a :class:`TraceRecord` because the record would
+    have been neither retained (capacity reached) nor observed (no
+    subscribers) — the pool-the-garbage degenerate case where the
+    cheapest pooled object is no object.  Disabled tracers never touch
+    these, so the normal (tracing-off) hot path is unaffected.
     """
 
     records_emitted: int = 0
     peak_retained: int = 0
+    records_elided: int = 0
 
     @classmethod
     def reset(cls) -> None:
         cls.records_emitted = 0
         cls.peak_retained = 0
+        cls.records_elided = 0
 
 
-class Tracer:
+class Tracer(SnapshotMixin):
     """Collects trace records, optionally filtered by category prefix.
 
     Drop semantics under a ``capacity`` bound are intentionally
@@ -103,6 +110,9 @@ class Tracer:
         self.dropped = 0
         self._warned_dropped = False
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        # The hot append path, bound once (re-bound by ``clear``): the
+        # per-emit cost is a single call with no attribute traversal.
+        self._retain = self.records.append
 
     def emit(self, time_ps: int, category: str, message: str,
              **fields: Any) -> None:
@@ -110,14 +120,17 @@ class Tracer:
 
         The early-outs are ordered cheapest-first and fire before the
         :class:`TraceRecord` is built: a disabled or filtered ``emit`` is
-        one or two branches, no allocation, no subscriber calls.
+        one or two branches, no allocation, no subscriber calls.  Past
+        the filters the common case is one record construction, one
+        pre-bound list append, and the subscriber fan-out; a record that
+        would be neither retained nor observed is never built at all
+        (``TraceMeter.records_elided``).
         """
         if not self.enabled:
             return
         categories = self.categories
         if categories is not None and not category.startswith(categories):
             return
-        record = TraceRecord(time_ps, category, message, fields)
         TraceMeter.records_emitted += 1
         records = self.records
         if self.capacity is not None and len(records) >= self.capacity:
@@ -130,12 +143,34 @@ class Tracer:
                     "still observe them).  The archived trace is incomplete "
                     "and sanitizers will refuse to certify this run.",
                     RuntimeWarning, stacklevel=2)
-        else:
-            records.append(record)
-            if len(records) > TraceMeter.peak_retained:
-                TraceMeter.peak_retained = len(records)
+            subscribers = self._subscribers
+            if not subscribers:
+                TraceMeter.records_elided += 1
+                return
+            record = TraceRecord(time_ps, category, message, fields)
+            for subscriber in subscribers:
+                subscriber(record)
+            return
+        record = TraceRecord(time_ps, category, message, fields)
+        self._retain(record)
+        if len(records) > TraceMeter.peak_retained:
+            TraceMeter.peak_retained = len(records)
         for subscriber in self._subscribers:
             subscriber(record)
+
+    # -- snapshot support -------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # ``_retain`` is a bound method of the records list; pickling it
+        # would smuggle the (possibly swapped-out) list into snapshot
+        # blobs and leave restored tracers appending to a detached copy.
+        state = self.__dict__.copy()
+        del state["_retain"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._retain = self.records.append
 
     # -- online observation -----------------------------------------------------
 
@@ -168,6 +203,7 @@ class Tracer:
         self.records.clear()
         self.dropped = 0
         self._warned_dropped = False
+        self._retain = self.records.append
 
     def summary(self) -> str:
         """One-line retention summary (shown by the check CLI)."""

@@ -17,14 +17,22 @@ from repro.perf.bench import (QUICK_SUBSET, SCHEMA_VERSION, compare_table,
                               run_bench, write_bench)
 
 #: Every key a BENCH payload must carry, and the per-experiment keys.
-TOP_KEYS = {"schema", "created_utc", "host", "total_wall_s", "experiments"}
+TOP_KEYS = {"schema", "created_utc", "host", "total_wall_s", "experiments",
+            "scenarios"}
 ENTRY_KEYS = {"experiment_id", "wall_s", "events_executed", "events_per_s",
               "peak_trace_records"}
+SCENARIO_KEYS = {"scenario_id", "wall_s", "cuts", "cuts_per_s",
+                 "events_executed"}
 
 
 @pytest.fixture(scope="module")
 def payload():
     return run_bench(only=["fig12"], verbose=False)
+
+
+@pytest.fixture(scope="module")
+def scenario_payload():
+    return run_bench(only=["soak-quick"], verbose=False)
 
 
 class TestSchema:
@@ -48,6 +56,19 @@ class TestSchema:
 
     def test_payload_is_json_round_trippable(self, payload):
         assert json.loads(json.dumps(payload)) == payload
+
+    def test_experiment_only_run_has_no_scenarios(self, payload):
+        assert payload["scenarios"] == []
+
+    def test_scenario_entry_shape(self, scenario_payload):
+        assert scenario_payload["experiments"] == []
+        (entry,) = scenario_payload["scenarios"]
+        assert set(entry) == SCENARIO_KEYS
+        assert entry["scenario_id"] == "soak-quick"
+        assert entry["wall_s"] >= 0
+        assert entry["cuts"] >= 1
+        assert entry["cuts_per_s"] >= 0
+        assert entry["events_executed"] >= 0
 
     def test_quick_subset_ids_exist(self):
         assert set(QUICK_SUBSET) <= set(ALL_EXPERIMENTS)
@@ -121,3 +142,17 @@ class TestComparison:
         empty = {"schema": SCHEMA_VERSION, "experiments": []}
         assert find_regressions(empty, _payload_with(9.0),
                                 max_ratio=1.0) == []
+
+    def test_gate_covers_scenarios(self):
+        def scenario_payload(wall_s):
+            return {"schema": SCHEMA_VERSION, "experiments": [],
+                    "scenarios": [{"scenario_id": "crash-quick",
+                                   "wall_s": wall_s, "cuts": 66,
+                                   "cuts_per_s": 66 / wall_s,
+                                   "events_executed": 100}]}
+        assert find_regressions(scenario_payload(1.0), scenario_payload(1.5),
+                                max_ratio=2.0) == []
+        failures = find_regressions(scenario_payload(1.0),
+                                    scenario_payload(3.0), max_ratio=2.0)
+        assert len(failures) == 1
+        assert "crash-quick" in failures[0]
