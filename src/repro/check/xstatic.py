@@ -99,10 +99,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.check.lint import _suppressed
+from repro.report import (require_nonneg_ints, require_object_list,
+                          schema_id, validate_schema_report)
 
 #: Baseline / JSON-output schema ids (pinned like the campaign reports).
-REPORT_SCHEMA = "repro.check.static/1"
-BASELINE_SCHEMA = "repro.check.static-baseline/1"
+REPORT_SCHEMA = schema_id("check.static", 1)
+BASELINE_SCHEMA = schema_id("check.static-baseline", 1)
 
 #: Attribute names whose call receivers identify the two producer kinds.
 _EMIT_ATTRS = frozenset({"emit"})
@@ -267,7 +269,63 @@ class StaticReport:
         }
 
 
+_REPORT_KEYS = frozenset({"schema", "findings", "registry"})
+_FINDING_KEYS = frozenset(
+    {"path", "line", "col", "code", "message", "fingerprint"})
+_REGISTRY_KEYS = frozenset(
+    {"trace_producers", "trace_producer_prefixes", "trace_consumers",
+     "trace_consumer_prefixes", "hook_producers",
+     "hook_producer_prefixes", "hook_consumers", "schemas"})
+
+
+def _report_detail(payload: dict, problems: list[str]) -> None:
+    for index, finding in enumerate(require_object_list(problems, payload,
+                                                        "findings")):
+        if not isinstance(finding, dict) or \
+                finding.keys() - {"baselined"} != _FINDING_KEYS:
+            problems.append(
+                f"findings[{index}] keys must be {sorted(_FINDING_KEYS)}")
+            continue
+        require_nonneg_ints(problems, finding, ("line", "col"),
+                            f"findings[{index}].")
+    registry = payload.get("registry")
+    if not isinstance(registry, dict) or \
+            registry.keys() != _REGISTRY_KEYS:
+        problems.append(f"registry keys must be {sorted(_REGISTRY_KEYS)}")
+
+
+def validate_report(payload: object) -> list[str]:
+    """Problems with a parsed ``--format json`` report (empty = valid).
+
+    The CLI augments the raw :meth:`StaticReport.to_dict` payload with a
+    ``summary`` block and per-finding ``baselined`` flags; both forms
+    validate.
+    """
+    return validate_schema_report("check.static", 1, payload,
+                                  _REPORT_KEYS, optional={"summary"},
+                                  detail=_report_detail)
+
+
 # -- small AST helpers ------------------------------------------------------------
+
+
+def _schema_constant(node: ast.expr) -> str | None:
+    """The pinned schema id a ``*SCHEMA*`` assignment resolves to.
+
+    Either a plain string literal or the shared-constructor idiom
+    ``schema_id("faults", 1)`` from :mod:`repro.report` (one level of
+    wrapper resolution, like the emit/check forwarders).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if (isinstance(node, ast.Call)
+            and _call_name(node.func) == "schema_id"
+            and len(node.args) == 2 and not node.keywords
+            and all(isinstance(a, ast.Constant) for a in node.args)):
+        kind, version = (a.value for a in node.args)  # type: ignore[attr-defined]
+        if isinstance(kind, str) and isinstance(version, int):
+            return f"repro.{kind}/{version}"
+    return None
 
 
 def _call_name(func: ast.expr) -> str | None:
@@ -471,11 +529,11 @@ class _Extractor(ast.NodeVisitor):
                     elements = self._resolve_elements(value.args[0])
             if elements is not None:
                 self._constants[name] = elements
-            if (_SCHEMA_NAME_RE.search(name)
-                    and isinstance(node.value, ast.Constant)
-                    and isinstance(node.value.value, str)):
-                Registry._add(self.registry.schemas, node.value.value,
-                              self._ref(node))
+            if _SCHEMA_NAME_RE.search(name):
+                resolved = _schema_constant(node.value)
+                if resolved is not None:
+                    Registry._add(self.registry.schemas, resolved,
+                                  self._ref(node))
             self._note_set_binding(target, node.value)
         self.generic_visit(node)
 

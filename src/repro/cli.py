@@ -25,6 +25,11 @@ Commands:
   module down the recovery ladder, writing ``SOAK_<timestamp>.json``.
 * ``crash`` — the crash-point explorer: a power cut at every event
   index, cold remount, invariant checks, ``RECOVERY_<timestamp>.json``.
+* ``fleet`` — fleet-scale serving: ``fleet run [--quick] [--shards N]
+  [--jobs N|auto]`` multiplexes tenant workloads over N
+  independently-seeded module shards with admission control and
+  per-tenant SLO scoring, writing ``FLEET_<timestamp>.json``;
+  ``fleet list`` prints the placement registry and tenant roster.
 """
 
 from __future__ import annotations
@@ -162,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     build_soak_parser(sub)
     from repro.recovery.cli import build_parser as build_crash_parser
     build_crash_parser(sub)
+    from repro.fleet.cli import build_parser as build_fleet_parser
+    build_fleet_parser(sub)
     return parser
 
 

@@ -12,6 +12,7 @@ import time
 from typing import Callable
 
 from repro.analysis.results import ExperimentRecord
+from repro.util import resolve_jobs  # noqa: F401  (re-export: long-time home)
 from repro.experiments import (ablations, arbitration_compare,
                                channel_isolation, dax_motivation,
                                design_space, fig7_filecopy, fig8_randrw,
@@ -54,19 +55,6 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentRecord]] = {
     "power_endurance": lambda: _first(power_endurance.run()),
     "dax": lambda: _first(dax_motivation.run()),
 }
-
-
-def resolve_jobs(jobs: int | str | None) -> int:
-    """Normalise a ``--jobs`` value: int, ``"auto"`` or None (=1)."""
-    if jobs is None:
-        return 1
-    if jobs == "auto":
-        import os
-        return max(1, os.cpu_count() or 1)
-    jobs = int(jobs)
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return jobs
 
 
 def _run_one(exp_id: str) -> ExperimentRecord:

@@ -31,7 +31,11 @@ from __future__ import annotations
 import json
 from typing import Any
 
-SCHEMA = "repro.faults/1"
+from repro.report import (require_exact_keys, require_nonneg_ints,
+                          require_object_list, schema_id,
+                          validate_schema_report)
+
+SCHEMA = schema_id("faults", 1)
 
 _REPORT_KEYS = frozenset(
     {"schema", "generated_at", "seed", "quick", "cells", "totals"})
@@ -54,24 +58,9 @@ def render_report(result: Any, timestamp: str | None = None) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-def validate_report(payload: Any) -> list[str]:
-    """Problems with a parsed report; an empty list means valid."""
-    problems: list[str] = []
-    if not isinstance(payload, dict):
-        return [f"report must be an object, got {type(payload).__name__}"]
-    if payload.get("schema") != SCHEMA:
-        problems.append(f"schema must be {SCHEMA!r}: {payload.get('schema')!r}")
-    missing = _REPORT_KEYS - payload.keys()
-    if missing:
-        problems.append(f"missing report keys: {sorted(missing)}")
-    extra = payload.keys() - _REPORT_KEYS
-    if extra:
-        problems.append(f"unknown report keys: {sorted(extra)}")
-    cells = payload.get("cells")
-    if not isinstance(cells, list):
-        problems.append("cells must be a list")
-        cells = []
-    for index, cell in enumerate(cells):
+def _detail(payload: dict, problems: list[str]) -> None:
+    for index, cell in enumerate(require_object_list(problems, payload,
+                                                     "cells")):
         if not isinstance(cell, dict):
             problems.append(f"cells[{index}] must be an object")
             continue
@@ -80,17 +69,17 @@ def validate_report(payload: Any) -> list[str]:
                 f"cells[{index}] keys {sorted(cell.keys())} != "
                 f"{sorted(_CELL_KEYS)}")
             continue
-        for key in ("injected", "detected", "recovered", "lost",
-                    "violations", "cell_seed"):
-            if not isinstance(cell[key], int) or cell[key] < 0:
-                problems.append(
-                    f"cells[{index}].{key} must be a non-negative int")
-    totals = payload.get("totals")
-    if not isinstance(totals, dict) or totals.keys() != _TOTAL_KEYS:
-        problems.append(f"totals keys must be {sorted(_TOTAL_KEYS)}")
-    else:
-        for key in sorted(_TOTAL_KEYS):
-            if not isinstance(totals[key], int) or totals[key] < 0:
-                problems.append(
-                    f"totals.{key} must be a non-negative int")
-    return problems
+        require_nonneg_ints(
+            problems, cell,
+            ("injected", "detected", "recovered", "lost", "violations",
+             "cell_seed"), f"cells[{index}].")
+    if require_exact_keys(problems, payload.get("totals"), _TOTAL_KEYS,
+                          "totals"):
+        require_nonneg_ints(problems, payload["totals"],
+                            sorted(_TOTAL_KEYS), "totals.")
+
+
+def validate_report(payload: Any) -> list[str]:
+    """Problems with a parsed report; an empty list means valid."""
+    return validate_schema_report("faults", 1, payload, _REPORT_KEYS,
+                                  detail=_detail)

@@ -1,0 +1,40 @@
+"""``repro.fleet`` — fleet-scale serving over sharded NVDIMM-C modules.
+
+Everything before this package drives exactly one module.  The fleet
+layer promotes the simulator to the ROADMAP's production-scale shape: a
+:class:`~repro.fleet.frontend.Fleet` of N independently-seeded module
+shards behind a deterministic request front end that multiplexes
+concurrent tenant workloads, with admission control (bounded per-shard
+queues, backpressure), pluggable placement (round-robin interleave,
+capacity-weighted, tenant-pinned tiering — the policy families the
+Samsung CXL-HM characterization studies) and a per-tenant QoS layer
+that scores p50/p99/p999 latency and throughput against declared SLOs.
+
+Layout::
+
+    tenants.py    tenant specs + SLOs; request streams reuse the
+                  fio / tpch / mixed_load workload generators
+    placement.py  placement policies + the zipfian key sampler
+    shard.py      one module shard: fork-from-prefix, admission
+                  queue, integrity sweep, health summary
+    qos.py        latency percentiles and SLO evaluation
+    frontend.py   the front end: plan -> place -> fan out -> merge
+    report.py     the schema-pinned ``FLEET_*.json`` (repro.fleet/1)
+    cli.py        ``repro fleet run`` / ``repro fleet list``
+
+Determinism: a fleet run is a pure function of ``(seed, config)`` —
+byte-identical reports across repeated runs and across ``--jobs``
+settings, because every shard executes an identical plan from an
+identical forked snapshot regardless of which process runs it.
+"""
+
+from repro.fleet.frontend import Fleet, FleetConfig, run_fleet
+from repro.fleet.placement import PLACEMENTS, ZipfSampler
+from repro.fleet.report import render_report, validate_report
+from repro.fleet.tenants import TenantSLO, TenantSpec, default_tenants
+
+__all__ = [
+    "Fleet", "FleetConfig", "run_fleet", "PLACEMENTS", "ZipfSampler",
+    "TenantSLO", "TenantSpec", "default_tenants", "render_report",
+    "validate_report",
+]

@@ -1,0 +1,159 @@
+"""``python -m repro fleet``: fleet-scale serving over sharded modules.
+
+``fleet run [--quick] [--shards N] [--jobs N|auto]`` multiplexes the
+tenant workloads over N independently-seeded module shards and writes a
+schema-pinned ``FLEET_<timestamp>.json`` report.  Exits non-zero when
+the fleet fails its acceptance gate: any data loss, a sanitizer
+violation, or a tenant missing its declared SLO.  ``fleet list`` prints
+the placement-policy registry and the tenant roster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.fleet.frontend import Fleet, FleetConfig
+    from repro.fleet.report import render_report, validate_report
+    from repro.util import resolve_jobs
+
+    try:
+        config = FleetConfig(
+            shards=args.shards, placement=args.placement,
+            quick=args.quick, requests=args.requests, seed=args.seed,
+            queue_bound=args.queue_bound, wear_shards=args.wear,
+            jobs=resolve_jobs(args.jobs),
+            weights=tuple(args.weights or ()))
+    except (ConfigError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    mode = "quick" if config.quick else "full"
+    print(f"repro fleet: {mode} run, {config.shards} shards, "
+          f"{config.request_count} requests, "
+          f"placement {config.placement}, seed {config.seed}, "
+          f"jobs {config.jobs}")
+    result = Fleet(config).run()
+    timestamp = time.strftime("%Y%m%d-%H%M%S")
+    payload = render_report(result, timestamp=timestamp)
+    problems = validate_report(json.loads(payload))
+    if problems:    # a schema bug is a tooling failure, not a fleet failure
+        for problem in problems:
+            print(f"report schema problem: {problem}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"FLEET_{timestamp}.json"
+    path.write_text(payload)
+    print(f"wrote {path}")
+    for qos in result.tenants:
+        latency = qos.latency_summary()
+        gates = qos.slo_evaluation()
+        verdict = "pass" if gates["ok"] else "FAIL"
+        print(f"  {qos.spec.name:<10} offered={qos.offered} "
+              f"admit={qos.admit_ppm / 10_000:.2f}% "
+              f"p50={latency['p50_ps'] / 1e6:.2f}us "
+              f"p99={latency['p99_ps'] / 1e6:.2f}us "
+              f"p999={latency['p999_ps'] / 1e6:.2f}us  slo={verdict}")
+    histogram = result.health_histogram
+    print("  health: " + " ".join(
+        f"{state}={count}" for state, count in sorted(histogram.items())))
+    if not result.ok:
+        if result.data_loss:
+            print(f"fleet FAILED: {result.data_loss} pages lost",
+                  file=sys.stderr)
+        if result.violations:
+            print(f"fleet FAILED: {result.violations} sanitizer "
+                  "violations", file=sys.stderr)
+        for qos in result.tenants:
+            gates = qos.slo_evaluation()
+            if not gates["ok"]:
+                missed = [g for g in ("p50", "p99", "p999", "admit")
+                          if not gates[g]]
+                print(f"fleet FAILED: tenant {qos.spec.name} missed "
+                      f"SLO gates {missed}", file=sys.stderr)
+        return 1
+    print("fleet clean: zero data loss, sanitizers quiet, "
+          "all tenant SLOs met")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.fleet.placement import PLACEMENTS
+    from repro.fleet.tenants import default_tenants
+
+    print("placement policies:")
+    for name, factory in sorted(PLACEMENTS.items()):
+        doc = (factory.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<18} {doc}")
+    print("tenants (full-mode footprints):")
+    for spec in default_tenants(quick=False):
+        pin = (f" pinned->shard {spec.pinned_shard}"
+               if spec.pinned_shard is not None else "")
+        print(f"  {spec.name:<10} mix={spec.mix:<9} "
+              f"weight={spec.weight} "
+              f"footprint={spec.footprint_pages}p "
+              f"reads={spec.read_fraction:.0%}{pin}")
+    return 0
+
+
+def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
+                 ) -> argparse.ArgumentParser:
+    """Build the ``fleet`` parser, standalone or under a parent CLI."""
+    if sub_or_none is None:
+        parser = argparse.ArgumentParser(prog="repro fleet")
+        sub = parser.add_subparsers(dest="fleet_command", required=True)
+    else:
+        parser = sub_or_none.add_parser(
+            "fleet", help="serve tenant workloads over N module shards")
+        sub = parser.add_subparsers(dest="fleet_command", required=True)
+
+    p_run = sub.add_parser("run", help="run the fleet and write a report")
+    p_run.add_argument("--quick", action="store_true",
+                       help="CI-sized run (100k requests, small shards)")
+    p_run.add_argument("--shards", type=int, default=4,
+                       help="module shards in the fleet (default 4)")
+    p_run.add_argument("--placement", default="capacity_weighted",
+                       choices=("round_robin", "capacity_weighted",
+                                "tenant_pinned"),
+                       help="placement policy (default capacity_weighted)")
+    p_run.add_argument("--requests", type=int, default=None,
+                       help="total offered requests "
+                            "(default: 100k quick / 1.2M full)")
+    p_run.add_argument("--seed", type=int, default=7,
+                       help="fleet seed (default 7)")
+    p_run.add_argument("--queue-bound", type=int, default=64,
+                       help="per-shard admission queue depth")
+    p_run.add_argument("--wear", type=int, default=0, metavar="K",
+                       help="pre-wear the first K shards so the health "
+                            "histogram exercises ladder rungs")
+    p_run.add_argument("--jobs", default="1",
+                       help="worker processes: an integer or 'auto' "
+                            "(reports are byte-identical either way)")
+    p_run.add_argument("--weights", type=int, nargs="+", default=None,
+                       metavar="W",
+                       help="relative shard capacities for "
+                            "capacity_weighted (cycled to --shards)")
+    p_run.add_argument("--out", default="results",
+                       help="directory for FLEET_<timestamp>.json")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_list = sub.add_parser(
+        "list", help="print placement policies and the tenant roster")
+    p_list.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Tenant specifications: workload mixes and declared SLOs.
+
+A tenant is one customer-visible workload class multiplexed over the
+fleet.  Its request stream reuses the existing workload generators
+rather than inventing new ones:
+
+* ``oltp`` — the §VII-B5 mixed-load transaction shape: 4 KB
+  read-modify-write traffic over a zipfian-hot row set, every written
+  page carrying a self-describing integrity record
+  (:func:`repro.workloads.mixed_load._make_record`) that the shard
+  validates on read and again in the final sweep;
+* ``analytics`` — a TPC-H-style scan tenant: its page stream is a
+  :func:`repro.workloads.tpch.generate_query_trace` trace (read-mostly,
+  large footprint, the paper's Fig. 11 workload family);
+* ``ingest`` — an FIO-style streaming writer described by a
+  :class:`repro.workloads.fio.FIOJob` (sequential 4 KB writes, the log
+  shipping / bulk load tenant).
+
+SLOs are declared a priori in picoseconds of *simulated* end-to-end
+latency (queueing included) plus a minimum admitted fraction — the
+throughput gate that backpressure rejections count against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """Declared per-tenant service-level objectives.
+
+    Latency bounds are on end-to-end request latency (admission wait +
+    queueing + device service) in simulated picoseconds;
+    ``min_admit_ppm`` is the minimum admitted/offered ratio in parts
+    per million (backpressure rejections and degraded-mode refusals
+    both count against it).
+    """
+
+    p50_ps: int
+    p99_ps: int
+    p999_ps: int
+    min_admit_ppm: int = 990_000
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: workload mix, fleet share, footprint and SLO."""
+
+    name: str
+    mix: str                 #: "mixed" | "tpch" | "fio-write"
+    weight: int              #: share of the offered request stream
+    footprint_pages: int     #: tenant keyspace (4 KB pages per shard)
+    read_fraction: float     #: P(read) per request
+    zipf_theta: float        #: key-popularity skew ("mixed" mix)
+    slo: TenantSLO
+    pinned_shard: int | None = None   #: tiering pin (tenant_pinned)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "mix": self.mix,
+            "weight": self.weight,
+            "footprint_pages": self.footprint_pages,
+            "read_ppm": round(self.read_fraction * 1_000_000),
+            "pinned_shard": self.pinned_shard,
+            "slo": {
+                "p50_ps": self.slo.p50_ps,
+                "p99_ps": self.slo.p99_ps,
+                "p999_ps": self.slo.p999_ps,
+                "min_admit_ppm": self.slo.min_admit_ppm,
+            },
+        }
+
+
+#: SLO constants.  The latency scale is set by the device model: the
+#: mean page op through the cache runs ~40-50 us simulated once
+#: eviction write-back traffic is in the picture (hot-key cache hits
+#: are sub-us, which is why OLTP's p50 sits far below the others), and
+#: queueing at the planned utilization roughly quadruples the tail.
+#: Bounds are ~1.5x above the percentiles observed at the *worst*
+#: supported configuration (quick, 2 shards — the least aggregate DRAM
+#: cache per key), so they fail on regression (a scheduling bug that
+#: doubles tail latency) without flapping on config-sized noise.
+_OLTP_SLO = TenantSLO(p50_ps=round(us(60)), p99_ps=round(us(350)),
+                      p999_ps=round(us(500)), min_admit_ppm=950_000)
+_ANALYTICS_SLO = TenantSLO(p50_ps=round(us(100)), p99_ps=round(us(400)),
+                           p999_ps=round(us(550)), min_admit_ppm=900_000)
+_INGEST_SLO = TenantSLO(p50_ps=round(us(100)), p99_ps=round(us(400)),
+                        p999_ps=round(us(550)), min_admit_ppm=900_000)
+
+
+def default_tenants(quick: bool = False) -> tuple[TenantSpec, ...]:
+    """The standard three-tenant mix (quick mode shrinks footprints).
+
+    Weights 4:2:2 — half the offered stream is OLTP point traffic, the
+    rest splits between the scan tenant and the ingest stream.
+    """
+    scale = 1 if quick else 4
+    return (
+        TenantSpec(name="oltp", mix="mixed", weight=4,
+                   footprint_pages=192 * scale, read_fraction=0.70,
+                   zipf_theta=1.1, slo=_OLTP_SLO),
+        TenantSpec(name="analytics", mix="tpch", weight=2,
+                   footprint_pages=512 * scale, read_fraction=0.98,
+                   zipf_theta=0.0, slo=_ANALYTICS_SLO, pinned_shard=1),
+        TenantSpec(name="ingest", mix="fio-write", weight=2,
+                   footprint_pages=256 * scale, read_fraction=0.02,
+                   zipf_theta=0.0, slo=_INGEST_SLO, pinned_shard=0),
+    )

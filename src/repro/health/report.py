@@ -19,8 +19,11 @@ import json
 from typing import Any
 
 from repro.health.monitor import LADDER_EDGES
+from repro.report import (require_bool, require_exact_keys,
+                          require_nonneg_ints, require_object_list,
+                          schema_id, validate_schema_report)
 
-SCHEMA = "repro.soak/1"
+SCHEMA = schema_id("soak", 1)
 
 _REPORT_KEYS = frozenset(
     {"schema", "generated_at", "seed", "quick", "rounds",
@@ -52,24 +55,9 @@ def render_report(result: Any, timestamp: str | None = None) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-def validate_report(payload: Any) -> list[str]:
-    """Problems with a parsed report; an empty list means valid."""
-    problems: list[str] = []
-    if not isinstance(payload, dict):
-        return [f"report must be an object, got {type(payload).__name__}"]
-    if payload.get("schema") != SCHEMA:
-        problems.append(f"schema must be {SCHEMA!r}: {payload.get('schema')!r}")
-    missing = _REPORT_KEYS - payload.keys()
-    if missing:
-        problems.append(f"missing report keys: {sorted(missing)}")
-    extra = payload.keys() - _REPORT_KEYS
-    if extra:
-        problems.append(f"unknown report keys: {sorted(extra)}")
-    rounds = payload.get("rounds")
-    if not isinstance(rounds, list) or not rounds:
-        problems.append("rounds must be a non-empty list")
-        rounds = []
-    for index, entry in enumerate(rounds):
+def _detail(payload: dict, problems: list[str]) -> None:
+    for index, entry in enumerate(require_object_list(
+            problems, payload, "rounds", non_empty=True)):
         if not isinstance(entry, dict):
             problems.append(f"rounds[{index}] must be an object")
             continue
@@ -78,16 +66,12 @@ def validate_report(payload: Any) -> list[str]:
                 f"rounds[{index}] keys {sorted(entry.keys())} != "
                 f"{sorted(_ROUND_KEYS)}")
             continue
-        for key in ("writes", "reads", "refused_writes", "media_errors",
-                    "data_loss"):
-            if not isinstance(entry[key], int) or entry[key] < 0:
-                problems.append(
-                    f"rounds[{index}].{key} must be a non-negative int")
-    timeline = payload.get("health_timeline")
-    if not isinstance(timeline, list):
-        problems.append("health_timeline must be a list")
-        timeline = []
-    for index, entry in enumerate(timeline):
+        require_nonneg_ints(
+            problems, entry,
+            ("writes", "reads", "refused_writes", "media_errors",
+             "data_loss"), f"rounds[{index}].")
+    for index, entry in enumerate(require_object_list(
+            problems, payload, "health_timeline")):
         if not isinstance(entry, dict) or entry.keys() != _TRANSITION_KEYS:
             problems.append(
                 f"health_timeline[{index}] keys must be "
@@ -100,27 +84,22 @@ def validate_report(payload: Any) -> list[str]:
             if not isinstance(edges[key], int) or edges[key] < 0:
                 problems.append(
                     f"edges[{key!r}] must be a non-negative int")
-    latency = payload.get("latency")
-    if not isinstance(latency, dict) or latency.keys() != _LATENCY_KEYS:
-        problems.append(f"latency keys must be {sorted(_LATENCY_KEYS)}")
-    else:
-        for key in sorted(_LATENCY_KEYS):
-            if not isinstance(latency[key], int) or latency[key] < 0:
-                problems.append(
-                    f"latency.{key} must be a non-negative int")
-    scrub = payload.get("scrub")
-    if not isinstance(scrub, dict):
+    if require_exact_keys(problems, payload.get("latency"), _LATENCY_KEYS,
+                          "latency"):
+        require_nonneg_ints(problems, payload["latency"],
+                            sorted(_LATENCY_KEYS), "latency.")
+    if not isinstance(payload.get("scrub"), dict):
         problems.append("scrub must be an object")
-    counters = payload.get("counters")
-    if not isinstance(counters, dict):
+    if not isinstance(payload.get("counters"), dict):
         problems.append("counters must be an object")
-    totals = payload.get("totals")
-    if not isinstance(totals, dict) or totals.keys() != _TOTAL_KEYS:
-        problems.append(f"totals keys must be {sorted(_TOTAL_KEYS)}")
-    else:
-        for key in sorted(_TOTAL_KEYS):
-            if not isinstance(totals[key], int) or totals[key] < 0:
-                problems.append(f"totals.{key} must be a non-negative int")
-    if not isinstance(payload.get("ok"), bool):
-        problems.append("ok must be a bool")
-    return problems
+    if require_exact_keys(problems, payload.get("totals"), _TOTAL_KEYS,
+                          "totals"):
+        require_nonneg_ints(problems, payload["totals"],
+                            sorted(_TOTAL_KEYS), "totals.")
+    require_bool(problems, payload, "ok")
+
+
+def validate_report(payload: Any) -> list[str]:
+    """Problems with a parsed report; an empty list means valid."""
+    return validate_schema_report("soak", 1, payload, _REPORT_KEYS,
+                                  detail=_detail)

@@ -103,6 +103,16 @@ class NANDController(SnapshotMixin):
         """Dies are striped across channels."""
         return die_index % self.channels
 
+    def reseed(self, seed: int) -> None:
+        """Give this controller an independent media-error RNG.
+
+        Factory bad blocks were drawn at construction from the original
+        seed and stay put; only future stochastic draws (ECC bit-flip
+        positions) diverge.  Fleet shards forked from one shared-prefix
+        snapshot call this so N shards behave like N distinct modules.
+        """
+        self.codec.reseed(seed)
+
     # -- logical page operations -------------------------------------------------------
 
     def read_page(self, lpn: int, start_ps: int) -> tuple[bytes | None, int]:

@@ -68,6 +68,11 @@ class ECCCodec:
         """Arm the next ``count`` decodes to fail uncorrectably."""
         self.force_uncorrectable += count
 
+    def reseed(self, seed: int) -> None:
+        """Replace the media RNG (fleet shards forked from one snapshot
+        diverge here: same state, independent future error draws)."""
+        self._rng = random.Random(seed)
+
     # -- codec -------------------------------------------------------------------
 
     def encode(self, payload: bytes) -> Codeword:

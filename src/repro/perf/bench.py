@@ -29,7 +29,9 @@ from dataclasses import asdict, dataclass
 #: BENCH file schema version (bump when the payload shape changes).
 #: v2: adds the ``scenarios`` section (harness sweeps measured in
 #: cuts/s rather than events/s).
-SCHEMA_VERSION = 2
+#: v4: adds the ``fleet-quick`` scenario (v3 was skipped to realign
+#: the number with the CHANGES.md history).
+SCHEMA_VERSION = 4
 
 #: The ``--quick`` subset: one detector-heavy run (validation), one
 #: transaction-model run (fig8) and one command-accurate run
@@ -80,11 +82,22 @@ def _scenario_soak_quick() -> int:
     return len(result.rounds)
 
 
+def _scenario_fleet_quick() -> int:
+    from repro.fleet.frontend import run_fleet
+    result = run_fleet(quick=True, shards=2, requests=20_000, seed=0)
+    if not result.ok:
+        raise RuntimeError("fleet-quick scenario: run not clean")
+    return sum(shard.completed for shard in result.shards)
+
+
 #: Harness scenarios timed alongside the experiments.  Each callable
-#: runs the scenario and returns its unit-of-work count.
+#: runs the scenario and returns its unit-of-work count ("cuts": cut
+#: points for the crash sweep, rounds for the soak, completed requests
+#: for the fleet).
 SCENARIOS = {
     "crash-quick": _scenario_crash_quick,
     "soak-quick": _scenario_soak_quick,
+    "fleet-quick": _scenario_fleet_quick,
 }
 
 

@@ -30,7 +30,11 @@ from __future__ import annotations
 import json
 from typing import Any
 
-SCHEMA = "repro.recovery/1"
+from repro.report import (require_bool, require_exact_keys,
+                          require_nonneg_ints, require_object_list,
+                          schema_id, validate_schema_report)
+
+SCHEMA = schema_id("recovery", 1)
 
 _REPORT_KEYS = frozenset(
     {"schema", "generated_at", "seed", "quick", "events", "cut_points",
@@ -57,38 +61,19 @@ def render_report(result: Any, timestamp: str | None = None) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-def validate_report(payload: Any) -> list[str]:
-    """Problems with a parsed report; an empty list means valid."""
-    problems: list[str] = []
-    if not isinstance(payload, dict):
-        return [f"report must be an object, got {type(payload).__name__}"]
-    if payload.get("schema") != SCHEMA:
-        problems.append(
-            f"schema must be {SCHEMA!r}: {payload.get('schema')!r}")
-    missing = _REPORT_KEYS - payload.keys()
-    if missing:
-        problems.append(f"missing report keys: {sorted(missing)}")
-    extra = payload.keys() - _REPORT_KEYS
-    if extra:
-        problems.append(f"unknown report keys: {sorted(extra)}")
-    events = payload.get("events")
-    if not isinstance(events, dict) or events.keys() != _EVENT_KEYS:
-        problems.append(f"events keys must be {sorted(_EVENT_KEYS)}")
-    else:
-        for key in sorted(_EVENT_KEYS):
-            if not isinstance(events[key], int) or events[key] < 0:
-                problems.append(f"events.{key} must be a non-negative int")
+def _detail(payload: dict, problems: list[str]) -> None:
+    if require_exact_keys(problems, payload.get("events"), _EVENT_KEYS,
+                          "events"):
+        require_nonneg_ints(problems, payload["events"],
+                            sorted(_EVENT_KEYS), "events.")
     cut_points = payload.get("cut_points")
     if not isinstance(cut_points, list) or any(
             not isinstance(p, int) or p < 1 for p in cut_points):
         problems.append("cut_points must be a list of positive ints")
     elif cut_points != sorted(set(cut_points)):
         problems.append("cut_points must be sorted and distinct")
-    windows = payload.get("windows")
-    if not isinstance(windows, list):
-        problems.append("windows must be a list")
-        windows = []
-    for index, window in enumerate(windows):
+    for index, window in enumerate(require_object_list(problems, payload,
+                                                       "windows")):
         if not isinstance(window, dict):
             problems.append(f"windows[{index}] must be an object")
             continue
@@ -97,23 +82,23 @@ def validate_report(payload: Any) -> list[str]:
                 f"windows[{index}] keys {sorted(window.keys())} != "
                 f"{sorted(_WINDOW_KEYS)}")
             continue
-        for key in ("start", "end", "runs", "committed_lost",
-                    "torn_served", "acked_uncommitted", "violations"):
-            if not isinstance(window[key], int) or window[key] < 0:
-                problems.append(
-                    f"windows[{index}].{key} must be a non-negative int")
+        require_nonneg_ints(
+            problems, window,
+            ("start", "end", "runs", "committed_lost", "torn_served",
+             "acked_uncommitted", "violations"), f"windows[{index}].")
     sites = payload.get("sites")
     if not isinstance(sites, dict) or any(
             not isinstance(count, int) or count < 0
             for count in sites.values()):
         problems.append("sites must map site -> non-negative int")
-    totals = payload.get("totals")
-    if not isinstance(totals, dict) or totals.keys() != _TOTAL_KEYS:
-        problems.append(f"totals keys must be {sorted(_TOTAL_KEYS)}")
-    else:
-        for key in sorted(_TOTAL_KEYS):
-            if not isinstance(totals[key], int) or totals[key] < 0:
-                problems.append(f"totals.{key} must be a non-negative int")
-    if not isinstance(payload.get("ok"), bool):
-        problems.append("ok must be a bool")
-    return problems
+    if require_exact_keys(problems, payload.get("totals"), _TOTAL_KEYS,
+                          "totals"):
+        require_nonneg_ints(problems, payload["totals"],
+                            sorted(_TOTAL_KEYS), "totals.")
+    require_bool(problems, payload, "ok")
+
+
+def validate_report(payload: Any) -> list[str]:
+    """Problems with a parsed report; an empty list means valid."""
+    return validate_schema_report("recovery", 1, payload, _REPORT_KEYS,
+                                  detail=_detail)

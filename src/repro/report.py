@@ -1,0 +1,98 @@
+"""Shared validation core for the schema-pinned JSON reports.
+
+Every campaign-style subsystem writes one artifact CI archives and the
+determinism gates diff byte-for-byte — ``FAULTS_*.json``
+(``repro.faults/1``), ``SOAK_*.json`` (``repro.soak/1``),
+``RECOVERY_*.json`` (``repro.recovery/1``), the static-analysis report
+(``repro.check.static/1``) and ``FLEET_*.json`` (``repro.fleet/1``).
+They all share the same outer contract:
+
+* the payload is a JSON object whose ``schema`` field pins the shape,
+* the top-level key set is closed (missing *and* unknown keys are
+  schema problems, so shape drift cannot land silently),
+* counters are non-negative integers.
+
+:func:`validate_schema_report` implements that skeleton once; each
+subsystem keeps a thin ``validate_report`` wrapper that passes its key
+set plus a ``detail`` callback for the subsystem-specific interior
+(cell shapes, ladder edges, window partitions, ...).  The helpers below
+are the vocabulary those callbacks are written in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+Problems = list[str]
+
+
+def schema_id(kind: str, version: int) -> str:
+    """The pinned schema string, e.g. ``repro.fleet/1``."""
+    return f"repro.{kind}/{version}"
+
+
+def validate_schema_report(
+        kind: str, version: int, payload: Any,
+        keys: frozenset[str] | set[str],
+        optional: frozenset[str] | set[str] = frozenset(),
+        detail: Callable[[dict, Problems], None] | None = None) -> Problems:
+    """Problems with a parsed report; an empty list means valid.
+
+    Checks the shared skeleton — object-ness, the pinned ``schema``
+    string, the closed top-level key set (``optional`` keys may be
+    absent but nothing outside ``keys | optional`` may appear) — then
+    hands the payload to ``detail`` for subsystem-specific checks.
+    """
+    problems: Problems = []
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    expected = schema_id(kind, version)
+    if payload.get("schema") != expected:
+        problems.append(
+            f"schema must be {expected!r}: {payload.get('schema')!r}")
+    missing = set(keys) - payload.keys()
+    if missing:
+        problems.append(f"missing report keys: {sorted(missing)}")
+    extra = payload.keys() - set(keys) - set(optional)
+    if extra:
+        problems.append(f"unknown report keys: {sorted(extra)}")
+    if detail is not None:
+        detail(payload, problems)
+    return problems
+
+
+def require_exact_keys(problems: Problems, obj: Any,
+                       keys: frozenset[str] | set[str],
+                       where: str) -> bool:
+    """``obj`` must be a dict with exactly ``keys``; False on failure."""
+    if not isinstance(obj, dict) or obj.keys() != set(keys):
+        problems.append(f"{where} keys must be {sorted(keys)}")
+        return False
+    return True
+
+
+def require_nonneg_ints(problems: Problems, obj: dict,
+                        keys: Iterable[str], where: str) -> None:
+    """Each ``obj[key]`` must be a non-negative int (bools excluded)."""
+    for key in keys:
+        value = obj.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            problems.append(f"{where}{key} must be a non-negative int")
+
+
+def require_object_list(problems: Problems, payload: dict, key: str,
+                        non_empty: bool = False) -> list:
+    """``payload[key]`` must be a list (of anything); returns it or []."""
+    value = payload.get(key)
+    if not isinstance(value, list) or (non_empty and not value):
+        kind = "non-empty list" if non_empty else "list"
+        problems.append(f"{key} must be a {kind}")
+        return []
+    return value
+
+
+def require_bool(problems: Problems, payload: dict, key: str) -> None:
+    """``payload[key]`` must be a bool."""
+    if not isinstance(payload.get(key), bool):
+        problems.append(f"{key} must be a bool")

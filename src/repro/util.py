@@ -1,0 +1,26 @@
+"""Small shared helpers used across subsystem CLIs.
+
+Kept deliberately tiny: anything here is imported by several otherwise
+unrelated packages (experiments, fleet), so it must stay dependency-free.
+"""
+
+from __future__ import annotations
+
+
+def resolve_jobs(jobs: int | str | None) -> int:
+    """Normalise a ``--jobs`` value: int, ``"auto"`` or None (=1).
+
+    ``"auto"`` means one worker per CPU.  Every CLI that fans work out
+    over a process pool (``repro experiments --jobs``, ``repro fleet
+    run --jobs``) parses its flag through this one helper so the
+    accepted spellings cannot drift apart.
+    """
+    if jobs is None:
+        return 1
+    if jobs == "auto":
+        import os
+        return max(1, os.cpu_count() or 1)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
