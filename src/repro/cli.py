@@ -29,7 +29,10 @@ Commands:
   [--jobs N|auto]`` multiplexes tenant workloads over N
   independently-seeded module shards with admission control and
   per-tenant SLO scoring, writing ``FLEET_<timestamp>.json``;
-  ``fleet list`` prints the placement registry and tenant roster.
+  ``fleet chaos [--quick]`` runs the same fleet under a seeded fault
+  plan (retry / hedge / failover / evacuation), writing
+  ``CHAOS_<timestamp>.json``; ``fleet list`` prints the placement
+  registry and tenant roster.
 """
 
 from __future__ import annotations

@@ -9,8 +9,8 @@ Stable error codes
     code, never on the message text, so messages can be improved without
     breaking consumers.  Codes are allocated in decades per subsystem
     (E01x simulation, E02x protocol, E03x media, E04x FTL, E05x device,
-    E06x kernel, E07x configuration, E08x fault injection) and are never
-    reused once published.
+    E06x kernel, E07x configuration, E08x fault injection, E09x fleet)
+    and are never reused once published.
 """
 
 from __future__ import annotations
@@ -154,6 +154,15 @@ class FaultInjectionError(ReproError):
     bad schedule) — a harness bug, never an injected fault itself."""
 
     code = "REPRO-E080"
+
+
+class FleetError(ReproError):
+    """A fleet-level serving failure (stuck shard worker, unroutable
+    failover) — the front end cannot merge a complete, deterministic
+    run.  Distinct from per-module errors: the module may be fine while
+    the fleet harness around it is not."""
+
+    code = "REPRO-E090"
 
 
 class PowerLossInterrupt(ReproError):

@@ -4,8 +4,13 @@
 tenant workloads over N independently-seeded module shards and writes a
 schema-pinned ``FLEET_<timestamp>.json`` report.  Exits non-zero when
 the fleet fails its acceptance gate: any data loss, a sanitizer
-violation, or a tenant missing its declared SLO.  ``fleet list`` prints
-the placement-policy registry and the tenant roster.
+violation, or a tenant missing its declared SLO.  ``fleet chaos``
+replays the same serving pipeline under a seeded shard-level fault
+plan — driving one shard to ``read_only`` while the front end retries,
+hedges, fails over and evacuates — and writes ``CHAOS_<timestamp>.json``
+gating on zero committed-data loss and the bounded availability dip.
+``fleet list`` prints the placement-policy registry and the tenant
+roster.
 """
 
 from __future__ import annotations
@@ -29,7 +34,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             quick=args.quick, requests=args.requests, seed=args.seed,
             queue_bound=args.queue_bound, wear_shards=args.wear,
             jobs=resolve_jobs(args.jobs),
-            weights=tuple(args.weights or ()))
+            weights=tuple(args.weights or ()),
+            worker_timeout_s=args.worker_timeout)
     except (ConfigError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -80,6 +86,85 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 1
     print("fleet clean: zero data loss, sanitizers quiet, "
           "all tenant SLOs met")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.fleet.chaos import ChaosConfig, run_chaos
+    from repro.fleet.chaos_report import render_report, validate_report
+    from repro.util import resolve_jobs
+
+    try:
+        config = ChaosConfig(
+            shards=args.shards, quick=args.quick,
+            requests=args.requests, seed=args.seed,
+            queue_bound=args.queue_bound, jobs=resolve_jobs(args.jobs),
+            worker_timeout_s=args.worker_timeout)
+    except (ConfigError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    mode = "quick" if config.quick else "full"
+    print(f"repro fleet chaos: {mode} campaign, {config.shards} shards, "
+          f"{config.request_count} requests, seed {config.seed}, "
+          f"jobs {config.jobs}")
+    result = run_chaos(config)
+    timestamp = time.strftime("%Y%m%d-%H%M%S")
+    payload = render_report(result, timestamp=timestamp)
+    problems = validate_report(json.loads(payload))
+    if problems:    # a schema bug is a tooling failure, not a chaos failure
+        for problem in problems:
+            print(f"report schema problem: {problem}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"CHAOS_{timestamp}.json"
+    path.write_text(payload)
+    print(f"wrote {path}")
+    roles = result.roles
+    print(f"  plan: kill shard {roles.kill_shard}, hedge target "
+          f"{roles.hedge_target}, {result.hedged_writes} hedged writes")
+    for outcome in result.outcomes:
+        r = outcome.result
+        extras = []
+        if outcome.power_cuts:
+            extras.append(f"cuts={outcome.power_cuts}")
+        if outcome.evac_in_pages:
+            extras.append(f"evac_in={outcome.evac_in_pages}")
+        if outcome.failover_served:
+            extras.append(f"failover={outcome.failover_served}")
+        print(f"  shard {r.shard}: {r.health['state']:<9} "
+              f"completed={r.completed} refused={r.refused} "
+              f"retries={outcome.retries}"
+              + ("".join(" " + part for part in extras)))
+    for view in result.tenants:
+        verdict = "pass" if view.ok else "FAIL"
+        print(f"  {view.spec.name:<10} offered={view.primary.offered} "
+              f"success={view.success_ppm / 10_000:.2f}% "
+              f"(chaos slo {view.chaos_slo_ppm / 10_000:.2f}%) "
+              f"rescued={view.rescued}  {verdict}")
+    if not result.ok:
+        if result.data_loss:
+            print(f"chaos FAILED: {result.data_loss} committed pages "
+                  "lost", file=sys.stderr)
+        if result.violations:
+            print(f"chaos FAILED: {result.violations} sanitizer "
+                  "violations", file=sys.stderr)
+        if not result.demonstrated:
+            print("chaos FAILED: no shard was driven out of the write "
+                  "path and fully evacuated (the campaign proved "
+                  "nothing)", file=sys.stderr)
+        for view in result.tenants:
+            if not view.ok:
+                print(f"chaos FAILED: tenant {view.spec.name} "
+                      f"availability {view.success_ppm} ppm below the "
+                      f"chaos SLO {view.chaos_slo_ppm} ppm",
+                      file=sys.stderr)
+        return 1
+    evacuated = sum(out.evac_in_pages for out in result.outcomes)
+    print(f"chaos clean: shard killed and evacuated ({evacuated} "
+          "pages), zero committed-data loss, availability within the "
+          "chaos SLO, sanitizers quiet")
     return 0
 
 
@@ -139,9 +224,41 @@ def build_parser(sub_or_none: "argparse._SubParsersAction | None" = None
                        metavar="W",
                        help="relative shard capacities for "
                             "capacity_weighted (cycled to --shards)")
+    p_run.add_argument("--worker-timeout", type=float, default=None,
+                       metavar="S",
+                       help="wall-clock deadline (seconds) for the "
+                            "--jobs worker fan-out; a shard stuck past "
+                            "it raises FleetError (default: wait)")
     p_run.add_argument("--out", default="results",
                        help="directory for FLEET_<timestamp>.json")
     p_run.set_defaults(fn=cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the fleet under a seeded fault plan and write a "
+             "CHAOS report")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="CI-sized campaign (24k requests, small "
+                              "shards)")
+    p_chaos.add_argument("--shards", type=int, default=3,
+                         help="module shards, >= 2 (default 3)")
+    p_chaos.add_argument("--requests", type=int, default=None,
+                         help="total offered requests "
+                              "(default: 24k quick / 400k full)")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="campaign seed (default 7)")
+    p_chaos.add_argument("--queue-bound", type=int, default=64,
+                         help="per-shard admission queue depth")
+    p_chaos.add_argument("--jobs", default="1",
+                         help="worker processes: an integer or 'auto' "
+                              "(reports are byte-identical either way)")
+    p_chaos.add_argument("--worker-timeout", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock deadline (seconds) for the "
+                              "--jobs worker fan-out (default: wait)")
+    p_chaos.add_argument("--out", default="results",
+                         help="directory for CHAOS_<timestamp>.json")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_list = sub.add_parser(
         "list", help="print placement policies and the tenant roster")

@@ -20,7 +20,7 @@ import random
 import zlib
 from dataclasses import dataclass, replace
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FleetError
 from repro.fleet.placement import PLACEMENTS, ZipfSampler
 from repro.fleet.qos import TenantQoS
 from repro.fleet.shard import (
@@ -68,6 +68,12 @@ class FleetConfig:
     #: Relative shard capacities for ``capacity_weighted`` (cycled /
     #: truncated to ``shards``); uniform by default.
     weights: tuple[int, ...] = ()
+    #: Wall-clock deadline (seconds) for the whole worker fan-out; a
+    #: shard worker that has not returned by then raises
+    #: :class:`~repro.errors.FleetError` naming the stuck shard.  None
+    #: waits forever.  Harness-side only: the deadline never appears in
+    #: the report, so it cannot perturb byte-identical output.
+    worker_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -79,7 +85,14 @@ class FleetConfig:
         if self.queue_bound < 1:
             raise ConfigError("queue_bound must be >= 1")
         if not (0 <= self.wear_shards <= self.shards):
-            raise ConfigError("wear_shards must be in [0, shards]")
+            raise ConfigError(
+                f"wear_shards must be in [0, {self.shards}] "
+                f"(0..shards), got {self.wear_shards}")
+        if self.worker_timeout_s is not None \
+                and self.worker_timeout_s <= 0:
+            raise ConfigError(
+                f"worker_timeout_s must be > 0 (or None to wait "
+                f"forever), got {self.worker_timeout_s}")
 
     @property
     def request_count(self) -> int:
@@ -276,13 +289,21 @@ class Fleet:
         if config.jobs > 1 and config.shards > 1:
             from concurrent.futures import ProcessPoolExecutor
             workers = min(config.jobs, config.shards)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            try:
                 futures = [
                     pool.submit(_run_shard_worker, snapshot, plan,
                                 self.tenants)
                     for plan in plans
                 ]
-                results = [future.result() for future in futures]
+                results = collect_fan_out(
+                    futures, [plan.shard for plan in plans], pool,
+                    config.worker_timeout_s)
+            finally:
+                # On the deadline path collect_fan_out already shut the
+                # pool down without joining; a plain ``with`` block
+                # would block here waiting on the stuck worker.
+                pool.shutdown(wait=False, cancel_futures=True)
         else:
             results = [run_shard(snapshot, plan, self.tenants)
                        for plan in plans]
@@ -299,6 +320,41 @@ class Fleet:
 def _run_shard_worker(snapshot, plan, tenants) -> ShardResult:
     """Top-level worker so ProcessPoolExecutor can pickle the call."""
     return run_shard(snapshot, plan, tenants)
+
+
+def collect_fan_out(futures, shard_ids, pool,
+                    timeout_s: float | None) -> list:
+    """Collect worker results in shard order under one shared deadline.
+
+    ``futures`` and ``shard_ids`` run in parallel: result *i* came from
+    shard ``shard_ids[i]``.  The deadline covers the whole fan-out, not
+    each shard — shards run concurrently, so a per-future budget would
+    multiply the wall-clock bound by the shard count.  On expiry the
+    pool is shut down without joining (a ``with`` block would wait on
+    the stuck worker forever) and a :class:`~repro.errors.FleetError`
+    names the shard that failed to report.  Wall-clock time is used
+    only here, on the failure path: the merged results — and therefore
+    the report bytes — never depend on it.
+    """
+    import time as _time
+    from concurrent.futures import TimeoutError as _FutureTimeout
+
+    deadline = (None if timeout_s is None
+                else _time.monotonic() + timeout_s)
+    results = []
+    for future, shard in zip(futures, shard_ids):
+        remaining = (None if deadline is None
+                     else max(0.0, deadline - _time.monotonic()))
+        try:
+            results.append(future.result(timeout=remaining))
+        except _FutureTimeout:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise FleetError(
+                f"shard {shard} worker still running after the "
+                f"{timeout_s:g}s fan-out deadline; cannot merge a "
+                f"partial fleet run (raise the deadline, or rerun "
+                f"with jobs=1 to execute shards serially)") from None
+    return results
 
 
 def run_fleet(config: FleetConfig | None = None, **overrides) -> FleetResult:

@@ -134,7 +134,9 @@ def _filler(page: int, version: int) -> bytes:
 
 
 def build_prefix(tenants: tuple[TenantSpec, ...], quick: bool,
-                 seed: int) -> tuple[SimSnapshot, int]:
+                 seed: int,
+                 health_policy: HealthPolicy | None = None
+                 ) -> tuple[SimSnapshot, int]:
     """Build the template module and capture the shared prefix.
 
     Brings up one module, sequentially prefills every tenant region
@@ -142,6 +144,11 @@ def build_prefix(tenants: tuple[TenantSpec, ...], quick: bool,
     tenants, filler elsewhere) and captures the graph.  Returns the
     snapshot plus the prefill's mean per-op service time — the
     calibration probe the front end paces arrivals with.
+
+    ``health_policy`` overrides the module's ladder thresholds (the
+    chaos campaign tightens the bad-block budget so injected wear can
+    drive a shard to ``read_only`` within one run); the default is the
+    stock :class:`~repro.health.monitor.HealthPolicy`.
     """
     cache_bytes = _QUICK_CACHE if quick else _FULL_CACHE
     device_bytes = _QUICK_DEVICE if quick else _FULL_DEVICE
@@ -152,7 +159,7 @@ def build_prefix(tenants: tuple[TenantSpec, ...], quick: bool,
             system = NVDIMMCSystem(
                 cache_bytes=cache_bytes, device_bytes=device_bytes,
                 seed=seed % 100003, tracer=tracer,
-                health_policy=HealthPolicy())
+                health_policy=health_policy or HealthPolicy())
             bases = tenant_bases(tenants)
             t = round(us(1))
             start = t

@@ -4,7 +4,8 @@ Every campaign-style subsystem writes one artifact CI archives and the
 determinism gates diff byte-for-byte — ``FAULTS_*.json``
 (``repro.faults/1``), ``SOAK_*.json`` (``repro.soak/1``),
 ``RECOVERY_*.json`` (``repro.recovery/1``), the static-analysis report
-(``repro.check.static/1``) and ``FLEET_*.json`` (``repro.fleet/1``).
+(``repro.check.static/1``), ``FLEET_*.json`` (``repro.fleet/1``) and
+``CHAOS_*.json`` (``repro.fleet.chaos/1``).
 They all share the same outer contract:
 
 * the payload is a JSON object whose ``schema`` field pins the shape,

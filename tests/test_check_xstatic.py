@@ -362,7 +362,7 @@ def test_registry_accounts_for_every_fault_clock_hook_site(tree_report):
 def test_every_cut_site_resolves_against_the_registry(tree_report):
     registry = tree_report.registry
     assert set(registry.hook_consumers) == {
-        "nvmc.dma", "nvmc.writeback.program", "power.drain"}
+        "nvmc", "nvmc.dma", "nvmc.writeback.program", "power.drain"}
     for site in registry.hook_consumers:
         assert registry.hook_site_resolves(site), site
 

@@ -117,6 +117,26 @@ def test_config_rejects_bad_values():
         FleetConfig(shards=2, wear_shards=3)
 
 
+def test_wear_range_rejected_with_actionable_message():
+    # K > shards and negative K both name the valid range.
+    with pytest.raises(ConfigError, match=r"\[0, 2\]"):
+        FleetConfig(shards=2, wear_shards=3)
+    with pytest.raises(ConfigError, match=r"\[0, 2\]"):
+        FleetConfig(shards=2, wear_shards=-1)
+    FleetConfig(shards=2, wear_shards=2)   # boundary is valid
+
+
+def test_worker_timeout_validation():
+    with pytest.raises(ConfigError, match="worker_timeout_s"):
+        FleetConfig(shards=2, worker_timeout_s=0)
+    with pytest.raises(ConfigError, match="worker_timeout_s"):
+        FleetConfig(shards=2, worker_timeout_s=-1.5)
+    FleetConfig(shards=2, worker_timeout_s=30.0)
+    # The deadline is harness-side only: never in the report config.
+    assert "worker_timeout_s" not in \
+        FleetConfig(shards=2, worker_timeout_s=30.0).to_dict()
+
+
 def test_config_defaults_and_weights():
     config = FleetConfig(shards=3, quick=True)
     assert config.request_count == 100_000
@@ -230,6 +250,84 @@ def test_wear_drives_health_ladder_without_loss():
     assert validate_report(payload) == []
 
 
+def test_read_only_refusals_charge_refused_counter():
+    """Regression (ISSUE 9): a shard that degrades to ``read_only``
+    mid-run must charge its refusals to the *refused* counter — not the
+    admission gate's *rejected* — and they must surface in the
+    per-tenant QoS report."""
+    from repro.fleet.shard import (Request, ShardPlan, build_prefix,
+                                   run_shard, shard_seed)
+    from repro.health.monitor import HealthPolicy
+
+    tenants = default_tenants(quick=True)
+    snapshot, _ = build_prefix(
+        tenants, True, 11,
+        health_policy=HealthPolicy(read_only_bad_blocks=2))
+    # A write-heavy ingest plan with arrivals spaced far wider than the
+    # service time: the admission queue never fills, so every refusal
+    # below is the module's, not backpressure's.
+    requests = tuple(
+        Request(seq=i, tenant=2, arrival_ps=(i + 1) * 50_000_000,
+                key=i % 64, write=True, version=i // 64 + 1)
+        for i in range(240))
+    plan = ShardPlan(shard=0, seed=shard_seed(11, 0), queue_bound=64,
+                     wear=8, requests=requests)
+    result = run_shard(snapshot, plan, tenants)
+
+    assert result.health["state"] in ("read_only", "fail_stop")
+    assert result.refused > 0
+    assert result.rejected == 0          # not the admit gate
+    qos = result.tenants[2]
+    assert qos.refused == result.refused
+    assert qos.rejected == 0
+    assert qos.admitted == qos.offered
+    assert qos.completed + qos.refused + qos.failed_reads == qos.admitted
+    # ... and the refusals surface in the QoS report and its gate.
+    payload = qos.to_dict()
+    assert payload["refused"] == qos.refused
+    assert payload["admit_ppm"] < 1_000_000
+    assert payload["admit_ppm"] == qos.admit_ppm
+
+
+def test_collect_fan_out_deadline_names_stuck_shard():
+    from concurrent.futures import Future
+
+    from repro.errors import FleetError
+    from repro.fleet.frontend import collect_fan_out
+
+    class DummyPool:
+        def __init__(self):
+            self.calls = []
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            self.calls.append((wait, cancel_futures))
+
+    done = Future()
+    done.set_result("shard-0-result")
+    stuck = Future()   # never resolves: the hung worker
+    pool = DummyPool()
+    with pytest.raises(FleetError) as exc_info:
+        collect_fan_out([done, stuck], [0, 3], pool, timeout_s=0.05)
+    assert "shard 3" in str(exc_info.value)
+    assert exc_info.value.code == "REPRO-E090"
+    # The pool was shut down without joining the stuck worker.
+    assert pool.calls == [(False, True)]
+
+
+def test_collect_fan_out_orders_results_without_deadline():
+    from concurrent.futures import Future
+
+    from repro.fleet.frontend import collect_fan_out
+
+    futures = []
+    for value in ("a", "b", "c"):
+        future = Future()
+        future.set_result(value)
+        futures.append(future)
+    assert collect_fan_out(futures, [0, 1, 2], None,
+                           None) == ["a", "b", "c"]
+
+
 def test_tenant_pinned_run_isolates_pinned_tenants():
     result = run_fleet(**QUICK, placement="tenant_pinned")
     # analytics (index 1) pinned to shard 1, ingest (index 2) to 0.
@@ -257,6 +355,17 @@ def test_cli_rejects_bad_flags(tmp_path, capsys):
     assert fleet_main(["run", "--shards", "0", "--out",
                        str(tmp_path)]) == 2
     assert fleet_main(["run", "--jobs", "zero", "--out",
+                       str(tmp_path)]) == 2
+
+
+def test_cli_rejects_out_of_range_wear(tmp_path, capsys):
+    assert fleet_main(["run", "--wear", "-1", "--out",
+                       str(tmp_path)]) == 2
+    assert fleet_main(["run", "--shards", "2", "--wear", "3", "--out",
+                       str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "[0, 2]" in err
+    assert fleet_main(["run", "--worker-timeout", "0", "--out",
                        str(tmp_path)]) == 2
 
 
