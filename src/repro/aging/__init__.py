@@ -1,0 +1,18 @@
+"""Device-lifetime endurance campaigns (``repro age``).
+
+The fleet-survival counterpart of :mod:`repro.health.soak`: instead of
+marching one module down the ladder with *injected* faults, the aging
+harness lives a whole device population to organic end-of-life.  Each
+shard runs workload epochs whose wear, retention age and read counts
+are fast-forwarded closed-form between epochs (snapshot-accelerated —
+O(epochs x epoch), not years of event-by-event simulation), under one
+of the FTL's GC victim strategies, until grown bad blocks push the
+module into ``read_only``.  Fleet telemetry — survival curves,
+wear-spread distributions per strategy, time-to-read_only percentiles,
+ladder-transition histograms — lands in a schema-pinned
+``AGING_<timestamp>.json`` (``repro.aging/1``).
+"""
+
+from repro.aging.campaign import AgingConfig, AgingResult, run_aging
+
+__all__ = ["AgingConfig", "AgingResult", "run_aging"]

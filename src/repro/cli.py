@@ -33,6 +33,11 @@ Commands:
   plan (retry / hedge / failover / evacuation), writing
   ``CHAOS_<timestamp>.json``; ``fleet list`` prints the placement
   registry and tenant roster.
+* ``age`` — device-lifetime endurance campaigns: ``age run [--quick]``
+  ages a shard population to organic end-of-life under each FTL
+  victim-selection strategy (snapshot-accelerated wear/retention
+  fast-forward between epochs) and writes ``AGING_<timestamp>.json``
+  with fleet survival telemetry.
 """
 
 from __future__ import annotations
@@ -172,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
     build_crash_parser(sub)
     from repro.fleet.cli import build_parser as build_fleet_parser
     build_fleet_parser(sub)
+    from repro.aging.cli import build_parser as build_age_parser
+    build_age_parser(sub)
     return parser
 
 

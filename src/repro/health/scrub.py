@@ -36,7 +36,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DegradedModeError, UncorrectableError
-from repro.nand.ecc import ECCCodec
 from repro.sim.trace import Tracer
 from repro.units import PAGE_4K
 
@@ -230,9 +229,14 @@ class PatrolScrubber:
             return 0
         die = ftl.dies[ppa.die]
         data = die.read_page(ppa.plane, ppa.block, ppa.page)
-        wear = die.block_info(ppa.plane, ppa.block).erase_count
+        info = die.block_info(ppa.plane, ppa.block)
+        wear = info.erase_count
         spec = self.nand.spec
-        rber = ECCCodec.rber_for_wear(wear, spec.endurance_pe_cycles)
+        # Price the block through the controller's one RBER helper so
+        # patrol and the host read path always agree on media decay
+        # (wear-only by default; +retention +read-disturb when an
+        # AgingParams model is installed).
+        rber = self.nand.rber_for_block(info)
         codec = self.nand.codec
         codeword = codec.encode(data)
         codec.inject_errors(codeword, rber)

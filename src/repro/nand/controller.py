@@ -18,8 +18,8 @@ from repro.errors import (DegradedModeError, FailStopError, FTLError,
                           UncorrectableError)
 from repro.health.monitor import HealthMonitor, HealthPolicy
 from repro.health.retry import policy_for
-from repro.nand.device import NANDDie
-from repro.nand.ecc import ECCCodec
+from repro.nand.device import BlockInfo, NANDDie
+from repro.nand.ecc import AgingParams, ECCCodec
 from repro.nand.ftl import FlashTranslationLayer, FTLRecoveryStats, PhysOp
 from repro.nand.spec import ZNANDSpec
 from repro.sim.snapshot import SnapshotMixin
@@ -87,6 +87,10 @@ class NANDController(SnapshotMixin):
         self.read_retry_policy = policy_for(
             UncorrectableError, max_attempts=1 + read_retry_limit,
             base_ps=0, cap_ps=0, site="nand-read")
+        #: Optional composed reliability model (retention + read
+        #: disturb).  ``None`` — the default — keeps RBER a pure
+        #: function of wear, byte-identical to the pre-aging model.
+        self.aging: AgingParams | None = None
 
     @property
     def read_only(self) -> bool:
@@ -215,9 +219,11 @@ class NANDController(SnapshotMixin):
         if health is not None:
             self.health = health
         capacity = self.ftl.logical_pages * self.spec.page_bytes
+        strategy = self.ftl.victim_strategy
         self.ftl, stats = FlashTranslationLayer.recover_from_media(
             self.dies, capacity)
         self.ftl.health = self.health
+        self.ftl.set_victim_strategy(strategy)   # survives remounts
         return stats
 
     def media_bad_blocks(self) -> int:
@@ -271,11 +277,25 @@ class NANDController(SnapshotMixin):
 
     # -- ECC ---------------------------------------------------------------------------------
 
+    def rber_for_block(self, info: BlockInfo) -> float:
+        """The block's current raw bit-error rate.
+
+        With no :class:`AgingParams` installed this is exactly the
+        wear-only curve; with one it composes wear, retention age, and
+        read disturb (see :meth:`AgingParams.rber`).  Both the read path
+        and the patrol scrubber price media through this one helper so
+        they always agree on how decayed a block is.
+        """
+        endurance = self.spec.endurance_pe_cycles
+        if self.aging is None:
+            return ECCCodec.rber_for_wear(info.erase_count, endurance)
+        return self.aging.rber(info.erase_count, endurance,
+                               info.aged_years, info.read_count)
+
     def _ecc_pass(self, data: bytes, die: int, plane: int,
                   block: int) -> bytes:
         """Encode/inject/decode round trip at the block's current RBER."""
-        wear = self.dies[die].block_info(plane, block).erase_count
-        rber = ECCCodec.rber_for_wear(wear, self.spec.endurance_pe_cycles)
+        rber = self.rber_for_block(self.dies[die].block_info(plane, block))
         codeword = self.codec.encode(data)
         self.codec.inject_errors(codeword, rber)
         try:

@@ -48,10 +48,13 @@ class BlockInfo:
     erase_count: int = 0
     bad: bool = False
     next_page: int = 0    # program-in-order cursor
+    read_count: int = 0   # reads since last erase (read disturb)
+    aged_years: float = 0.0    # retention age of the resident data
 
     def __reduce__(self):
         # One entry per touched block, snapshot-hot (see OOB.__reduce__).
-        return (BlockInfo, (self.erase_count, self.bad, self.next_page))
+        return (BlockInfo, (self.erase_count, self.bad, self.next_page,
+                            self.read_count, self.aged_years))
 
 
 class NANDDie(SnapshotMixin):
@@ -127,6 +130,7 @@ class NANDDie(SnapshotMixin):
                 f"die {self.die_index}: read from bad block "
                 f"({plane},{block})")
         self.reads += 1
+        info.read_count += 1
         data = self._data.get((plane, block, page))
         if data is None:
             return self._erased_page
@@ -203,6 +207,8 @@ class NANDDie(SnapshotMixin):
             self._oob.pop((plane, block, page), None)
         info.erase_count += 1
         info.next_page = 0
+        info.read_count = 0    # erase resets read disturb...
+        info.aged_years = 0.0  # ...and the retention clock
         self.erases += 1
         if info.erase_count >= self.spec.endurance_pe_cycles:
             info.bad = True

@@ -153,3 +153,41 @@ class ECCCodec:
     @staticmethod
     def _digest(payload: bytes) -> bytes:
         return hashlib.blake2b(payload, digest_size=8).digest()
+
+
+@dataclass(frozen=True)
+class AgingParams:
+    """Closed-form retention and read-disturb terms composing with wear.
+
+    The composed RBER for a block is::
+
+        wear      = ECCCodec.rber_for_wear(erase_count, endurance)
+        retention = retention_per_year * aged_years
+                    * (1 + wear_retention_boost * x**2)   # x = wear ratio
+        disturb   = read_disturb_per_kread * read_count / 1000
+        rber      = min(ceiling, wear + retention + disturb)
+
+    All three terms are deterministic functions of per-block counters
+    (:class:`repro.nand.device.BlockInfo`), so a fast-forward that bumps
+    those counters ages the media without event-by-event simulation.
+    The ``ceiling`` caps the composed rate below the uncorrectable
+    threshold for a single read (t=72 over 32768 bits ≈ 2.2e-3) so old
+    media fails through retries and grown bad blocks, not instant loss.
+    """
+
+    retention_per_year: float = 2e-5
+    wear_retention_boost: float = 4.0
+    read_disturb_per_kread: float = 5e-7
+    ceiling: float = 1.5e-3
+
+    def rber(self, erase_count: int, endurance: int, aged_years: float,
+             read_count: int, floor: float = 1e-8,
+             wear_ceiling: float = 1e-4) -> float:
+        """Composed RBER: wear + retention + read disturb, capped."""
+        wear = ECCCodec.rber_for_wear(erase_count, endurance,
+                                      floor=floor, ceiling=wear_ceiling)
+        x = 1.0 if endurance <= 0 else min(1.0, erase_count / endurance)
+        retention = (self.retention_per_year * max(0.0, aged_years)
+                     * (1.0 + self.wear_retention_boost * x * x))
+        disturb = self.read_disturb_per_kread * max(0, read_count) / 1000.0
+        return min(self.ceiling, wear + retention + disturb)

@@ -46,6 +46,67 @@ class EnduranceReport:
         return self.max_erase_count / self.endurance_pe_cycles
 
 
+@dataclass(frozen=True)
+class EnduranceSnapshot:
+    """Per-epoch wear/health census across *all* blocks of one module.
+
+    Unlike :func:`report` — which reads only good blocks, the view that
+    matters for remaining lifetime — the snapshot keeps retired blocks
+    in the census so the wear spread a leveling strategy is judged on
+    cannot improve by wearing blocks out and dropping them from the
+    denominator.
+    """
+
+    blocks: int
+    bad_blocks: int
+    min_erase_count: int
+    max_erase_count: int
+    mean_erase_count: float
+    erases: int
+    host_programs: int
+    gc_programs: int
+    write_amplification: float
+    grown_bad_blocks: int
+    scrub_relocations: int
+    mapped_pages: int
+    free_blocks: int
+
+    @property
+    def wear_spread(self) -> float:
+        """max/mean erase count: 1.0 = perfect wear leveling."""
+        if self.mean_erase_count == 0:
+            return 1.0
+        return self.max_erase_count / self.mean_erase_count
+
+    @classmethod
+    def capture(cls, ftl: FlashTranslationLayer) -> "EnduranceSnapshot":
+        counts = []
+        bad = 0
+        for die in ftl.dies:
+            for plane in range(die.spec.planes_per_die):
+                for block in range(die.spec.blocks_per_plane):
+                    info = die.block_info(plane, block)
+                    counts.append(info.erase_count)
+                    if info.bad:
+                        bad += 1
+        mean = sum(counts) / len(counts) if counts else 0.0
+        stats = ftl.stats
+        return cls(
+            blocks=len(counts),
+            bad_blocks=bad,
+            min_erase_count=min(counts) if counts else 0,
+            max_erase_count=max(counts) if counts else 0,
+            mean_erase_count=mean,
+            erases=stats.erases,
+            host_programs=stats.host_programs,
+            gc_programs=stats.gc_programs,
+            write_amplification=stats.write_amplification,
+            grown_bad_blocks=stats.grown_bad_blocks,
+            scrub_relocations=stats.scrub_relocations,
+            mapped_pages=ftl.mapped_pages,
+            free_blocks=ftl.free_blocks)
+
+
 def report(ftl: FlashTranslationLayer) -> EnduranceReport:
     """Snapshot the FTL's wear state."""
     counts = []

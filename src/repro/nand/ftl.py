@@ -112,6 +112,13 @@ class FTLStats:
         return (self.host_programs + self.gc_programs) / self.host_programs
 
 
+#: Victim-selection strategies for garbage collection (see
+#: :meth:`FlashTranslationLayer.set_victim_strategy`).  ``greedy`` is
+#: the byte-identical default; the other two trade extra copies for a
+#: tighter erase-count spread (wear leveling proper).
+VICTIM_STRATEGIES: tuple[str, ...] = ("greedy", "cost_benefit", "static")
+
+
 @dataclass
 class _BlockMeta:
     """FTL-side view of one physical block."""
@@ -125,6 +132,10 @@ class _BlockMeta:
     #: erased pages are unusable (the program cursor must stay honest),
     #: so GC may reclaim it even though it never filled.
     sealed: bool = False
+    #: Sequence number of the last program into this block — the
+    #: cost-benefit strategy's notion of block age (0 = never written
+    #: this mount, i.e. maximally cold).
+    last_seq: int = 0
 
 
 @dataclass
@@ -199,8 +210,33 @@ class FlashTranslationLayer(SnapshotMixin):
         #: Remap attempts per logical write, from the taxonomy budget
         #: for generic media failures.
         self.remap_budget = budget_for(MediaError).attempts
+        #: GC victim-selection strategy (see :data:`VICTIM_STRATEGIES`).
+        self.victim_strategy = "greedy"
+        #: ``static`` leveling: migrate the coldest closed block once
+        #: this many erases have happened (then re-arm).
+        self.static_level_period = 32
+        self._static_level_due = self.static_level_period
         self._discover_blocks()
         self._check_capacity()
+
+    def set_victim_strategy(self, name: str,
+                            static_period: int | None = None) -> None:
+        """Select the GC victim strategy; raises on unknown names.
+
+        ``static_period`` (erases between cold-block migrations) only
+        matters for ``static``; passing it re-arms the migration timer
+        relative to the current erase count.
+        """
+        if name not in VICTIM_STRATEGIES:
+            raise FTLError(
+                f"unknown victim strategy {name!r}; "
+                f"expected one of {VICTIM_STRATEGIES}")
+        self.victim_strategy = name
+        if static_period is not None:
+            if static_period < 1:
+                raise FTLError("static_period must be >= 1")
+            self.static_level_period = static_period
+            self._static_level_due = self.stats.erases + static_period
 
     # -- init ---------------------------------------------------------------------
 
@@ -341,11 +377,18 @@ class FlashTranslationLayer(SnapshotMixin):
             raise DegradedModeError(
                 f"relocation of lpn {lpn} refused; module is read-only",
                 reason=self.health.reason or "read-only")
-        ppa = self._l2p.get(lpn)
-        if ppa is None:
+        if self._l2p.get(lpn) is None:
             return []
         ops: list[PhysOp] = []
         ops.extend(self._maybe_collect_garbage())
+        # Re-fetch AFTER garbage collection: GC (or a static-leveling
+        # migration) may have just relocated this very LPN and erased
+        # its old block — reading the captured pre-GC address would
+        # return erased flash (0xFF) and re-append it as the page's
+        # content: a self-consistent, silent corruption.
+        ppa = self._l2p.get(lpn)
+        if ppa is None:
+            return ops
         data = self.dies[ppa.die].read_page(ppa.plane, ppa.block, ppa.page)
         ops.append(PhysOp("read", ppa.die))
         _, program_ops = self._append(lpn, data, gc=True)
@@ -459,6 +502,7 @@ class FlashTranslationLayer(SnapshotMixin):
             self._l2p[lpn] = ppa
         meta.valid += 1
         meta.lpns[page] = lpn
+        meta.last_seq = stamp.seq
         if page + 1 >= self.spec.pages_per_block:
             self._open[die_index] = None   # block is full; close it
         if self.on_commit is not None:
@@ -548,7 +592,7 @@ class FlashTranslationLayer(SnapshotMixin):
 
     def _maybe_collect_garbage(self) -> list[PhysOp]:
         if len(self._free) > self.GC_LOW_WATER:
-            return []
+            return self._maybe_static_level()
         self.stats.gc_invocations += 1
         ops: list[PhysOp] = []
         guard = 0
@@ -562,9 +606,41 @@ class FlashTranslationLayer(SnapshotMixin):
             ops.extend(self._collect(victim))
         return ops
 
-    def _pick_victim(self) -> _BlockMeta | None:
-        """Greedy: the closed block with the fewest valid pages."""
+    def _maybe_static_level(self) -> list[PhysOp]:
+        """``static`` leveling: periodically migrate the coldest block.
+
+        Cold data parks in low-wear blocks forever under greedy GC (a
+        fully-valid block is never a victim), so the wear spread only
+        grows.  Every :attr:`static_level_period` erases — and only
+        while the free pool sits above the GC trigger — the closed
+        block with the lowest erase count is collected outright: its
+        (cold) pages move into the current write stream and its
+        low-wear block re-enters the free pool, where
+        least-erased-first allocation hands it to hot data next.
+        """
+        if self.victim_strategy != "static":
+            return []
+        if self.stats.erases < self._static_level_due:
+            return []
+        if len(self._free) <= self.GC_LOW_WATER:
+            return []   # space is tight; plain GC owns the pool
+        self._static_level_due = self.stats.erases + self.static_level_period
+        best_key: tuple[int, int, int] | None = None
         best: _BlockMeta | None = None
+        best_wear = 0
+        for key, meta in self._victim_candidates():
+            if meta.valid <= 0:
+                continue   # already stale; plain GC will reclaim it
+            wear = self.dies[key[0]].block_info(key[1], key[2]).erase_count
+            if (best_key is None or wear < best_wear
+                    or (wear == best_wear and key < best_key)):
+                best_key, best, best_wear = key, meta, wear
+        if best is None:
+            return []
+        return self._collect(best)
+
+    def _victim_candidates(self):
+        """Closed, reclaimable blocks: ``(key, meta)`` pairs."""
         for key, meta in self._blocks.items():
             if meta is self._open.get(meta.die):
                 continue
@@ -574,8 +650,41 @@ class FlashTranslationLayer(SnapshotMixin):
                 meta.plane, meta.block).next_page >= self.spec.pages_per_block
             if not full:
                 continue
-            if best is None or meta.valid < best.valid:
-                best = meta
+            yield key, meta
+
+    def _pick_victim(self) -> _BlockMeta | None:
+        """Select the next GC victim under the configured strategy.
+
+        * ``greedy`` (default) / ``static`` — the closed block with the
+          fewest valid pages; equal-``valid`` candidates tie-break on
+          the ``(die, plane, block)`` key, never on dict insertion
+          order, so victim choice is independent of allocation history
+          quirks and of ``PYTHONHASHSEED``.
+        * ``cost_benefit`` — maximise ``age * freed / (valid + 1)``
+          where ``age`` is program-counter distance since the block was
+          last written: cold, mostly-stale blocks win even when a
+          slightly-emptier hot block exists, which recycles low-wear
+          blocks into the allocation pool (allocation prefers the
+          least-erased free block).  Ties break on the key.
+        """
+        best_key: tuple[int, int, int] | None = None
+        best: _BlockMeta | None = None
+        if self.victim_strategy == "cost_benefit":
+            best_score = -1.0
+            for key, meta in self._victim_candidates():
+                freed = self.spec.pages_per_block - meta.valid
+                if freed <= 0:
+                    continue   # nothing reclaimable in this block
+                age = self._seq - meta.last_seq
+                score = age * freed / (meta.valid + 1)
+                if (best_key is None or score > best_score
+                        or (score == best_score and key < best_key)):
+                    best_key, best, best_score = key, meta, score
+            return best
+        for key, meta in self._victim_candidates():
+            if (best_key is None or meta.valid < best.valid
+                    or (meta.valid == best.valid and key < best_key)):
+                best_key, best = key, meta
         if best is not None and best.valid >= self.spec.pages_per_block:
             return None   # nothing reclaimable
         return best
@@ -611,8 +720,42 @@ class FlashTranslationLayer(SnapshotMixin):
         ops.append(PhysOp("erase", victim.die))
         self.stats.erases += 1
         self._blocks.pop(key, None)
-        self._free.append(key)
+        if die.block_info(victim.plane, victim.block).bad:
+            # The erase succeeded but crossed the endurance limit: the
+            # die marked the block worn out.  Never re-free a bad block
+            # — that would hand allocation a block whose next program
+            # is refused die-side.
+            self.stats.grown_bad_blocks += 1
+            if self.health is not None:
+                self.health.record("ftl", "bad-block")
+        else:
+            self._free.append(key)
         return ops
+
+    # -- wear-out housekeeping -------------------------------------------------------------
+
+    def retire_worn_free_blocks(self) -> int:
+        """Fence off free blocks that have consumed their endurance.
+
+        An aging fast-forward bumps erase counts without running the
+        erases, so a free block can sit past the endurance limit
+        without the die ever having had the chance to mark it bad.
+        Walk the free pool (sorted, for determinism), retire every worn
+        block as grown-bad, and report how many were retired.  Non-free
+        worn blocks are left alone — they die on their next real erase
+        (see :meth:`_collect`).
+        """
+        worn = sorted(
+            key for key in self._free
+            if self.dies[key[0]].block_info(key[1], key[2]).erase_count
+            >= self.spec.endurance_pe_cycles)
+        for key in worn:
+            self._free.remove(key)
+            self.dies[key[0]].mark_bad(key[1], key[2])
+            self.stats.grown_bad_blocks += 1
+            if self.health is not None:
+                self.health.record("ftl", "bad-block")
+        return len(worn)
 
     # -- misc ------------------------------------------------------------------------------
 

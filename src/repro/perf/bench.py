@@ -31,7 +31,8 @@ from dataclasses import asdict, dataclass
 #: cuts/s rather than events/s).
 #: v4: adds the ``fleet-quick`` scenario (v3 was skipped to realign
 #: the number with the CHANGES.md history).
-SCHEMA_VERSION = 4
+#: v5: adds the ``age-quick`` scenario (endurance campaign).
+SCHEMA_VERSION = 5
 
 #: The ``--quick`` subset: one detector-heavy run (validation), one
 #: transaction-model run (fig8) and one command-accurate run
@@ -90,14 +91,23 @@ def _scenario_fleet_quick() -> int:
     return sum(shard.completed for shard in result.shards)
 
 
+def _scenario_age_quick() -> int:
+    from repro.aging.campaign import AgingConfig, run_aging
+    result = run_aging(AgingConfig(quick=True, shards=1, max_epochs=4))
+    if not result.ok:
+        raise RuntimeError("age-quick scenario: campaign not clean")
+    return sum(shard.epochs_run for shard in result.shards)
+
+
 #: Harness scenarios timed alongside the experiments.  Each callable
 #: runs the scenario and returns its unit-of-work count ("cuts": cut
 #: points for the crash sweep, rounds for the soak, completed requests
-#: for the fleet).
+#: for the fleet, aged epochs for the endurance campaign).
 SCENARIOS = {
     "crash-quick": _scenario_crash_quick,
     "soak-quick": _scenario_soak_quick,
     "fleet-quick": _scenario_fleet_quick,
+    "age-quick": _scenario_age_quick,
 }
 
 

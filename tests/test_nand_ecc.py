@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import UncorrectableError
-from repro.nand.ecc import ECCCodec
+from repro.nand.ecc import AgingParams, ECCCodec
 
 
 PAYLOAD = bytes(i % 256 for i in range(4096))
@@ -92,6 +92,81 @@ class TestRBERModel:
 
     def test_zero_endurance_is_ceiling(self):
         assert ECCCodec.rber_for_wear(5, 0) == pytest.approx(1e-4)
+
+
+class TestAgingParams:
+    """The composed retention + read-disturb RBER model."""
+
+    def test_new_unaged_block_is_pure_wear_floor(self):
+        aging = AgingParams()
+        assert aging.rber(0, 50_000, 0.0, 0) == pytest.approx(1e-8)
+
+    def test_retention_term_scales_linearly_when_fresh(self):
+        aging = AgingParams()
+        base = aging.rber(0, 50_000, 0.0, 0)
+        one = aging.rber(0, 50_000, 1.0, 0) - base
+        three = aging.rber(0, 50_000, 3.0, 0) - base
+        assert one == pytest.approx(aging.retention_per_year)
+        assert three == pytest.approx(3 * one)
+
+    def test_worn_block_retains_worse_than_fresh(self):
+        aging = AgingParams()
+        fresh = aging.rber(0, 50_000, 2.0, 0) - aging.rber(0, 50_000, 0, 0)
+        worn = (aging.rber(50_000, 50_000, 2.0, 0)
+                - aging.rber(50_000, 50_000, 0.0, 0))
+        boost = 1 + aging.wear_retention_boost
+        assert worn == pytest.approx(boost * fresh)
+
+    def test_read_disturb_term(self):
+        aging = AgingParams()
+        base = aging.rber(0, 50_000, 0.0, 0)
+        disturbed = aging.rber(0, 50_000, 0.0, 10_000)
+        assert disturbed - base == pytest.approx(
+            10 * aging.read_disturb_per_kread)
+
+    def test_ceiling_caps_every_term(self):
+        aging = AgingParams()
+        assert aging.rber(10**9, 50_000, 10**6, 10**12) == aging.ceiling
+        assert aging.ceiling < 2.2e-3   # below single-read uncorrectable
+
+    def test_negative_inputs_clamp_to_zero_contribution(self):
+        aging = AgingParams()
+        assert aging.rber(0, 50_000, -5.0, -100) == pytest.approx(
+            aging.rber(0, 50_000, 0.0, 0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(erase=st.integers(min_value=0, max_value=120_000),
+           bump=st.integers(min_value=1, max_value=60_000),
+           years=st.floats(min_value=0, max_value=50,
+                           allow_nan=False, allow_infinity=False),
+           reads=st.integers(min_value=0, max_value=10**8))
+    def test_monotone_in_erase_count(self, erase, bump, years, reads):
+        aging = AgingParams()
+        assert (aging.rber(erase + bump, 50_000, years, reads)
+                >= aging.rber(erase, 50_000, years, reads))
+
+    @settings(max_examples=60, deadline=None)
+    @given(erase=st.integers(min_value=0, max_value=120_000),
+           years=st.floats(min_value=0, max_value=50,
+                           allow_nan=False, allow_infinity=False),
+           extra=st.floats(min_value=0, max_value=50,
+                           allow_nan=False, allow_infinity=False),
+           reads=st.integers(min_value=0, max_value=10**8))
+    def test_monotone_in_retention_age(self, erase, years, extra, reads):
+        aging = AgingParams()
+        assert (aging.rber(erase, 50_000, years + extra, reads)
+                >= aging.rber(erase, 50_000, years, reads))
+
+    @settings(max_examples=60, deadline=None)
+    @given(erase=st.integers(min_value=0, max_value=120_000),
+           years=st.floats(min_value=0, max_value=50,
+                           allow_nan=False, allow_infinity=False),
+           reads=st.integers(min_value=0, max_value=10**8),
+           bump=st.integers(min_value=1, max_value=10**8))
+    def test_monotone_in_read_count(self, erase, years, reads, bump):
+        aging = AgingParams()
+        assert (aging.rber(erase, 50_000, years, reads + bump)
+                >= aging.rber(erase, 50_000, years, reads))
 
 
 class TestStats:

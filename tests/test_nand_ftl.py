@@ -148,3 +148,115 @@ class TestPropertyBased:
         for lpn, expected in reference.items():
             data, _, _ = ftl.read_page(lpn)
             assert data == expected
+
+
+class TestVictimStrategies:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(FTLError):
+            make_ftl().set_victim_strategy("fifo")
+
+    def test_bad_static_period_rejected(self):
+        with pytest.raises(FTLError):
+            make_ftl().set_victim_strategy("static", static_period=0)
+
+    def test_static_period_rearms_the_migration_timer(self):
+        ftl = make_ftl()
+        ftl.set_victim_strategy("static", static_period=3)
+        assert ftl.static_level_period == 3
+        assert ftl._static_level_due == ftl.stats.erases + 3
+
+    def test_greedy_tie_breaks_on_block_key(self):
+        """Equal-valid victims must resolve by (die, plane, block), not
+        by dict iteration quirks (regression: PYTHONHASHSEED-dependent
+        victim choice)."""
+        ftl = make_ftl(logical_blocks=8, blocks=24)
+        for i in range(32):
+            ftl.write_page(i, page_of(i))        # blocks 0 and 1 full
+        for i in range(8):
+            ftl.write_page(i, page_of(100 + i))  # block 0: valid = 8
+        for i in range(16, 24):
+            ftl.write_page(i, page_of(200 + i))  # block 1: valid = 8
+        victim = ftl._pick_victim()
+        assert (victim.die, victim.plane, victim.block) == (0, 0, 0)
+
+    def test_cost_benefit_age_outweighs_a_small_valid_gap(self):
+        ftl = make_ftl(logical_blocks=8, blocks=24)
+        for i in range(32):
+            ftl.write_page(i, page_of(i))        # blocks 0 and 1 full
+        for i in range(8):
+            ftl.write_page(i, page_of(100 + i))  # block 0: valid = 8
+        for i in range(16, 23):
+            ftl.write_page(i, page_of(200 + i))  # block 1: valid = 9
+        ftl.set_victim_strategy("greedy")
+        greedy = ftl._pick_victim()
+        assert (greedy.die, greedy.plane, greedy.block) == (0, 0, 0)
+        # Make block 1's data ancient: its slightly-worse valid count
+        # should now lose to its far larger age * freed benefit.
+        ftl._blocks[(0, 0, 1)].last_seq = 0
+        ftl.set_victim_strategy("cost_benefit")
+        aged = ftl._pick_victim()
+        assert (aged.die, aged.plane, aged.block) == (0, 0, 1)
+
+    def test_static_leveling_migrates_the_cold_block(self):
+        """A fully-valid cold block is never a greedy victim; the static
+        strategy must still recycle it into the free pool."""
+
+        def churn(ftl):
+            for i in range(16):
+                ftl.write_page(i, page_of(i))    # block 0: cold, valid=16
+            for i in range(ftl.logical_pages * 6):
+                lpn = 16 + (i % (ftl.logical_pages - 16))
+                ftl.write_page(lpn, page_of(i))
+            return ftl.dies[0].block_info(0, 0).erase_count
+
+        greedy_ftl = make_ftl(logical_blocks=8, blocks=16)
+        static_ftl = make_ftl(logical_blocks=8, blocks=16)
+        static_ftl.set_victim_strategy("static", static_period=4)
+        assert churn(greedy_ftl) == 0            # parked forever
+        assert churn(static_ftl) >= 1            # migrated and recycled
+        for i in range(16):                      # cold data survived
+            data, _, _ = static_ftl.read_page(i)
+            assert data == page_of(i)
+
+
+class TestWearOutHousekeeping:
+    def test_retire_worn_free_blocks(self):
+        ftl = make_ftl()
+        key = sorted(ftl._free)[0]
+        die = ftl.dies[key[0]]
+        die.block_info(key[1], key[2]).erase_count = \
+            ftl.spec.endurance_pe_cycles
+        assert ftl.retire_worn_free_blocks() == 1
+        assert key not in ftl._free
+        assert die.block_info(key[1], key[2]).bad
+        assert ftl.stats.grown_bad_blocks == 1
+        assert ftl.retire_worn_free_blocks() == 0    # idempotent
+
+    def test_retire_leaves_healthy_blocks_alone(self):
+        ftl = make_ftl()
+        free_before = len(ftl._free)
+        assert ftl.retire_worn_free_blocks() == 0
+        assert len(ftl._free) == free_before
+
+
+class TestRelocate:
+    def test_relocate_unmapped_lpn_is_a_no_op(self):
+        ftl = make_ftl()
+        assert ftl.relocate(3) == []
+
+    def test_relocate_survives_gc_moving_the_target(self):
+        """Regression: relocate() captured the physical address before
+        running GC; when GC picked the very block holding the target
+        LPN, the stale address pointed at erased flash and the scrub
+        re-appended the erased pattern as the page's content — a
+        silent, self-consistent corruption."""
+        ftl = make_ftl(logical_blocks=8, blocks=24)
+        for i in range(16):
+            ftl.write_page(i, page_of(i))        # block 0 full
+        for i in range(1, 16):
+            ftl.write_page(i, page_of(50 + i))   # block 0: only lpn 0
+        ftl.GC_LOW_WATER = len(ftl._free)        # next relocate runs GC
+        ftl.GC_HIGH_WATER = len(ftl._free) + 1
+        ftl.relocate(0)
+        data, _, _ = ftl.read_page(0)
+        assert data == page_of(0)
